@@ -1,0 +1,159 @@
+"""Benches for the analyses that extend the paper's evaluation.
+
+These are not paper figures; they are the follow-on studies the paper's
+discussion motivates: embedding-table cache locality (trace-driven),
+SLA-constrained platform choice, energy efficiency from the Table II
+TDP envelope, multi-core scaling limits, and the shifting-bottleneck
+taxonomy.
+"""
+
+from repro.core import (
+    efficiency_grid,
+    find_bottleneck_shifts,
+    reference_classification,
+    render_table,
+    sla_frontier,
+)
+from repro.hw import BROADWELL
+from repro.models import MODEL_ORDER
+from repro.uarch import EmbeddingTraceStudy, MulticoreModel
+from repro.workloads import ZipfIndices
+
+
+def test_embedding_locality_trace(benchmark, write_output):
+    """Trace-driven DRAM rate vs table size (supports Fig 14)."""
+    study = EmbeddingTraceStudy(
+        BROADWELL, ZipfIndices(alpha=0.8), capacity_scale=1 / 64, seed=7
+    )
+    results = benchmark.pedantic(
+        study.sweep_table_sizes,
+        kwargs={
+            "row_counts": [10_000, 200_000, 2_000_000, 20_000_000],
+            "lookups": 2500,
+            "warmup_lookups": 2500,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            f"{r.rows:,}",
+            f"{r.rows * r.row_bytes / 1e6:.0f}MB",
+            f"{r.fraction('l1') * 100:.0f}%",
+            f"{r.fraction('l2') * 100:.0f}%",
+            f"{r.fraction('l3') * 100:.0f}%",
+            f"{r.dram_rate * 100:.0f}%",
+        ]
+        for r in results
+    ]
+    table = render_table(
+        ["rows", "table size", "L1", "L2", "L3", "DRAM"],
+        rows,
+        title=(
+            "Embedding lookup serving levels vs table size "
+            "(trace-driven, Zipf 0.8, Broadwell hierarchy @ 1/64 scale)"
+        ),
+    )
+    write_output("ext_embedding_locality", table)
+    assert results[-1].dram_rate > results[0].dram_rate
+
+
+def test_sla_frontier(benchmark, full_sweep, write_output):
+    rows = []
+    for model in ("rm2", "rm3"):
+        frontier = benchmark.pedantic(
+            sla_frontier,
+            args=(full_sweep, model),
+            kwargs={"sla_tiers": (0.001, 0.01, 0.1)},
+            rounds=1,
+            iterations=1,
+        ) if model == "rm2" else sla_frontier(
+            full_sweep, model, sla_tiers=(0.001, 0.01, 0.1)
+        )
+        for sla, point in frontier.items():
+            rows.append(
+                [
+                    model,
+                    f"{sla * 1e3:.0f}ms",
+                    point.platform,
+                    point.batch_size if point.feasible else "-",
+                    f"{point.throughput_qps:,.0f}",
+                ]
+            )
+    table = render_table(
+        ["model", "SLA", "best platform", "batch", "throughput (q/s)"],
+        rows,
+        title="SLA frontier: best platform + batch under latency targets",
+    )
+    write_output("ext_sla_frontier", table)
+
+
+def test_energy_efficiency(benchmark, full_sweep, write_output):
+    grid = benchmark(efficiency_grid, full_sweep, 4096)
+    rows = []
+    for model in MODEL_ORDER:
+        best = min(grid[model].values(), key=lambda e: e.millijoules_per_query)
+        rows.append(
+            [model]
+            + [f"{grid[model][p].millijoules_per_query:.2f}" for p in full_sweep.platform_names]
+            + [best.platform]
+        )
+    table = render_table(
+        ["model"] + list(full_sweep.platform_names) + ["most efficient"],
+        rows,
+        title="Energy per query (mJ) at batch 4096, TDP-based estimate",
+    )
+    write_output("ext_energy", table)
+    # The 70 W T4 wins the FC-heavy models.
+    best_rm3 = min(grid["rm3"].values(), key=lambda e: e.millijoules_per_query)
+    assert best_rm3.platform == "t4"
+
+
+def test_multicore_scaling(benchmark, models, write_output):
+    mc = MulticoreModel(BROADWELL)
+    rows = []
+    for name in ("rm2", "rm3"):
+        graph = models[name].build_graph(256)
+        points = (
+            benchmark(mc.scaling_curve, graph, [1, 4, 16])
+            if name == "rm2"
+            else mc.scaling_curve(graph, [1, 4, 16])
+        )
+        for p in points:
+            rows.append(
+                [
+                    name,
+                    p.cores,
+                    f"{p.throughput:,.0f}",
+                    f"{p.efficiency * 100:.0f}%",
+                    "yes" if p.bandwidth_saturated else "no",
+                ]
+            )
+    table = render_table(
+        ["model", "cores", "inferences/s", "efficiency", "BW saturated"],
+        rows,
+        title="Multi-core scaling on Broadwell (batch 256)",
+    )
+    write_output("ext_multicore", table)
+
+
+def test_bottleneck_shifts(benchmark, models, full_sweep, write_output):
+    shifts = benchmark.pedantic(
+        find_bottleneck_shifts, args=(full_sweep,), rounds=1, iterations=1
+    )
+    labels = reference_classification(models)
+    rows = [
+        [s.model, s.platform, f"{s.from_batch}->{s.to_batch}",
+         s.from_class, s.to_class]
+        for s in shifts
+    ]
+    table = render_table(
+        ["model", "platform", "batch range", "from", "to"],
+        rows,
+        title=(
+            "Shifting bottleneck classes across use cases "
+            f"(fixed-use-case labels: {labels})"
+        ),
+    )
+    write_output("ext_bottleneck_shifts", table)
+    assert any(s.model == "rm1" and s.platform == "broadwell" for s in shifts)

@@ -1,0 +1,53 @@
+"""Fig 3: speedup over Broadwell across models, batch sizes, platforms.
+
+Regenerates the full 8-model x 8-batch x 4-platform speedup landscape.
+The benchmarked unit is one end-to-end profile evaluation (model x
+platform x batch) — the quantum every sweep cell costs.
+"""
+
+from repro.core import render_table
+from repro.models import MODEL_ORDER
+from repro.runtime import InferenceSession
+
+
+def build_fig3(sweep):
+    rows = []
+    for model in MODEL_ORDER:
+        for batch in sweep.batch_sizes:
+            rows.append(
+                [
+                    model,
+                    batch,
+                    1.0,
+                    round(sweep.speedup(model, "cascade_lake", batch), 2),
+                    round(sweep.speedup(model, "gtx1080ti", batch), 2),
+                    round(sweep.speedup(model, "t4", batch), 2),
+                ]
+            )
+    return render_table(
+        ["model", "batch", "broadwell", "cascade_lake", "gtx1080ti", "t4"],
+        rows,
+        title="Fig 3: Speedup over Broadwell (end-to-end, compute + data comm)",
+        float_format="{:.2f}",
+    )
+
+
+def test_fig03_speedup(benchmark, models, full_sweep, write_output):
+    session = InferenceSession(models["rm2"], "gtx1080ti")
+    benchmark(session.profile, 1024)
+
+    table = build_fig3(full_sweep)
+    write_output("fig03_speedup", table)
+
+    # Machine-readable companion for plotting.
+    from pathlib import Path
+
+    from repro.core import sweep_to_csv
+
+    out_dir = Path(__file__).parent / "output"
+    (out_dir / "fig03_speedup.csv").write_text(sweep_to_csv(full_sweep))
+
+    # Headline claims (mirrors tests/test_paper_shapes.py).
+    assert full_sweep.speedup("rm3", "t4", 16384) > 8
+    assert full_sweep.speedup("rm2", "gtx1080ti", 16384) < 4
+    assert full_sweep.speedup("din", "gtx1080ti", 16) < 1

@@ -1,0 +1,32 @@
+"""Fig 4: GPU data-communication overhead as % of total execution time."""
+
+from repro.core import render_table
+from repro.models import MODEL_ORDER
+
+
+def build_fig4(sweep):
+    rows = []
+    for model in MODEL_ORDER:
+        for gpu in ("gtx1080ti", "t4"):
+            row = [model, gpu]
+            for batch in sweep.batch_sizes:
+                row.append(
+                    f"{sweep.data_comm_fraction(model, gpu, batch) * 100:.1f}%"
+                )
+            rows.append(row)
+    return render_table(
+        ["model", "gpu"] + [f"b={b}" for b in sweep.batch_sizes],
+        rows,
+        title="Fig 4: Data communication share of end-to-end GPU time",
+    )
+
+
+def test_fig04_datacomm(benchmark, full_sweep, write_output):
+    table = benchmark(build_fig4, full_sweep)
+    write_output("fig04_datacomm", table)
+
+    # Embedding-heavy models suffer most; share grows with batch.
+    small = full_sweep.data_comm_fraction("rm2", "gtx1080ti", 16)
+    large = full_sweep.data_comm_fraction("rm2", "gtx1080ti", 16384)
+    assert large > small
+    assert large > full_sweep.data_comm_fraction("rm3", "gtx1080ti", 16384)

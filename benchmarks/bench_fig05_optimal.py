@@ -1,0 +1,40 @@
+"""Fig 5: optimal hardware platform per (model, batch size) grid cell."""
+
+from repro.core import SpeedupStudy, render_grid
+from repro.models import MODEL_ORDER
+
+_SHORT = {
+    "broadwell": "BDW",
+    "cascade_lake": "CLX",
+    "gtx1080ti": "1080Ti",
+    "t4": "T4",
+}
+
+
+def build_fig5(sweep):
+    cells = {}
+    for cell in SpeedupStudy.optimal_platform_grid(sweep):
+        cells[(cell.model, cell.batch_size)] = (
+            f"{_SHORT[cell.platform]} {cell.speedup:.1f}x"
+        )
+    return render_grid(
+        MODEL_ORDER,
+        sweep.batch_sizes,
+        cells,
+        title="Fig 5: Optimal platform (and speedup over Broadwell) per use case",
+    )
+
+
+def test_fig05_optimal(benchmark, full_sweep, write_output):
+    grid = benchmark(build_fig5, full_sweep)
+    write_output("fig05_optimal", grid)
+
+    cells = {
+        (c.model, c.batch_size): c
+        for c in SpeedupStudy.optimal_platform_grid(full_sweep)
+    }
+    # CPUs own the small-batch embedding/attention corner; GPUs own the
+    # large-batch FC corner.
+    assert cells[("rm2", 16)].platform == "cascade_lake"
+    assert cells[("din", 16)].platform == "cascade_lake"
+    assert cells[("rm3", 16384)].platform in ("gtx1080ti", "t4")

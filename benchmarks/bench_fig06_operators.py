@@ -1,0 +1,54 @@
+"""Fig 6: Caffe2 operator breakdowns across models, batches, platforms.
+
+Four batch sizes x four platforms per model, with time shares over the
+Caffe2 operator vocabulary (the paper's stacked bars, as rows).
+"""
+
+from repro.core import breakdown_for, render_table
+from repro.models import MODEL_ORDER
+from repro.workloads import operator_breakdown_batch_sizes
+
+_TRACKED_OPS = [
+    "FC",
+    "SparseLengthsSum",
+    "Concat",
+    "RecurrentNetwork",
+    "BatchMatMul",
+    "Sum",
+]
+
+
+def build_fig6(sweep):
+    rows = []
+    for model in MODEL_ORDER:
+        for platform in sweep.platform_names:
+            for batch in operator_breakdown_batch_sizes():
+                breakdown = breakdown_for(sweep.profile(model, platform, batch))
+                tracked = {op: breakdown.share(op) for op in _TRACKED_OPS}
+                other = max(0.0, 1.0 - sum(tracked.values()))
+                rows.append(
+                    [model, platform, batch]
+                    + [f"{tracked[op] * 100:.0f}%" for op in _TRACKED_OPS]
+                    + [f"{other * 100:.0f}%", breakdown.dominant]
+                )
+    return render_table(
+        ["model", "platform", "batch"] + _TRACKED_OPS + ["Other", "dominant"],
+        rows,
+        title="Fig 6: Caffe2 operator time breakdown",
+    )
+
+
+def test_fig06_operators(benchmark, full_sweep, write_output):
+    table = benchmark(build_fig6, full_sweep)
+    write_output("fig06_operators", table)
+
+    # FC-dominated on CPU accelerates on GPU; SLS-dominated does not.
+    rm3 = breakdown_for(full_sweep.profile("rm3", "broadwell", 1024))
+    rm2 = breakdown_for(full_sweep.profile("rm2", "broadwell", 1024))
+    assert rm3.dominant == "FC"
+    assert rm2.dominant == "SparseLengthsSum"
+    # RM1's dominant operator flips between batch 4 and 64.
+    rm1_small = breakdown_for(full_sweep.profile("rm1", "broadwell", 4))
+    rm1_large = breakdown_for(full_sweep.profile("rm1", "broadwell", 64))
+    assert rm1_small.dominant == "FC"
+    assert rm1_large.dominant == "SparseLengthsSum"

@@ -1,0 +1,33 @@
+"""Fig 7: Caffe2 vs TensorFlow operator breakdowns for DLRM models."""
+
+from repro.core import framework_comparison, render_table
+from repro.frameworks import CAFFE2_TO_TF_EQUIVALENTS
+
+
+def build_fig7(models, platform="broadwell", batch=64):
+    rows = []
+    for name in ("rm1", "rm2", "rm3"):
+        comparison = framework_comparison(models[name], platform, batch)
+        for framework, breakdown in comparison.items():
+            for op, share in breakdown.top(4):
+                rows.append([name, framework, op, f"{share * 100:.1f}%"])
+    return render_table(
+        ["model", "framework", "operator", "share"],
+        rows,
+        title=(
+            "Fig 7: Caffe2 vs TensorFlow operator breakdowns "
+            f"(DLRM models, {platform}, batch {batch})"
+        ),
+    )
+
+
+def test_fig07_frameworks(benchmark, models, write_output):
+    table = benchmark(build_fig7, models)
+    write_output("fig07_frameworks", table)
+
+    # Dominant operators correspond across frameworks.
+    for name in ("rm1", "rm2", "rm3"):
+        comparison = framework_comparison(models[name], "broadwell", 64)
+        c2 = comparison["caffe2"].dominant
+        tf = comparison["tensorflow"].dominant
+        assert tf in CAFFE2_TO_TF_EQUIVALENTS[c2]

@@ -1,0 +1,58 @@
+"""Fig 8: TopDown pipeline-slot breakdowns, batch 16, BDW + CLX."""
+
+from repro.core import render_table
+from repro.models import MODEL_ORDER
+
+
+def build_fig8(suite_reports):
+    rows = []
+    for cpu in ("broadwell", "cascade_lake"):
+        for model in MODEL_ORDER:
+            td = suite_reports[cpu][model].topdown
+            rows.append(
+                [
+                    cpu,
+                    model,
+                    f"{td.retiring * 100:.0f}%",
+                    f"{td.bad_speculation * 100:.0f}%",
+                    f"{td.frontend_bound * 100:.0f}%",
+                    f"{td.backend_bound * 100:.0f}%",
+                    f"{td.frontend_latency * 100:.0f}%",
+                    f"{td.frontend_bandwidth * 100:.0f}%",
+                    f"{td.core_bound * 100:.0f}%",
+                    f"{td.memory_bound * 100:.0f}%",
+                ]
+            )
+    return render_table(
+        [
+            "cpu",
+            "model",
+            "retiring",
+            "bad_spec",
+            "frontend",
+            "backend",
+            "fe_lat",
+            "fe_bw",
+            "core",
+            "memory",
+        ],
+        rows,
+        title="Fig 8: TopDown pipeline slot breakdown (batch 16)",
+    )
+
+
+def test_fig08_topdown(benchmark, models, suite_reports, write_output):
+    from repro.core import collect_report
+
+    benchmark(collect_report, models["rm2"], "broadwell", 16)
+
+    table = build_fig8(suite_reports)
+    write_output("fig08_topdown", table)
+
+    bdw = suite_reports["broadwell"]
+    clx = suite_reports["cascade_lake"]
+    # FC-heavy trio retire-heavy on BDW; bad speculation collapses on CLX.
+    for name in ("rm3", "wnd", "mtwnd"):
+        assert bdw[name].topdown.retiring > 0.4
+    for name in MODEL_ORDER:
+        assert clx[name].topdown.bad_speculation <= bdw[name].topdown.bad_speculation + 1e-9

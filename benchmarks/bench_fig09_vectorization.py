@@ -1,0 +1,43 @@
+"""Fig 9: AVX share of retired instructions, BDW vs CLX (batch 16)."""
+
+from repro.core import render_table
+from repro.models import MODEL_ORDER
+from repro.runtime import InferenceSession
+
+
+def build_fig9(suite_reports, models):
+    rows = []
+    for model in MODEL_ORDER:
+        bdw = suite_reports["broadwell"][model]
+        clx = suite_reports["cascade_lake"][model]
+        bdw_t = InferenceSession(models[model], "broadwell").profile(16).total_seconds
+        clx_t = InferenceSession(models[model], "cascade_lake").profile(16).total_seconds
+        rows.append(
+            [
+                model,
+                f"{bdw.avx_fraction * 100:.0f}%",
+                f"{clx.avx_fraction * 100:.0f}%",
+                f"{bdw_t * 1e3:.3f}ms",
+                f"{clx_t * 1e3:.3f}ms",
+            ]
+        )
+    return render_table(
+        ["model", "bdw_avx_share", "clx_avx_share", "bdw_time", "clx_time"],
+        rows,
+        title=(
+            "Fig 9: AVX instruction share (batch 16). CLX: lower AVX share, "
+            "shorter execution (wider SIMD)"
+        ),
+    )
+
+
+def test_fig09_vectorization(benchmark, models, suite_reports, write_output):
+    table = benchmark(build_fig9, suite_reports, models)
+    write_output("fig09_vectorization", table)
+
+    bdw = suite_reports["broadwell"]
+    clx = suite_reports["cascade_lake"]
+    # >55% AVX for the big-FC trio on Broadwell; share drops on CLX.
+    for name in ("rm3", "wnd", "mtwnd"):
+        assert bdw[name].avx_fraction > 0.55
+        assert clx[name].avx_fraction < bdw[name].avx_fraction

@@ -1,0 +1,45 @@
+"""Fig 10: Core:Memory backend-bound ratio + functional-unit usage."""
+
+from repro.core import render_table
+from repro.models import MODEL_ORDER
+
+
+def build_fig10(suite_reports):
+    rows = []
+    for cpu in ("broadwell", "cascade_lake"):
+        for model in MODEL_ORDER:
+            report = suite_reports[cpu][model]
+            ratio = report.core_to_memory_ratio
+            fu = report.fu_usage
+            rows.append(
+                [
+                    cpu,
+                    model,
+                    "inf" if ratio == float("inf") else f"{ratio:.2f}",
+                    f"{fu['0'] * 100:.0f}%",
+                    f"{fu['1-2'] * 100:.0f}%",
+                    f"{fu['3+'] * 100:.0f}%",
+                ]
+            )
+    return render_table(
+        ["cpu", "model", "core:mem", "FU=0", "FU=1-2", "FU>=3"],
+        rows,
+        title=(
+            "Fig 10: Backend core:memory bound ratio (top) and "
+            "functional-unit usage per cycle (bottom), batch 16"
+        ),
+    )
+
+
+def test_fig10_backend(benchmark, suite_reports, write_output):
+    table = benchmark(build_fig10, suite_reports)
+    write_output("fig10_backend", table)
+
+    bdw = suite_reports["broadwell"]
+    clx = suite_reports["cascade_lake"]
+    # RM3/WnD/MT-WnD core-bound on BDW (ratio > 1.5), memory-bound
+    # trend on CLX; CLX relieves FU pressure.
+    for name in ("rm3", "wnd", "mtwnd"):
+        assert bdw[name].core_to_memory_ratio > 1.5
+        assert clx[name].core_to_memory_ratio < bdw[name].core_to_memory_ratio
+        assert clx[name].fu_usage["3+"] <= bdw[name].fu_usage["3+"] + 0.02

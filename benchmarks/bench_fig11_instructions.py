@@ -1,0 +1,29 @@
+"""Fig 11: retired instruction counts drop from BDW to CLX (VNNI)."""
+
+from repro.core import render_table
+from repro.models import MODEL_ORDER
+
+
+def build_fig11(suite_reports):
+    rows = []
+    for model in MODEL_ORDER:
+        bdw = suite_reports["broadwell"][model].retired_instructions
+        clx = suite_reports["cascade_lake"][model].retired_instructions
+        rows.append(
+            [model, f"{bdw / 1e6:.2f}M", f"{clx / 1e6:.2f}M", f"{clx / bdw:.2f}"]
+        )
+    return render_table(
+        ["model", "broadwell_inst", "cascade_lake_inst", "ratio"],
+        rows,
+        title="Fig 11: Retired instruction count, batch 16 (AVX-512/VNNI effect)",
+    )
+
+
+def test_fig11_instructions(benchmark, suite_reports, write_output):
+    table = benchmark(build_fig11, suite_reports)
+    write_output("fig11_instructions", table)
+
+    for model in MODEL_ORDER:
+        bdw = suite_reports["broadwell"][model].retired_instructions
+        clx = suite_reports["cascade_lake"][model].retired_instructions
+        assert clx < bdw

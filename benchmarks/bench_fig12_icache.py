@@ -1,0 +1,37 @@
+"""Fig 12: L1 instruction-cache MPKI (DIN/DIEN/NCF elevated)."""
+
+from repro.core import render_table
+from repro.models import MODEL_ORDER
+
+
+def build_fig12(suite_reports):
+    rows = []
+    for model in MODEL_ORDER:
+        report = suite_reports["broadwell"][model]
+        rows.append(
+            [
+                model,
+                f"{report.i_mpki:.2f}",
+                f"{report.events.icache_misses:.0f}",
+                f"{report.events.instructions / 1e6:.2f}M",
+            ]
+        )
+    return render_table(
+        ["model", "i-MPKI", "L1i misses", "instructions"],
+        rows,
+        title=(
+            "Fig 12: L1 i-cache misses per kilo-instruction, Broadwell, "
+            "batch 16 (paper: DIN 12.4, DIEN 7.7)"
+        ),
+    )
+
+
+def test_fig12_icache(benchmark, suite_reports, write_output):
+    table = benchmark(build_fig12, suite_reports)
+    write_output("fig12_icache", table)
+
+    bdw = suite_reports["broadwell"]
+    assert 8 < bdw["din"].i_mpki < 16  # paper: 12.4
+    assert 5 < bdw["dien"].i_mpki < 11  # paper: 7.7
+    assert bdw["din"].i_mpki > bdw["dien"].i_mpki
+    assert bdw["ncf"].i_mpki > bdw["rm3"].i_mpki

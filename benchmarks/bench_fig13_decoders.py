@@ -1,0 +1,37 @@
+"""Fig 13: frontend decoder (DSB vs MITE) limited cycles."""
+
+from repro.core import render_table
+from repro.models import MODEL_ORDER
+
+
+def build_fig13(suite_reports, cpu="broadwell"):
+    rows = []
+    for model in MODEL_ORDER:
+        report = suite_reports[cpu][model]
+        rows.append(
+            [
+                model,
+                f"{report.dsb_limited_fraction * 100:.2f}%",
+                f"{report.mite_limited_fraction * 100:.2f}%",
+            ]
+        )
+    return render_table(
+        ["model", "DSB-limited cycles", "MITE-limited cycles"],
+        rows,
+        title=(
+            "Fig 13: Cycles limited by frontend decoder components, "
+            f"{cpu}, batch 16 (RM1/RM2: DSB is the bottleneck)"
+        ),
+    )
+
+
+def test_fig13_decoders(benchmark, suite_reports, write_output):
+    table = benchmark(build_fig13, suite_reports)
+    write_output("fig13_decoders", table)
+
+    bdw = suite_reports["broadwell"]
+    for name in ("rm1", "rm2"):
+        assert bdw[name].dsb_limited_fraction > 2 * bdw[name].mite_limited_fraction
+    # Embedding models are the most decoder-limited in the suite.
+    rm = min(bdw[n].dsb_limited_fraction for n in ("rm1", "rm2"))
+    assert rm > max(bdw[n].dsb_limited_fraction for n in ("rm3", "wnd"))

@@ -1,0 +1,36 @@
+"""Fig 14: DRAM bandwidth congestion (offcore occupancy > 70% rule)."""
+
+from repro.core import collect_report, render_table
+
+
+def build_fig14(models, batch_sizes=(16, 256, 4096)):
+    rows = []
+    for name in ("rm1", "rm2", "din", "dien"):
+        for batch in batch_sizes:
+            report = collect_report(models[name], "broadwell", batch)
+            rows.append(
+                [
+                    name,
+                    batch,
+                    f"{report.dram_congested_fraction * 100:.1f}%",
+                    f"{report.events.dram_bytes / 1e6:.1f}MB",
+                ]
+            )
+    return render_table(
+        ["model", "batch", "congested cycles", "DRAM traffic"],
+        rows,
+        title=(
+            "Fig 14: DRAM bandwidth congestion, Broadwell "
+            "(RM2 >> RM1, DIN, DIEN)"
+        ),
+    )
+
+
+def test_fig14_dram(benchmark, models, suite_reports, write_output):
+    table = benchmark(build_fig14, models, (16,))
+    write_output("fig14_dram", build_fig14(models))
+
+    bdw = suite_reports["broadwell"]
+    rm2 = bdw["rm2"].dram_congested_fraction
+    for other in ("rm1", "din", "dien"):
+        assert rm2 > 3 * bdw[other].dram_congested_fraction

@@ -1,0 +1,37 @@
+"""Fig 15: branch mispredicts drop from Broadwell to Cascade Lake."""
+
+from repro.core import render_table
+from repro.models import MODEL_ORDER
+
+
+def build_fig15(suite_reports):
+    rows = []
+    for model in MODEL_ORDER:
+        bdw = suite_reports["broadwell"][model]
+        clx = suite_reports["cascade_lake"][model]
+        rows.append(
+            [
+                model,
+                f"{bdw.branch_mpki:.2f}",
+                f"{clx.branch_mpki:.2f}",
+                f"{bdw.events.branch_mispredicts:.0f}",
+                f"{clx.events.branch_mispredicts:.0f}",
+            ]
+        )
+    return render_table(
+        ["model", "bdw_mpki", "clx_mpki", "bdw_mispredicts", "clx_mispredicts"],
+        rows,
+        title="Fig 15: Branch mispredicts per kilo-instruction, batch 16",
+    )
+
+
+def test_fig15_branches(benchmark, suite_reports, write_output):
+    table = benchmark(build_fig15, suite_reports)
+    write_output("fig15_branches", table)
+
+    bdw = suite_reports["broadwell"]
+    clx = suite_reports["cascade_lake"]
+    for name in ("rm1", "rm2"):
+        assert clx[name].events.branch_mispredicts < (
+            0.7 * bdw[name].events.branch_mispredicts
+        )

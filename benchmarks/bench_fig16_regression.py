@@ -1,0 +1,38 @@
+"""Fig 16: linear regression of architecture features vs bottlenecks."""
+
+from repro.core import render_table, run_fig16_study
+from repro.core.features import FEATURE_NAMES
+
+
+def build_fig16(results):
+    rows = []
+    for target, result in results.items():
+        rows.append(
+            [target, f"{result.r_squared:.2f}", f"{result.weight_concentration():.2f}"]
+            + [f"{result.weights[f]:+.3f}" for f in FEATURE_NAMES]
+        )
+    return render_table(
+        ["bottleneck", "R^2", "concentration"] + FEATURE_NAMES,
+        rows,
+        title=(
+            "Fig 16: Normalized linear-regression weights, architecture "
+            "features -> pipeline bottlenecks (Broadwell, batch 1..16384)"
+        ),
+    )
+
+
+def test_fig16_regression(benchmark, models, write_output):
+    results = benchmark.pedantic(
+        run_fig16_study,
+        kwargs={"models": models, "batch_sizes": [1, 16, 256, 4096, 16384]},
+        rounds=1,
+        iterations=1,
+    )
+    table = build_fig16(results)
+    write_output("fig16_regression", table)
+
+    # Paper's conclusions: no single deciding factor per bottleneck,
+    # and a high FC:embedding ratio reduces bad speculation.
+    for result in results.values():
+        assert result.weight_concentration() < 0.75
+    assert results["bad_speculation"].weights["fc_to_embedding_ratio"] < 0

@@ -1,0 +1,39 @@
+"""Scaling/crossover bench: the quantitative Fig 5 boundary."""
+
+from repro.core import crossover_batch, fit_scaling, render_table
+from repro.models import MODEL_ORDER
+
+
+def test_scaling_and_crossovers(benchmark, full_sweep, write_output):
+    rows = []
+    for model in MODEL_ORDER:
+        cpu_fit = fit_scaling(full_sweep, model, "broadwell")
+        gpu_fit = fit_scaling(full_sweep, model, "t4")
+        cross = crossover_batch(full_sweep, model, "t4")
+        rows.append(
+            [
+                model,
+                f"{cpu_fit.exponent:.2f}",
+                f"{gpu_fit.exponent:.2f}",
+                f"{cross:.0f}" if cross is not None else "never",
+            ]
+        )
+    benchmark(fit_scaling, full_sweep, "rm2", "t4")
+    table = render_table(
+        ["model", "BDW latency exponent", "T4 latency exponent",
+         "T4 crossover batch"],
+        rows,
+        title=(
+            "Batch scaling exponents (latency ~ batch^e) and the batch at "
+            "which the T4 overtakes Broadwell"
+        ),
+    )
+    write_output("ext_scaling_crossover", table)
+
+    # GPUs amortize overhead (sub-linear); attention/embedding models
+    # cross over later than the FC-heavy models.
+    for model in MODEL_ORDER:
+        assert fit_scaling(full_sweep, model, "t4").exponent < 1.05
+    rm3 = crossover_batch(full_sweep, "rm3", "t4")
+    din = crossover_batch(full_sweep, "din", "t4")
+    assert rm3 is not None and din is not None and din > rm3

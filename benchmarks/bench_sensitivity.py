@@ -1,0 +1,118 @@
+"""Sensitivity benches: each Fig 16 feature axis, varied in isolation.
+
+Controlled single-axis DLRM sweeps demonstrating the regression's
+correlations are causal in the model: lookups per table drive the
+memory/bad-speculation bottlenecks, FC width drives the core-bound/AVX
+profile, table count drives the gather share, embedding dimension
+trades gather width against pooling math.
+"""
+
+from repro.core import collect_report, render_table
+from repro.models import (
+    embedding_dim_sweep,
+    fc_width_sweep,
+    lookup_sweep,
+    make_rm1,
+    table_count_sweep,
+)
+from repro.runtime import InferenceSession
+
+
+def test_sensitivity_lookups(benchmark, write_output):
+    base = make_rm1()
+    sweep = lookup_sweep(base, [1, 20, 80, 160])
+    reports = {
+        n: collect_report(m, "broadwell", 16) for n, m in sweep.items()
+    }
+    benchmark(collect_report, sweep[80], "broadwell", 16)
+    rows = [
+        [
+            n,
+            f"{r.topdown.retiring:.2f}",
+            f"{r.topdown.bad_speculation:.2f}",
+            f"{r.topdown.memory_bound:.2f}",
+            f"{r.dram_congested_fraction * 100:.1f}%",
+            f"{r.branch_mpki:.1f}",
+        ]
+        for n, r in sorted(reports.items())
+    ]
+    table = render_table(
+        ["lookups/table", "retiring", "bad_spec", "memory_bound",
+         "DRAM congested", "branch MPKI"],
+        rows,
+        title="Sensitivity: lookups per table (RM1 base, Broadwell, batch 16)",
+    )
+    write_output("sens_lookups", table)
+    assert reports[160].topdown.memory_bound > reports[1].topdown.memory_bound
+
+
+def test_sensitivity_fc_width(benchmark, write_output):
+    base = make_rm1()
+    sweep = fc_width_sweep(base, [0.5, 1.0, 4.0, 8.0])
+    reports = {
+        s: collect_report(m, "broadwell", 16) for s, m in sweep.items()
+    }
+    benchmark(collect_report, sweep[1.0], "broadwell", 16)
+    rows = [
+        [
+            f"{s:g}x",
+            f"{r.topdown.retiring:.2f}",
+            f"{r.topdown.core_bound:.2f}",
+            f"{r.avx_fraction * 100:.0f}%",
+            f"{r.events.instructions / 1e6:.1f}M",
+        ]
+        for s, r in sorted(reports.items())
+    ]
+    table = render_table(
+        ["FC width", "retiring", "core_bound", "AVX share", "instructions"],
+        rows,
+        title="Sensitivity: FC stack width (RM1 base, Broadwell, batch 16)",
+    )
+    write_output("sens_fc_width", table)
+    assert reports[8.0].topdown.core_bound > reports[0.5].topdown.core_bound
+
+
+def test_sensitivity_table_count(benchmark, write_output):
+    base = make_rm1()
+    sweep = table_count_sweep(base, [2, 8, 32])
+    rows = []
+    for n, model in sorted(sweep.items()):
+        profile = InferenceSession(model, "broadwell").profile(64)
+        sls = profile.op_time_by_kind.get("SparseLengthsSum", 0.0)
+        rows.append(
+            [n, f"{profile.total_seconds * 1e3:.3f}ms",
+             f"{sls / profile.compute_seconds * 100:.0f}%"]
+        )
+    benchmark(InferenceSession(sweep[8], "broadwell").profile, 64)
+    table = render_table(
+        ["tables", "latency", "SLS share"],
+        rows,
+        title="Sensitivity: embedding table count (RM1 base, batch 64)",
+    )
+    write_output("sens_table_count", table)
+
+
+def test_sensitivity_embedding_dim(benchmark, write_output):
+    base = make_rm1()
+    sweep = embedding_dim_sweep(base, [16, 32, 128])
+    rows = []
+    reports = {}
+    for dim, model in sorted(sweep.items()):
+        report = collect_report(model, "broadwell", 16)
+        reports[dim] = report
+        rows.append(
+            [dim,
+             f"{report.events.dram_bytes / 1e6:.1f}MB",
+             f"{report.topdown.memory_bound:.2f}",
+             f"{report.avx_fraction * 100:.0f}%"]
+        )
+    benchmark(collect_report, sweep[32], "broadwell", 16)
+    table = render_table(
+        ["emb dim", "DRAM traffic", "memory_bound", "AVX share"],
+        rows,
+        title="Sensitivity: embedding dimension (RM1 base, Broadwell, batch 16)",
+    )
+    write_output("sens_embedding_dim", table)
+    assert (
+        reports[128].events.dram_bytes > reports[16].events.dram_bytes
+    )

@@ -1,0 +1,63 @@
+"""Table II: the four hardware platforms studied."""
+
+from repro.core import render_table
+from repro.hw import PLATFORM_ORDER, PLATFORMS
+
+
+def build_table2():
+    rows = []
+    for key in PLATFORM_ORDER:
+        spec = PLATFORMS[key]
+        if spec.kind == "cpu":
+            rows.append(
+                [
+                    spec.name,
+                    spec.microarchitecture,
+                    f"{spec.frequency_ghz} GHz",
+                    str(spec.cores),
+                    f"AVX-{2 if spec.simd_width_bits == 256 else 512}",
+                    f"{spec.l1d_kb} KB / {spec.l2_kb} KB / {spec.l3_mb} MB",
+                    "Inclusive" if spec.cache_inclusive else "Exclusive",
+                    f"{spec.dram_capacity_gb} GB {spec.ddr_type}-{spec.ddr_frequency_mhz}",
+                    f"{spec.dram_bandwidth_gbps} GB/s",
+                    f"{spec.tdp_w} W",
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    spec.name,
+                    spec.microarchitecture,
+                    f"{spec.frequency_ghz} GHz",
+                    f"({spec.sm_count} SMs)",
+                    f"(CC {spec.cuda_capability})",
+                    f"{spec.l1_kb} KB / {spec.l2_mb} MB / -",
+                    "(Inclusive)",
+                    f"{spec.dram_capacity_gb} GB {spec.ddr_type}-{spec.ddr_frequency_mhz}",
+                    f"{spec.dram_bandwidth_gbps} GB/s",
+                    f"{spec.tdp_w} W",
+                ]
+            )
+    return render_table(
+        [
+            "Machine",
+            "uArch",
+            "Freq",
+            "Cores(SMs)",
+            "SIMD(CC)",
+            "L1/L2/L3",
+            "Inclusion",
+            "DRAM",
+            "DDR BW",
+            "TDP",
+        ],
+        rows,
+        title="Table II: Hardware platforms studied",
+    )
+
+
+def test_table2_platforms(benchmark, write_output):
+    table = benchmark(build_table2)
+    write_output("table2_platforms", table)
+    assert "Broadwell" in table and "Turing" in table
+    assert "77.0 GB/s" in table and "484.4 GB/s" in table

@@ -1,0 +1,78 @@
+"""What-if benches: the hardware/software directions the paper motivates.
+
+* Graph optimization (fusion): quantifies how much of the measured GPU
+  underutilization is framework overhead ("running models out of the
+  box on GPUs underutilizes the GPUs' compute resources", Section IV).
+* Near-memory processing: quantifies the gain of TensorDimm/RecNMP-
+  style gather-and-pool offload that Fig 14's congestion motivates.
+"""
+
+from repro.core import render_table
+from repro.graph import optimize
+from repro.gpusim import GpuModel
+from repro.hw import BROADWELL, T4
+from repro.models import MODEL_ORDER
+from repro.uarch import CpuModel, NmpConfig, NmpSystem
+
+
+def test_whatif_graph_fusion(benchmark, models, write_output):
+    gpu = GpuModel(T4)
+    cpu = CpuModel(BROADWELL)
+    rows = []
+    for name in MODEL_ORDER:
+        graph = models[name].build_graph(16)
+        optimized = optimize(graph)
+        gpu_base = gpu.profile_graph(graph).total_seconds
+        gpu_opt = gpu.profile_graph(optimized).total_seconds
+        cpu_base = cpu.profile_graph(graph).compute_seconds
+        cpu_opt = cpu.profile_graph(optimized).compute_seconds
+        rows.append(
+            [
+                name,
+                f"{len(graph)}->{len(optimized)}",
+                f"{cpu_base / cpu_opt:.2f}x",
+                f"{gpu_base / gpu_opt:.2f}x",
+            ]
+        )
+    benchmark(optimize, models["wnd"].build_graph(16))
+    table = render_table(
+        ["model", "nodes", "BDW speedup", "T4 speedup"],
+        rows,
+        title="What-if: graph fusion (FC+activation, horizontal SLS), batch 16",
+    )
+    write_output("whatif_fusion", table)
+
+    # WnD's 26 one-lookup tables are the textbook horizontal-fusion win.
+    wnd_graph = models["wnd"].build_graph(16)
+    gain = (
+        gpu.profile_graph(wnd_graph).total_seconds
+        / gpu.profile_graph(optimize(wnd_graph)).total_seconds
+    )
+    assert gain > 1.4
+
+
+def test_whatif_near_memory_processing(benchmark, models, write_output):
+    rows = []
+    for ranks in (1, 4, 16):
+        nmp = NmpSystem(BROADWELL, NmpConfig(rank_parallelism=ranks))
+        row = [f"{ranks} ranks"]
+        for name in ("rm1", "rm2", "rm3", "din"):
+            graph = models[name].build_graph(256)
+            row.append(f"{nmp.speedup(graph):.2f}x")
+        rows.append(row)
+    benchmark(
+        NmpSystem(BROADWELL).speedup, models["rm2"].build_graph(256)
+    )
+    table = render_table(
+        ["config", "rm1", "rm2", "rm3", "din"],
+        rows,
+        title=(
+            "What-if: near-memory gather-and-pool (TensorDimm/RecNMP style), "
+            "Broadwell, batch 256"
+        ),
+    )
+    write_output("whatif_nmp", table)
+
+    nmp = NmpSystem(BROADWELL, NmpConfig(rank_parallelism=16))
+    assert nmp.speedup(models["rm2"].build_graph(256)) > 1.25
+    assert nmp.speedup(models["rm3"].build_graph(256)) < 1.05

@@ -1,0 +1,107 @@
+"""Microarchitectural bottleneck deep-dive for one model (Section VI).
+
+Usage::
+
+    python examples/bottleneck_analysis.py [model] [batch_size]
+
+Profiles the model on both server CPUs and walks the TopDown hierarchy
+the way the paper does: level-1 slots, frontend decoder split, backend
+core/memory split with FU pressure, branch behaviour, and the DRAM
+congestion verdict — ending with the hardware-direction takeaway.
+"""
+
+import sys
+
+from repro import build_model, collect_report
+from repro.core import render_table
+
+
+def diagnose(report) -> str:
+    """One-line hardware guidance from the dominant bottleneck."""
+    td = report.topdown
+    dominant = max(td.level1.items(), key=lambda kv: kv[1])[0]
+    if dominant == "retiring":
+        if td.core_bound > td.memory_bound:
+            return "compute-saturated: wider SIMD / more functional units help"
+        return "healthy retirement: scale memory bandwidth with compute"
+    if dominant == "frontend_bound":
+        if td.frontend_latency > td.frontend_bandwidth:
+            return "i-cache thrashing: shrink code footprint / batch small ops"
+        return "decoder-limited: simplify hot-loop control flow"
+    if dominant == "bad_speculation":
+        return "mispredict-heavy: regularize data-dependent branches"
+    if report.dram_congested_fraction > 0.1:
+        return "DRAM-bandwidth congested: near-memory processing territory"
+    if td.memory_bound > td.core_bound:
+        return "memory-latency bound: larger caches / more MLP help"
+    return "core-bound backend: more execution ports help"
+
+
+def main(argv):
+    model_name = argv[1] if len(argv) > 1 else "rm2"
+    batch_size = int(argv[2]) if len(argv) > 2 else 16
+    model = build_model(model_name)
+
+    rows = []
+    reports = {}
+    for cpu in ("broadwell", "cascade_lake"):
+        report = collect_report(model, cpu, batch_size)
+        reports[cpu] = report
+        td = report.topdown
+        rows.append(
+            [
+                cpu,
+                f"{td.retiring * 100:.0f}%",
+                f"{td.bad_speculation * 100:.0f}%",
+                f"{td.frontend_bound * 100:.0f}%",
+                f"{td.backend_bound * 100:.0f}%",
+                f"{report.i_mpki:.1f}",
+                f"{report.branch_mpki:.1f}",
+                f"{report.avx_fraction * 100:.0f}%",
+                f"{report.dram_congested_fraction * 100:.0f}%",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "cpu",
+                "retiring",
+                "bad_spec",
+                "frontend",
+                "backend",
+                "i-MPKI",
+                "br-MPKI",
+                "AVX",
+                "DRAM-cong",
+            ],
+            rows,
+            title=(
+                f"TopDown characterization: {model.info.display_name} "
+                f"at batch {batch_size}"
+            ),
+        )
+    )
+
+    for cpu, report in reports.items():
+        td = report.topdown
+        print(f"{cpu}:")
+        print(
+            f"  frontend split: latency {td.frontend_latency * 100:.1f}% / "
+            f"bandwidth {td.frontend_bandwidth * 100:.1f}% "
+            f"(DSB-limited {report.dsb_limited_fraction * 100:.1f}%, "
+            f"MITE-limited {report.mite_limited_fraction * 100:.1f}%)"
+        )
+        ratio = report.core_to_memory_ratio
+        ratio_text = "inf" if ratio == float("inf") else f"{ratio:.2f}"
+        fu = report.fu_usage
+        print(
+            f"  backend split: core:memory = {ratio_text}; "
+            f"cycles with 3+ of 8 FUs busy: {fu['3+'] * 100:.0f}%"
+        )
+        print(f"  verdict: {diagnose(report)}")
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,91 @@
+"""Capacity planning under tail-latency SLAs (DeepRecSys-style).
+
+Combines the performance models with the query-scheduling simulator:
+for one model, find how much Poisson load a single server of each
+platform sustains under a p99 SLA, with dynamic batching. Then price it
+in energy. This is the operational question the paper's Fig 5 feeds.
+
+Usage::
+
+    python examples/capacity_planning.py [model] [p99_sla_ms]
+"""
+
+import sys
+
+from repro import SpeedupStudy, build_model
+from repro.core import render_table
+from repro.core.energy import ACTIVITY_FACTOR
+from repro.hw import PLATFORMS
+from repro.runtime import BatchingPolicy, QueryScheduler, ServiceTimeModel
+
+
+def main(argv):
+    model_name = argv[1] if len(argv) > 1 else "rm3"
+    sla_ms = float(argv[2]) if len(argv) > 2 else 20.0
+    sla_seconds = sla_ms / 1e3
+
+    model = build_model(model_name)
+    sweep = SpeedupStudy(
+        models={model_name: model}, batch_sizes=[1, 16, 64, 256, 1024, 4096]
+    ).run()
+
+    rows = []
+    capacities = {}
+    for platform in sweep.platform_names:
+        service = ServiceTimeModel(sweep, model_name, platform)
+        # Batch cap: largest batch that alone fits inside half the SLA,
+        # leaving headroom for queueing.
+        max_batch = 1
+        for batch in (16, 64, 256, 1024):
+            if service.seconds(batch) <= sla_seconds / 2:
+                max_batch = batch
+        policy = BatchingPolicy(
+            max_batch=max_batch, batch_timeout_s=sla_seconds / 10
+        )
+        scheduler = QueryScheduler(service, policy)
+        capacity = scheduler.max_load_under_sla(
+            sla_seconds, percentile=99.0, num_queries=1500
+        )
+        capacities[platform] = capacity
+        result = scheduler.run(max(capacity, 1.0), num_queries=1500)
+        spec = PLATFORMS[platform]
+        watts = spec.tdp_w * ACTIVITY_FACTOR[spec.kind]
+        qpj = capacity / watts if watts else 0.0
+        rows.append(
+            [
+                platform,
+                max_batch,
+                f"{capacity:,.0f}",
+                f"{result.p99 * 1e3:.1f}ms",
+                f"{result.mean_batch_size:.0f}",
+                f"{qpj:,.0f}",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "platform",
+                "batch cap",
+                "sustainable q/s",
+                "p99 @ capacity",
+                "avg batch",
+                "queries/s/W",
+            ],
+            rows,
+            title=(
+                f"Capacity planning: {model.info.display_name} under a "
+                f"{sla_ms:.0f} ms p99 SLA (one server each)"
+            ),
+        )
+    )
+
+    best = max(capacities.items(), key=lambda kv: kv[1])
+    print(
+        f"verdict: a {best[0]} server sustains {best[1]:,.0f} q/s — "
+        f"{best[1] / max(capacities['broadwell'], 1):.1f}x a Broadwell server."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,85 @@
+"""Heterogeneous scheduling: route queries to their optimal platform.
+
+The paper's systems-level takeaway (Section IV / Fig 5) is that the
+optimal hardware depends on *both* the model and the batch size —
+exactly the property DeepRecSys exploits at datacenter scale. This
+example builds the optimal-platform grid, then simulates a mixed query
+stream (latency-critical small batches + throughput-oriented large
+batches) under three policies:
+
+* static CPU-only (everything on Cascade Lake),
+* static GPU-only (everything on the T4),
+* cross-stack-informed routing (per-use-case optimum from the grid).
+"""
+
+from collections import Counter
+
+from repro import SpeedupStudy, build_all_models
+from repro.core import BASELINE_PLATFORM
+
+#: A mixed production-ish query mix: (model, batch size, queries/s share).
+QUERY_MIX = [
+    ("rm1", 16, 0.25),   # early-stage filtering, tight SLA
+    ("rm2", 64, 0.15),   # late-stage ranking, categorical
+    ("rm3", 1024, 0.20),  # late-stage ranking, continuous
+    ("wnd", 256, 0.15),
+    ("din", 64, 0.10),   # e-commerce, small batch
+    ("dien", 4096, 0.15),  # e-commerce, throughput tier
+]
+
+
+def main():
+    models = build_all_models()
+    batch_sizes = sorted({batch for _, batch, _ in QUERY_MIX})
+    sweep = SpeedupStudy(models=models, batch_sizes=batch_sizes).run()
+
+    def optimal_platform(model, batch):
+        return max(
+            sweep.platform_names, key=lambda p: sweep.speedup(model, p, batch)
+        )
+
+    policies = {
+        "CPU-only (Cascade Lake)": lambda model, batch: "cascade_lake",
+        "GPU-only (T4)": lambda model, batch: "t4",
+        "cross-stack routing": optimal_platform,
+    }
+
+    print("per-query-class optimal platforms:")
+    routing = {}
+    for model, batch, _ in QUERY_MIX:
+        best = max(
+            sweep.platform_names, key=lambda p: sweep.speedup(model, p, batch)
+        )
+        routing[(model, batch)] = best
+        print(
+            f"  {model:6s} batch={batch:<5d} -> {best:13s} "
+            f"({sweep.speedup(model, best, batch):.1f}x over {BASELINE_PLATFORM})"
+        )
+    print()
+
+    print(f"{'policy':28s} {'weighted latency':>18s} {'vs CPU-only':>12s}")
+    baseline_latency = None
+    for name, policy in policies.items():
+        latency = 0.0
+        for model, batch, weight in QUERY_MIX:
+            platform = policy(model, batch)
+            latency += weight * sweep.total_seconds(model, platform, batch)
+        if baseline_latency is None:
+            baseline_latency = latency
+        print(
+            f"{name:28s} {latency * 1e3:15.2f} ms {baseline_latency / latency:11.2f}x"
+        )
+
+    placement = Counter(routing.values())
+    print()
+    print(
+        "routing verdict: "
+        + ", ".join(f"{count} classes -> {p}" for p, count in placement.items())
+    )
+    print(
+        "No single platform wins every use case — the paper's Fig 5 in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: run and characterize one recommendation model.
+
+Usage::
+
+    python examples/quickstart.py [model] [platform] [batch_size]
+
+e.g. ``python examples/quickstart.py rm2 broadwell 16``.
+
+Shows the three levels of the paper's cross-stack characterization for
+a single configuration: end-to-end latency (systems), the Caffe2
+operator breakdown (algorithms/software), and — on CPU platforms — the
+TopDown microarchitectural breakdown.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import QueryGenerator, build_model, characterize
+from repro.runtime import InferenceSession
+
+
+def main(argv):
+    model_name = argv[1] if len(argv) > 1 else "rm2"
+    platform = argv[2] if len(argv) > 2 else "broadwell"
+    batch_size = int(argv[3]) if len(argv) > 3 else 16
+
+    model = build_model(model_name)
+
+    # 1. Functional execution: the model really computes.
+    session = InferenceSession(model, platform)
+    feeds = QueryGenerator(model).generate(batch_size)
+    outputs = session.run(feeds)
+    (scores,) = outputs.values()
+    print(f"ran {model.info.display_name} on a batch of {batch_size}:")
+    print(f"  predicted CTR for first samples: {np.round(scores[:4].ravel(), 4)}")
+    print()
+
+    # 2. Cross-stack characterization.
+    report = characterize(model, platform, batch_size)
+    print("cross-stack characterization:")
+    print("\n".join(report.summary_lines()))
+    print()
+
+    print("operator breakdown (top 5):")
+    for op, share in report.operator_breakdown.top(5):
+        print(f"  {op:20s} {share * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,86 @@
+"""repro — Cross-Stack Workload Characterization of Deep Recommendation Systems.
+
+A full-system reproduction of Hsia et al., IISWC 2020: the eight-model
+recommendation suite (NCF, DLRM RM1-3, WnD, MT-WnD, DIN, DIEN), an
+operator-graph runtime with a functional NumPy executor, analytical
+CPU-microarchitecture (TopDown) and GPU performance models for the four
+Table II platforms, and the cross-stack characterization pipeline that
+regenerates every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import characterize
+    report = characterize("rm2", "broadwell", batch_size=16)
+    print("\\n".join(report.summary_lines()))
+"""
+
+from repro.core import (
+    CrossStackReport,
+    MicroarchReport,
+    OperatorBreakdown,
+    SpeedupStudy,
+    SweepResult,
+    breakdown_for,
+    characterize,
+    collect_report,
+    collect_suite,
+    framework_comparison,
+    run_fig16_study,
+)
+from repro.graph import Graph, GraphBuilder, TensorSpec, execute
+from repro.hw import (
+    BROADWELL,
+    CASCADE_LAKE,
+    GTX_1080_TI,
+    PLATFORMS,
+    T4,
+    platform_by_name,
+)
+from repro.models import MODEL_ORDER, build_all_models, build_model
+from repro.runtime import InferenceProfile, InferenceSession
+from repro.uarch import CpuModel, PmuEvents, TopDownBreakdown, topdown_from_events
+from repro.gpusim import GpuModel
+from repro.workloads import QueryGenerator, paper_batch_sizes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # top-level characterization
+    "characterize",
+    "CrossStackReport",
+    "SpeedupStudy",
+    "SweepResult",
+    "OperatorBreakdown",
+    "breakdown_for",
+    "framework_comparison",
+    "MicroarchReport",
+    "collect_report",
+    "collect_suite",
+    "run_fig16_study",
+    # models & workloads
+    "MODEL_ORDER",
+    "build_model",
+    "build_all_models",
+    "QueryGenerator",
+    "paper_batch_sizes",
+    # graph & runtime
+    "Graph",
+    "GraphBuilder",
+    "TensorSpec",
+    "execute",
+    "InferenceSession",
+    "InferenceProfile",
+    # hardware & simulators
+    "PLATFORMS",
+    "BROADWELL",
+    "CASCADE_LAKE",
+    "GTX_1080_TI",
+    "T4",
+    "platform_by_name",
+    "CpuModel",
+    "GpuModel",
+    "PmuEvents",
+    "TopDownBreakdown",
+    "topdown_from_events",
+]

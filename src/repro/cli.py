@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the characterization workflow:
+
+* ``models`` / ``platforms`` — list what's available.
+* ``characterize`` — full cross-stack report for one configuration.
+* ``sweep`` — Fig 3-style speedup table over the platform space.
+* ``optimal`` — Fig 5 optimal-platform grid.
+* ``topdown`` — Fig 8-style TopDown table for both CPUs.
+* ``breakdown`` — Fig 6-style operator shares for one configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    SpeedupStudy,
+    breakdown_for,
+    characterize,
+    collect_suite,
+    render_grid,
+    render_table,
+)
+from repro.hw import PLATFORM_ORDER, PLATFORMS
+from repro.models import MODEL_ORDER, build_all_models, build_model
+from repro.runtime import InferenceSession
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Cross-stack workload characterization of deep recommendation "
+            "systems (IISWC 2020 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the eight-model suite")
+    sub.add_parser("platforms", help="list the Table II platforms")
+
+    p = sub.add_parser("characterize", help="cross-stack report for one config")
+    p.add_argument("model", choices=MODEL_ORDER)
+    p.add_argument("--platform", default="broadwell")
+    p.add_argument("--batch", type=int, default=16)
+
+    p = sub.add_parser("sweep", help="speedup-over-Broadwell table (Fig 3)")
+    p.add_argument("--models", nargs="*", default=None, choices=MODEL_ORDER)
+    p.add_argument(
+        "--batches", nargs="*", type=int, default=[1, 16, 256, 4096, 16384]
+    )
+
+    p = sub.add_parser("optimal", help="optimal-platform grid (Fig 5)")
+    p.add_argument(
+        "--batches", nargs="*", type=int, default=[1, 16, 256, 4096, 16384]
+    )
+
+    p = sub.add_parser("topdown", help="TopDown table on both CPUs (Fig 8)")
+    p.add_argument("--batch", type=int, default=16)
+
+    p = sub.add_parser("breakdown", help="operator time shares (Fig 6)")
+    p.add_argument("model", choices=MODEL_ORDER)
+    p.add_argument("--platform", default="broadwell")
+    p.add_argument("--batch", type=int, default=64)
+
+    sub.add_parser(
+        "claims", help="verify every encoded paper claim against the models"
+    )
+    return parser
+
+
+def _cmd_models() -> str:
+    rows = [
+        [m.info.display_name, name, m.info.application_domain,
+         m.total_embedding_tables(), f"{m.lookups_per_table():.0f}"]
+        for name, m in build_all_models().items()
+    ]
+    return render_table(
+        ["model", "key", "domain", "tables", "lookups/table"], rows
+    )
+
+
+def _cmd_platforms() -> str:
+    rows = [
+        [key, spec.name, spec.microarchitecture, spec.kind,
+         f"{spec.dram_bandwidth_gbps} GB/s", f"{spec.tdp_w} W"]
+        for key, spec in PLATFORMS.items()
+    ]
+    return render_table(["key", "name", "uarch", "kind", "mem BW", "TDP"], rows)
+
+
+def _cmd_characterize(args) -> str:
+    report = characterize(args.model, args.platform, args.batch)
+    lines = report.summary_lines()
+    lines.append("operator breakdown:")
+    for op, share in report.operator_breakdown.top(6):
+        lines.append(f"  {op:20s} {share * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args) -> str:
+    names = args.models if args.models else MODEL_ORDER
+    models = {n: build_model(n) for n in names}
+    sweep = SpeedupStudy(models=models, batch_sizes=args.batches).run()
+    rows = []
+    for model in names:
+        for batch in args.batches:
+            rows.append(
+                [model, batch]
+                + [round(sweep.speedup(model, p, batch), 2) for p in PLATFORM_ORDER]
+            )
+    return render_table(
+        ["model", "batch"] + list(PLATFORM_ORDER), rows, float_format="{:.2f}"
+    )
+
+
+def _cmd_optimal(args) -> str:
+    sweep = SpeedupStudy(batch_sizes=args.batches).run()
+    cells = {}
+    for cell in SpeedupStudy.optimal_platform_grid(sweep):
+        cells[(cell.model, cell.batch_size)] = f"{cell.platform} {cell.speedup:.1f}x"
+    return render_grid(MODEL_ORDER, args.batches, cells)
+
+
+def _cmd_topdown(args) -> str:
+    suite = collect_suite(batch_size=args.batch)
+    rows = []
+    for cpu, reports in suite.items():
+        for model in MODEL_ORDER:
+            td = reports[model].topdown
+            rows.append(
+                [
+                    cpu,
+                    model,
+                    f"{td.retiring:.2f}",
+                    f"{td.bad_speculation:.2f}",
+                    f"{td.frontend_bound:.2f}",
+                    f"{td.backend_bound:.2f}",
+                    f"{reports[model].i_mpki:.1f}",
+                ]
+            )
+    return render_table(
+        ["cpu", "model", "retiring", "bad_spec", "frontend", "backend", "i-MPKI"],
+        rows,
+    )
+
+
+def _cmd_breakdown(args) -> str:
+    session = InferenceSession(build_model(args.model), args.platform)
+    breakdown = breakdown_for(session.profile(args.batch))
+    rows = [[op, f"{share * 100:.1f}%"] for op, share in breakdown.top(10)]
+    return render_table(
+        ["operator", "share"],
+        rows,
+        title=f"{args.model} on {args.platform}, batch {args.batch}",
+    )
+
+
+def _cmd_claims() -> str:
+    from repro.core import evaluate_claims
+
+    results = evaluate_claims()
+    rows = [
+        [
+            "PASS" if r.passed else "FAIL",
+            r.claim.figure,
+            r.claim.claim_id,
+            r.measured,
+        ]
+        for r in results
+    ]
+    passed = sum(r.passed for r in results)
+    table = render_table(
+        ["status", "figure", "claim", "measured"],
+        rows,
+        title=f"Paper-claim ledger: {passed}/{len(results)} claims hold",
+    )
+    return table
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": lambda: _cmd_models(),
+        "platforms": lambda: _cmd_platforms(),
+        "characterize": lambda: _cmd_characterize(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "optimal": lambda: _cmd_optimal(args),
+        "topdown": lambda: _cmd_topdown(args),
+        "breakdown": lambda: _cmd_breakdown(args),
+        "claims": lambda: _cmd_claims(),
+    }
+    try:
+        print(handlers[args.command]())
+    except BrokenPipeError:  # e.g. `repro sweep | head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Top-level cross-stack characterization API.
+
+``characterize(model, platform, batch_size)`` runs every level of the
+paper's stack for one configuration and returns a single object:
+
+* systems level — end-to-end latency, compute vs data-communication;
+* algorithms/software level — Caffe2 operator breakdown;
+* microarchitecture level — TopDown + PMU metrics (CPU platforms).
+
+This is the one-call entry point the quickstart example uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.operator_breakdown import OperatorBreakdown, breakdown_for
+from repro.core.topdown_analysis import MicroarchReport
+from repro.frameworks import CAFFE2, FrameworkLowering
+from repro.hw import PlatformSpec, platform_by_name
+from repro.models import RecommendationModel, build_model
+from repro.runtime import InferenceProfile, InferenceSession
+from repro.uarch import topdown_from_events
+
+__all__ = ["CrossStackReport", "characterize"]
+
+
+@dataclass
+class CrossStackReport:
+    """All three characterization levels for one configuration."""
+
+    profile: InferenceProfile
+    operator_breakdown: OperatorBreakdown
+    microarch: Optional[MicroarchReport]  # None on GPU platforms
+
+    @property
+    def total_seconds(self) -> float:
+        return self.profile.total_seconds
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.profile.throughput_qps
+
+    def summary_lines(self) -> "list[str]":
+        lines = [
+            f"model={self.profile.model_name} platform={self.profile.platform_name} "
+            f"batch={self.profile.batch_size}",
+            f"  latency: {self.total_seconds * 1e3:.3f} ms "
+            f"({self.throughput_qps:,.0f} samples/s)",
+            f"  data communication: {self.profile.data_comm_fraction * 100:.1f}% of time",
+            f"  dominant operator: {self.operator_breakdown.dominant} "
+            f"({self.operator_breakdown.share(self.operator_breakdown.dominant) * 100:.0f}%)",
+        ]
+        if self.microarch is not None:
+            td = self.microarch.topdown
+            lines.append(
+                "  topdown: "
+                f"retiring={td.retiring:.2f} bad_spec={td.bad_speculation:.2f} "
+                f"frontend={td.frontend_bound:.2f} backend={td.backend_bound:.2f}"
+            )
+            lines.append(
+                f"  i-MPKI={self.microarch.i_mpki:.1f} "
+                f"AVX={self.microarch.avx_fraction * 100:.0f}% "
+                f"branch-MPKI={self.microarch.branch_mpki:.1f} "
+                f"DRAM-congested={self.microarch.dram_congested_fraction * 100:.0f}%"
+            )
+        return lines
+
+
+def characterize(
+    model: Union[str, RecommendationModel],
+    platform: Union[str, PlatformSpec],
+    batch_size: int,
+    framework: FrameworkLowering = CAFFE2,
+) -> CrossStackReport:
+    """Run the full cross-stack characterization for one configuration."""
+    if isinstance(model, str):
+        model = build_model(model)
+    spec = platform_by_name(platform) if isinstance(platform, str) else platform
+    session = InferenceSession(model, spec)
+    profile = session.profile(batch_size)
+    breakdown = breakdown_for(profile, framework)
+    microarch = None
+    if profile.events is not None:
+        microarch = MicroarchReport(
+            model=model.name,
+            platform=spec.microarchitecture,
+            batch_size=batch_size,
+            events=profile.events,
+            topdown=topdown_from_events(profile.events, issue_width=spec.issue_width),
+        )
+    return CrossStackReport(
+        profile=profile,
+        operator_breakdown=breakdown,
+        microarch=microarch,
+    )

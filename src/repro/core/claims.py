@@ -1,0 +1,276 @@
+"""A machine-checkable ledger of the paper's evaluation claims.
+
+Every qualitative statement the paper makes about its figures is
+encoded as a :class:`Claim` with an executable check against the
+simulated data. ``evaluate_claims`` runs the ledger and reports, claim
+by claim, whether this build of the models still reproduces the paper
+— the library-level twin of ``tests/test_paper_shapes.py`` and the
+backing store for ``python -m repro claims``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.operator_breakdown import breakdown_for
+from repro.core.speedup import SpeedupStudy, SweepResult
+from repro.core.topdown_analysis import MicroarchReport, collect_suite
+from repro.models import MODEL_ORDER, build_all_models
+from repro.workloads import paper_batch_sizes
+
+__all__ = ["Claim", "ClaimResult", "ClaimContext", "PAPER_CLAIMS", "evaluate_claims"]
+
+
+class ClaimContext:
+    """Lazily-computed shared data for claim checks."""
+
+    def __init__(self) -> None:
+        self._models = None
+        self._sweep: Optional[SweepResult] = None
+        self._suite: Optional[Dict[str, Dict[str, MicroarchReport]]] = None
+
+    @property
+    def models(self):
+        if self._models is None:
+            self._models = build_all_models()
+        return self._models
+
+    @property
+    def sweep(self) -> SweepResult:
+        if self._sweep is None:
+            self._sweep = SpeedupStudy(
+                models=self.models, batch_sizes=paper_batch_sizes()
+            ).run()
+        return self._sweep
+
+    @property
+    def suite(self) -> Dict[str, Dict[str, MicroarchReport]]:
+        if self._suite is None:
+            self._suite = collect_suite(batch_size=16, models=self.models)
+        return self._suite
+
+    @property
+    def bdw(self) -> Dict[str, MicroarchReport]:
+        return self.suite["broadwell"]
+
+    @property
+    def clx(self) -> Dict[str, MicroarchReport]:
+        return self.suite["cascade_lake"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    claim_id: str
+    figure: str
+    text: str
+    #: Returns (passed, measured-detail string).
+    check: Callable[[ClaimContext], "tuple[bool, str]"]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    passed: bool
+    measured: str
+
+
+def _fc_gpu_order_of_magnitude(ctx):
+    values = {
+        name: ctx.sweep.speedup(name, "t4", 16384)
+        for name in ("ncf", "rm3", "wnd", "mtwnd")
+    }
+    return min(values.values()) > 8, ", ".join(
+        f"{k}={v:.1f}x" for k, v in values.items()
+    )
+
+
+def _embedding_capped(ctx):
+    worst = max(
+        ctx.sweep.speedup(n, p, b)
+        for n in ("rm1", "rm2")
+        for p in ("gtx1080ti", "t4")
+        for b in ctx.sweep.batch_sizes
+    )
+    return worst < 4.0, f"max RM1/RM2 GPU speedup = {worst:.2f}x"
+
+
+def _clx_beats_1080ti_small_batch(ctx):
+    ratios = [
+        ctx.sweep.speedup(n, "cascade_lake", b)
+        / ctx.sweep.speedup(n, "gtx1080ti", b)
+        for n in ("rm1", "rm2")
+        for b in (1, 16)
+    ]
+    return min(ratios) > 1.9, f"CLX/1080Ti ratios: {[f'{r:.1f}' for r in ratios]}"
+
+
+def _din_bdw_wins_small_batch(ctx):
+    values = [ctx.sweep.speedup("din", "gtx1080ti", b) for b in (1, 16, 64)]
+    return max(values) < 1.0, f"DIN 1080Ti speedups at b<=64: {[f'{v:.2f}' for v in values]}"
+
+
+def _dien_seven_x(ctx):
+    best = max(
+        ctx.sweep.speedup("dien", p, b)
+        for p in ("gtx1080ti", "t4")
+        for b in ctx.sweep.batch_sizes
+    )
+    return 5.0 < best < 9.0, f"DIEN best GPU speedup = {best:.1f}x"
+
+
+def _clx_always_wins(ctx):
+    worst = min(
+        ctx.sweep.speedup(n, "cascade_lake", b)
+        for n in MODEL_ORDER
+        for b in ctx.sweep.batch_sizes
+    )
+    return worst > 1.0, f"min CLX speedup = {worst:.2f}x"
+
+
+def _datacomm_grows(ctx):
+    rm2_small = ctx.sweep.data_comm_fraction("rm2", "gtx1080ti", 16)
+    rm2_large = ctx.sweep.data_comm_fraction("rm2", "gtx1080ti", 16384)
+    return rm2_large > rm2_small, (
+        f"RM2 data-comm share: {rm2_small:.0%} (b16) -> {rm2_large:.0%} (b16384)"
+    )
+
+
+def _rm1_operator_flip(ctx):
+    small = breakdown_for(ctx.sweep.profile("rm1", "broadwell", 4))
+    large = breakdown_for(ctx.sweep.profile("rm1", "broadwell", 64))
+    ok = small.dominant == "FC" and large.dominant == "SparseLengthsSum"
+    return ok, f"dominant at b4: {small.dominant}, at b64: {large.dominant}"
+
+
+def _wnd_gpu_sls_small_batch(ctx):
+    breakdown = breakdown_for(ctx.sweep.profile("wnd", "gtx1080ti", 16))
+    return breakdown.dominant == "SparseLengthsSum", (
+        f"WnD GPU b16 dominant = {breakdown.dominant} "
+        f"({breakdown.share(breakdown.dominant):.0%})"
+    )
+
+
+def _fc_retire_heavy(ctx):
+    values = {n: ctx.bdw[n].topdown.retiring for n in ("rm3", "wnd", "mtwnd")}
+    return min(values.values()) > 0.4, ", ".join(
+        f"{k}={v:.0%}" for k, v in values.items()
+    )
+
+
+def _avx_over_60(ctx):
+    values = {n: ctx.bdw[n].avx_fraction for n in ("rm3", "wnd", "mtwnd")}
+    return min(values.values()) > 0.55, ", ".join(
+        f"{k}={v:.0%}" for k, v in values.items()
+    )
+
+
+def _core_bound_bdw_memory_bound_clx(ctx):
+    bdw = {n: ctx.bdw[n].core_to_memory_ratio for n in ("rm3", "wnd", "mtwnd")}
+    clx = {n: ctx.clx[n].core_to_memory_ratio for n in ("rm3", "wnd", "mtwnd")}
+    ok = min(bdw.values()) > 1.5 and max(clx.values()) < 1.5
+    return ok, (
+        "BDW ratios "
+        + ", ".join(f"{k}={v:.1f}" for k, v in bdw.items())
+        + "; CLX "
+        + ", ".join(f"{k}={v:.1f}" for k, v in clx.items())
+    )
+
+
+def _instructions_drop(ctx):
+    ratios = {
+        n: ctx.clx[n].retired_instructions / ctx.bdw[n].retired_instructions
+        for n in MODEL_ORDER
+    }
+    return max(ratios.values()) < 1.0, ", ".join(
+        f"{k}={v:.2f}" for k, v in ratios.items()
+    )
+
+
+def _icache_din_dien(ctx):
+    din, dien = ctx.bdw["din"].i_mpki, ctx.bdw["dien"].i_mpki
+    ok = 8 < din < 16 and 5 < dien < 11 and din > dien
+    return ok, f"DIN i-MPKI={din:.1f} (paper 12.4), DIEN={dien:.1f} (paper 7.7)"
+
+
+def _dsb_over_mite(ctx):
+    ok = all(
+        ctx.bdw[n].dsb_limited_fraction > 2 * ctx.bdw[n].mite_limited_fraction
+        for n in ("rm1", "rm2")
+    )
+    return ok, (
+        f"RM1 DSB={ctx.bdw['rm1'].dsb_limited_fraction:.1%} "
+        f"MITE={ctx.bdw['rm1'].mite_limited_fraction:.1%}; "
+        f"RM2 DSB={ctx.bdw['rm2'].dsb_limited_fraction:.1%}"
+    )
+
+
+def _rm2_dram_congested(ctx):
+    rm2 = ctx.bdw["rm2"].dram_congested_fraction
+    others = {
+        n: ctx.bdw[n].dram_congested_fraction for n in ("rm1", "din", "dien")
+    }
+    ok = all(rm2 > 3 * v for v in others.values()) and rm2 > 0.1
+    return ok, f"RM2={rm2:.0%} vs " + ", ".join(
+        f"{k}={v:.1%}" for k, v in others.items()
+    )
+
+
+def _branches_drop(ctx):
+    ratios = {
+        n: ctx.clx[n].branch_mpki / max(ctx.bdw[n].branch_mpki, 1e-9)
+        for n in ("rm1", "rm2")
+    }
+    return max(ratios.values()) < 0.7, ", ".join(
+        f"{k}={v:.2f}" for k, v in ratios.items()
+    )
+
+
+def _no_single_factor(ctx):
+    from repro.core.regression import run_fig16_study
+
+    results = run_fig16_study(
+        models=ctx.models, batch_sizes=[1, 16, 256, 4096]
+    )
+    worst = max(r.weight_concentration() for r in results.values())
+    fc_weight = results["bad_speculation"].weights["fc_to_embedding_ratio"]
+    ok = worst < 0.75 and fc_weight < 0
+    return ok, (
+        f"max weight concentration {worst:.2f}; "
+        f"bad-spec weight on FC:emb ratio {fc_weight:+.3f}"
+    )
+
+
+PAPER_CLAIMS: List[Claim] = [
+    Claim("fc-gpu-10x", "Fig 3", "FC-heavy models reach ~10x on GPUs at large batch", _fc_gpu_order_of_magnitude),
+    Claim("emb-capped-4x", "Fig 3", "RM1/RM2 GPU speedup stays below 4x", _embedding_capped),
+    Claim("clx-beats-1080ti", "Fig 3", "Cascade Lake ~2x over 1080 Ti at small batch for RM1/RM2", _clx_beats_1080ti_small_batch),
+    Claim("din-bdw-small-batch", "Fig 3", "Broadwell beats GPUs on DIN below batch ~100", _din_bdw_wins_small_batch),
+    Claim("dien-7x", "Fig 3", "DIEN reaches ~7x on GPUs", _dien_seven_x),
+    Claim("clx-always-wins", "Fig 3", "Cascade Lake outperforms Broadwell on every use case", _clx_always_wins),
+    Claim("datacomm-grows", "Fig 4", "GPU data-communication share grows with batch (embedding models)", _datacomm_grows),
+    Claim("rm1-flip", "Fig 6", "RM1's dominant operator flips FC->SLS between batch 4 and 64", _rm1_operator_flip),
+    Claim("wnd-gpu-sls", "Fig 6", "WnD is SLS-dominated at small batch on GPUs", _wnd_gpu_sls_small_batch),
+    Claim("fc-retiring", "Fig 8", "RM3/WnD/MT-WnD are retire-heavy on Broadwell", _fc_retire_heavy),
+    Claim("avx-60", "Fig 9", ">60% AVX retired-instruction share for the FC trio on Broadwell", _avx_over_60),
+    Claim("core-to-memory", "Fig 10", "FC trio core-bound on Broadwell, memory-bound on Cascade Lake", _core_bound_bdw_memory_bound_clx),
+    Claim("fewer-instructions", "Fig 11", "Retired instructions drop from Broadwell to Cascade Lake", _instructions_drop),
+    Claim("icache-din-dien", "Fig 12", "DIN i-MPKI ~12, DIEN ~8, DIN > DIEN", _icache_din_dien),
+    Claim("dsb-bottleneck", "Fig 13", "RM1/RM2 decoder stalls come from the DSB, not MITE", _dsb_over_mite),
+    Claim("rm2-congestion", "Fig 14", "RM2 suffers far more DRAM bandwidth congestion than RM1/DIN/DIEN", _rm2_dram_congested),
+    Claim("branch-improvement", "Fig 15", "Branch mispredicts drop significantly on Cascade Lake", _branches_drop),
+    Claim("multi-factor", "Fig 16", "No single architecture feature decides any bottleneck; FC:emb ratio reduces bad speculation", _no_single_factor),
+]
+
+
+def evaluate_claims(
+    context: Optional[ClaimContext] = None,
+    claims: Optional[List[Claim]] = None,
+) -> List[ClaimResult]:
+    """Run the ledger; returns one result per claim."""
+    ctx = context if context is not None else ClaimContext()
+    results = []
+    for claim in claims if claims is not None else PAPER_CLAIMS:
+        passed, measured = claim.check(ctx)
+        results.append(ClaimResult(claim=claim, passed=passed, measured=measured))
+    return results

@@ -1,0 +1,133 @@
+"""Model taxonomy and shifting-bottleneck analysis (Section V, obs #2).
+
+Prior work (DeepRecSys) classifies recommendation models into MLP-,
+embedding-, or attention-dominated *at one fixed use case* (Broadwell,
+batch 64). The paper's point is that the class label *moves* with
+batch size and hardware. This module implements both: the classifier,
+and the sweep that finds where each model's label changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.speedup import SweepResult
+from repro.models import RecommendationModel
+from repro.runtime import InferenceProfile, InferenceSession
+
+__all__ = [
+    "ModelClass",
+    "classify_breakdown",
+    "classify_profile",
+    "reference_classification",
+    "BottleneckShift",
+    "find_bottleneck_shifts",
+]
+
+
+class ModelClass:
+    """The DeepRecSys taxonomy labels."""
+
+    MLP_DOMINATED = "mlp-dominated"
+    EMBEDDING_DOMINATED = "embedding-dominated"
+    ATTENTION_DOMINATED = "attention-dominated"
+    OTHER = "other"
+
+
+#: Which Caffe2 operator families count toward each class.
+_CLASS_OPERATORS: Dict[str, Tuple[str, ...]] = {
+    ModelClass.MLP_DOMINATED: ("FC", "BatchMatMul", "DotInteraction"),
+    ModelClass.EMBEDDING_DOMINATED: ("SparseLengthsSum", "Gather"),
+    ModelClass.ATTENTION_DOMINATED: (
+        "LocalActivation",
+        "RecurrentNetwork",
+        "AUGRU",
+        "AttentionScores",
+        "Concat",
+    ),
+}
+
+
+def classify_breakdown(shares: Mapping[str, float]) -> str:
+    """Assign the taxonomy label with the largest operator-time mass."""
+    totals = {
+        label: sum(shares.get(op, 0.0) for op in ops)
+        for label, ops in _CLASS_OPERATORS.items()
+    }
+    label, mass = max(totals.items(), key=lambda kv: kv[1])
+    if mass < 0.25:
+        return ModelClass.OTHER
+    return label
+
+
+def classify_profile(profile: InferenceProfile) -> str:
+    """Classify from the *raw* operator kinds.
+
+    The fused graph kinds keep DIN's local-activation time attributed
+    to attention; the Caffe2 lowering would split it into Concat+FC and
+    dilute the label.
+    """
+    total = sum(profile.op_time_by_kind.values())
+    if total <= 0:
+        return ModelClass.OTHER
+    shares = {k: v / total for k, v in profile.op_time_by_kind.items()}
+    return classify_breakdown(shares)
+
+
+def reference_classification(
+    models: Mapping[str, RecommendationModel],
+    platform: str = "broadwell",
+    batch_size: int = 64,
+) -> Dict[str, str]:
+    """The prior-work view: one label per model at a fixed use case."""
+    out = {}
+    for name, model in models.items():
+        profile = InferenceSession(model, platform).profile(batch_size)
+        out[name] = classify_profile(profile)
+    return out
+
+
+@dataclass(frozen=True)
+class BottleneckShift:
+    """One label change along a batch-size sweep for fixed hardware."""
+
+    model: str
+    platform: str
+    from_batch: int
+    to_batch: int
+    from_class: str
+    to_class: str
+
+
+def find_bottleneck_shifts(
+    sweep: SweepResult,
+    models: Optional[Sequence[str]] = None,
+    platforms: Optional[Sequence[str]] = None,
+) -> List[BottleneckShift]:
+    """Find every (model, platform) whose class label changes with batch.
+
+    This is the paper's "analyzing operator breakdowns across all use
+    cases reveals even more optimization points": RM1 flips
+    MLP→embedding between batch 4 and 64 on CPUs; WnD flips on GPUs at
+    small batch; etc.
+    """
+    shifts: List[BottleneckShift] = []
+    for model in models if models is not None else sweep.model_names:
+        for platform in platforms if platforms is not None else sweep.platform_names:
+            previous: Optional[Tuple[int, str]] = None
+            for batch in sweep.batch_sizes:
+                label = classify_profile(sweep.profile(model, platform, batch))
+                if previous is not None and previous[1] != label:
+                    shifts.append(
+                        BottleneckShift(
+                            model=model,
+                            platform=platform,
+                            from_batch=previous[0],
+                            to_batch=batch,
+                            from_class=previous[1],
+                            to_class=label,
+                        )
+                    )
+                previous = (batch, label)
+    return shifts

@@ -1,0 +1,80 @@
+"""Energy and efficiency estimates from the Table II TDP envelope.
+
+The paper's motivation is *infrastructure efficiency* (recommendation
+consumes >80 % of Facebook's ML inference cycles). Table II publishes
+each platform's TDP; combining it with the modeled execution time
+yields first-order energy-per-inference and throughput-per-watt — the
+lens that makes the 70 W T4's role obvious.
+
+Model: busy power = idle_fraction * TDP + (1 - idle_fraction) * TDP
+scaled by utilization; we charge the platform's sustained inference
+power as ``activity_factor * TDP`` for the duration of one inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.speedup import SweepResult
+from repro.hw import platform_by_name
+
+__all__ = ["EnergyEstimate", "energy_per_inference", "efficiency_grid"]
+
+#: Fraction of TDP drawn during sustained single-stream inference.
+#: Single-threaded CPU inference exercises one core + uncore; a GPU
+#: under an inference stream runs well below its power limit.
+ACTIVITY_FACTOR = {"cpu": 0.45, "gpu": 0.6}
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    model: str
+    platform: str
+    batch_size: int
+    seconds: float
+    watts: float
+
+    @property
+    def joules_per_batch(self) -> float:
+        return self.seconds * self.watts
+
+    @property
+    def millijoules_per_query(self) -> float:
+        return self.joules_per_batch / self.batch_size * 1e3
+
+    @property
+    def queries_per_joule(self) -> float:
+        j = self.joules_per_batch
+        return self.batch_size / j if j > 0 else 0.0
+
+
+def energy_per_inference(
+    sweep: SweepResult,
+    model: str,
+    platform: str,
+    batch_size: int,
+) -> EnergyEstimate:
+    spec = platform_by_name(platform)
+    watts = spec.tdp_w * ACTIVITY_FACTOR[spec.kind]
+    seconds = sweep.total_seconds(model, platform, batch_size)
+    return EnergyEstimate(
+        model=model,
+        platform=platform,
+        batch_size=batch_size,
+        seconds=seconds,
+        watts=watts,
+    )
+
+
+def efficiency_grid(
+    sweep: SweepResult, batch_size: int
+) -> Dict[str, Dict[str, EnergyEstimate]]:
+    """``{model: {platform: estimate}}`` at one batch size."""
+    return {
+        model: {
+            platform: energy_per_inference(sweep, model, platform, batch_size)
+            for platform in sweep.platform_names
+        }
+        for model in sweep.model_names
+    }

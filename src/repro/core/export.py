@@ -1,0 +1,98 @@
+"""Export study results to plot-ready CSV/JSON artifacts.
+
+The bench harness renders text tables; this module produces the same
+data in machine-readable form, so downstream plotting (matplotlib,
+spreadsheets) can regenerate the paper's figures graphically without
+re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping
+
+from repro.core.operator_breakdown import breakdown_for
+from repro.core.report import to_csv
+from repro.core.speedup import SweepResult
+from repro.core.topdown_analysis import MicroarchReport
+
+__all__ = [
+    "sweep_to_csv",
+    "sweep_to_records",
+    "suite_to_records",
+    "records_to_json",
+]
+
+
+def sweep_to_records(sweep: SweepResult) -> List[Dict[str, object]]:
+    """One record per (model, platform, batch) with every Fig 3/4 field."""
+    records = []
+    for model in sweep.model_names:
+        for platform in sweep.platform_names:
+            for batch in sweep.batch_sizes:
+                profile = sweep.profile(model, platform, batch)
+                breakdown = breakdown_for(profile)
+                records.append(
+                    {
+                        "model": model,
+                        "platform": platform,
+                        "batch_size": batch,
+                        "total_seconds": profile.total_seconds,
+                        "compute_seconds": profile.compute_seconds,
+                        "data_comm_seconds": profile.data_comm_seconds,
+                        "data_comm_fraction": profile.data_comm_fraction,
+                        "speedup_over_broadwell": sweep.speedup(
+                            model, platform, batch
+                        ),
+                        "throughput_qps": profile.throughput_qps,
+                        "dominant_operator": breakdown.dominant,
+                    }
+                )
+    return records
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    records = sweep_to_records(sweep)
+    headers = list(records[0].keys())
+    rows = [[r[h] for h in headers] for r in records]
+    return to_csv(headers, rows)
+
+
+def suite_to_records(
+    suite: Mapping[str, Mapping[str, MicroarchReport]],
+) -> List[Dict[str, object]]:
+    """One record per (cpu, model) with every Section VI metric."""
+    records = []
+    for cpu, reports in suite.items():
+        for model, report in reports.items():
+            td = report.topdown
+            ratio = report.core_to_memory_ratio
+            records.append(
+                {
+                    "cpu": cpu,
+                    "model": model,
+                    "batch_size": report.batch_size,
+                    "retiring": td.retiring,
+                    "bad_speculation": td.bad_speculation,
+                    "frontend_bound": td.frontend_bound,
+                    "backend_bound": td.backend_bound,
+                    "frontend_latency": td.frontend_latency,
+                    "frontend_bandwidth": td.frontend_bandwidth,
+                    "core_bound": td.core_bound,
+                    "memory_bound": td.memory_bound,
+                    "core_to_memory_ratio": None if ratio == float("inf") else ratio,
+                    "avx_fraction": report.avx_fraction,
+                    "instructions": report.retired_instructions,
+                    "i_mpki": report.i_mpki,
+                    "branch_mpki": report.branch_mpki,
+                    "dsb_limited_fraction": report.dsb_limited_fraction,
+                    "mite_limited_fraction": report.mite_limited_fraction,
+                    "dram_congested_fraction": report.dram_congested_fraction,
+                    "fu_3plus_fraction": report.fu_usage["3+"],
+                }
+            )
+    return records
+
+
+def records_to_json(records: List[Dict[str, object]], indent: int = 2) -> str:
+    return json.dumps(records, indent=indent, sort_keys=True)

@@ -1,0 +1,90 @@
+"""Model-architecture feature extraction for the Fig 16 regression.
+
+Builds the normalized design matrix: each row is one (model, batch
+size) configuration, each column one algorithmic architecture feature.
+Features are z-normalized so regression weight magnitudes are
+comparable ("all input features have been normalized so the weight
+magnitude represents degree of impact").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models import RecommendationModel, build_all_models
+
+__all__ = ["FEATURE_NAMES", "FeatureMatrix", "build_feature_matrix"]
+
+#: Column order of the design matrix.
+FEATURE_NAMES: List[str] = [
+    "fc_to_embedding_ratio",
+    "fc_top_heaviness",
+    "num_tables",
+    "lookups_per_table",
+    "latent_dim",
+    "attention_units",
+    "recurrent_steps",
+    "log2_batch_size",
+]
+
+
+@dataclass
+class FeatureMatrix:
+    """Normalized design matrix plus bookkeeping."""
+
+    rows: np.ndarray  # [n_samples, n_features], z-normalized
+    raw_rows: np.ndarray  # same shape, un-normalized
+    labels: List[Tuple[str, int]]  # (model, batch) per row
+    feature_names: List[str]
+    means: np.ndarray
+    stds: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        return self.rows.shape[0]
+
+    def column(self, feature: str) -> np.ndarray:
+        return self.rows[:, self.feature_names.index(feature)]
+
+
+def _raw_features(model: RecommendationModel, batch_size: int) -> List[float]:
+    feats = model.architecture_features()
+    row = []
+    for name in FEATURE_NAMES:
+        if name == "log2_batch_size":
+            row.append(float(np.log2(batch_size)))
+        elif name == "fc_to_embedding_ratio":
+            # Log-scale: the raw ratio spans four orders of magnitude.
+            row.append(float(np.log10(max(feats[name], 1e-12))))
+        else:
+            row.append(float(feats[name]))
+    return row
+
+
+def build_feature_matrix(
+    batch_sizes: Sequence[int],
+    models: Optional[Mapping[str, RecommendationModel]] = None,
+) -> FeatureMatrix:
+    models = dict(models) if models is not None else build_all_models()
+    raw = []
+    labels = []
+    for name, model in models.items():
+        for batch in batch_sizes:
+            raw.append(_raw_features(model, batch))
+            labels.append((name, batch))
+    raw_arr = np.asarray(raw, dtype=np.float64)
+    means = raw_arr.mean(axis=0)
+    stds = raw_arr.std(axis=0)
+    stds = np.where(stds < 1e-12, 1.0, stds)
+    normalized = (raw_arr - means) / stds
+    return FeatureMatrix(
+        rows=normalized,
+        raw_rows=raw_arr,
+        labels=labels,
+        feature_names=list(FEATURE_NAMES),
+        means=means,
+        stds=stds,
+    )

@@ -1,0 +1,69 @@
+"""Algorithms & software characterization (paper Section V, Figs 6-7).
+
+Operator-usage breakdowns: per-(model, platform, batch) normalized
+execution-time shares over a framework's operator vocabulary, plus the
+Caffe2-vs-TensorFlow comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.frameworks import CAFFE2, TENSORFLOW, FrameworkLowering
+from repro.models import RecommendationModel
+from repro.runtime import InferenceProfile, InferenceSession
+
+__all__ = ["OperatorBreakdown", "breakdown_for", "framework_comparison"]
+
+
+@dataclass(frozen=True)
+class OperatorBreakdown:
+    """Normalized per-operator time shares for one configuration."""
+
+    model: str
+    platform: str
+    batch_size: int
+    framework: str
+    shares: Mapping[str, float]  # op name -> fraction of compute time
+
+    @property
+    def dominant(self) -> str:
+        return max(self.shares.items(), key=lambda kv: kv[1])[0]
+
+    def share(self, op_name: str) -> float:
+        return self.shares.get(op_name, 0.0)
+
+    def top(self, n: int = 3) -> List[Sequence]:
+        return sorted(self.shares.items(), key=lambda kv: -kv[1])[:n]
+
+
+def breakdown_for(
+    profile: InferenceProfile,
+    framework: FrameworkLowering = CAFFE2,
+) -> OperatorBreakdown:
+    """Lower a profile's per-kind times into a framework's vocabulary."""
+    lowered = framework.lower(profile.op_time_by_kind, profile.platform_kind)
+    total = sum(lowered.values())
+    shares = {k: (v / total if total else 0.0) for k, v in lowered.items()}
+    return OperatorBreakdown(
+        model=profile.model_name,
+        platform=profile.platform_name,
+        batch_size=profile.batch_size,
+        framework=framework.name,
+        shares=shares,
+    )
+
+
+def framework_comparison(
+    model: RecommendationModel,
+    platform: str,
+    batch_size: int,
+) -> Dict[str, OperatorBreakdown]:
+    """Fig 7: the same configuration under both vocabularies."""
+    session = InferenceSession(model, platform)
+    profile = session.profile(batch_size)
+    return {
+        "caffe2": breakdown_for(profile, CAFFE2),
+        "tensorflow": breakdown_for(profile, TENSORFLOW),
+    }

@@ -1,0 +1,123 @@
+"""Fig 16: linear regression tying architecture features to bottlenecks.
+
+For every TopDown pipeline bottleneck (frontend, bad speculation,
+core-bound, memory-bound, retiring) we fit ordinary least squares over
+the normalized feature matrix from :mod:`repro.core.features`, using
+the eight models swept over the paper's batch-size grid as samples.
+The paper's conclusion — "there is not a single deciding factor for
+each bottleneck" — is checked by the weight-concentration metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.features import FeatureMatrix, build_feature_matrix
+from repro.core.topdown_analysis import collect_report
+from repro.models import RecommendationModel, build_all_models
+from repro.workloads import paper_batch_sizes
+
+__all__ = [
+    "BOTTLENECK_TARGETS",
+    "RegressionResult",
+    "fit_bottleneck_regression",
+    "run_fig16_study",
+]
+
+BOTTLENECK_TARGETS: List[str] = [
+    "retiring",
+    "bad_speculation",
+    "frontend_bound",
+    "backend_bound",
+    "core_bound",
+    "memory_bound",
+]
+
+
+@dataclass
+class RegressionResult:
+    target: str
+    weights: Dict[str, float]
+    intercept: float
+    r_squared: float
+
+    def dominant_feature(self) -> str:
+        return max(self.weights.items(), key=lambda kv: abs(kv[1]))[0]
+
+    def weight_concentration(self) -> float:
+        """|largest| / sum(|weights|): 1.0 means a single deciding factor."""
+        magnitudes = np.array([abs(w) for w in self.weights.values()])
+        total = magnitudes.sum()
+        return float(magnitudes.max() / total) if total > 0 else 0.0
+
+
+def fit_linear(
+    features: np.ndarray, target: np.ndarray, ridge: float = 0.0
+) -> "tuple[np.ndarray, float, float]":
+    """Least-squares fit; returns (weights, intercept, r^2).
+
+    ``ridge`` adds an L2 penalty on the weights (not the intercept).
+    The architecture features are strongly collinear across only eight
+    models (e.g. low FC/embedding ratio co-occurs with many lookups),
+    so a small ridge term spreads credit across correlated features the
+    way the paper's normalized-weight presentation implies.
+    """
+    n, k = features.shape
+    design = np.hstack([features, np.ones((n, 1))])
+    gram = design.T @ design
+    if ridge > 0:
+        penalty = np.eye(k + 1) * ridge * n
+        penalty[-1, -1] = 0.0  # leave the intercept unpenalized
+        gram = gram + penalty
+    coef = np.linalg.solve(gram, design.T @ target)
+    predictions = design @ coef
+    ss_res = float(np.sum((target - predictions) ** 2))
+    ss_tot = float(np.sum((target - target.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return coef[:-1], float(coef[-1]), r_squared
+
+
+def fit_bottleneck_regression(
+    matrix: FeatureMatrix,
+    targets: Mapping[str, np.ndarray],
+    ridge: float = 0.05,
+) -> Dict[str, RegressionResult]:
+    results = {}
+    for name, values in targets.items():
+        weights, intercept, r2 = fit_linear(matrix.rows, np.asarray(values), ridge)
+        results[name] = RegressionResult(
+            target=name,
+            weights=dict(zip(matrix.feature_names, weights)),
+            intercept=intercept,
+            r_squared=r2,
+        )
+    return results
+
+
+def run_fig16_study(
+    platform: str = "broadwell",
+    batch_sizes: Optional[Sequence[int]] = None,
+    models: Optional[Mapping[str, RecommendationModel]] = None,
+) -> Dict[str, RegressionResult]:
+    """End-to-end Fig 16: profile the suite, fit every bottleneck."""
+    models = dict(models) if models is not None else build_all_models()
+    batch_sizes = list(batch_sizes) if batch_sizes is not None else paper_batch_sizes()
+    matrix = build_feature_matrix(batch_sizes, models)
+
+    target_rows: Dict[str, List[float]] = {t: [] for t in BOTTLENECK_TARGETS}
+    for model_name, batch in matrix.labels:
+        report = collect_report(models[model_name], platform, batch)
+        td = report.topdown
+        target_rows["retiring"].append(td.retiring)
+        target_rows["bad_speculation"].append(td.bad_speculation)
+        target_rows["frontend_bound"].append(td.frontend_bound)
+        target_rows["backend_bound"].append(td.backend_bound)
+        target_rows["core_bound"].append(td.core_bound)
+        target_rows["memory_bound"].append(td.memory_bound)
+
+    return fit_bottleneck_regression(
+        matrix, {k: np.asarray(v) for k, v in target_rows.items()}
+    )

@@ -1,0 +1,76 @@
+"""Text rendering of the paper's tables and figures.
+
+Every bench target formats its result through these helpers so the
+regenerated rows/series look the same across experiments: fixed-width
+aligned columns, one table per figure, CSV export for plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_grid", "to_csv", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Aligned fixed-width text table."""
+    formatted_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in formatted_rows))
+        if formatted_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    out.write(header_line + "\n")
+    out.write("-" * len(header_line) + "\n")
+    for row in formatted_rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def render_grid(
+    row_labels: Sequence[str],
+    col_labels: Sequence[object],
+    cells: Mapping[object, str],
+    title: str = "",
+) -> str:
+    """Fig 5-style grid: ``cells[(row_label, col_label)] -> text``."""
+    headers = [""] + [str(c) for c in col_labels]
+    rows = []
+    for r in row_labels:
+        rows.append([r] + [cells.get((r, c), "") for c in col_labels])
+    return render_table(headers, rows, title=title)
+
+
+def to_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    out = io.StringIO()
+    out.write(",".join(str(h) for h in headers) + "\n")
+    for row in rows:
+        out.write(",".join(str(c) for c in row) + "\n")
+    return out.getvalue()

@@ -1,0 +1,84 @@
+"""Roofline analysis over the model suite.
+
+Places each model's aggregate workload on each platform's roofline
+(peak compute vs memory-bandwidth ceiling). This formalizes the paper's
+recurring observation: the FC-heavy models sit in compute-bound
+territory (and therefore accelerate on GPUs), while the
+embedding-dominated models sit far below the memory ridge point on
+every platform — no amount of compute helps them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.graph.graph import Graph
+from repro.hw import PlatformSpec, platform_by_name
+from repro.models import RecommendationModel
+from repro.ops.workload import OpWorkload, merge_workloads
+
+__all__ = ["RooflinePoint", "graph_workload", "roofline_point"]
+
+
+def graph_workload(graph: Graph) -> OpWorkload:
+    """Aggregate the whole graph into one workload descriptor."""
+    parts = []
+    for node in graph.nodes:
+        input_specs = [graph.spec_of(s) for s in node.inputs]
+        parts.append(node.op.workload(input_specs))
+    return merge_workloads(graph.name, parts)
+
+
+def _peak_flops(spec: PlatformSpec) -> float:
+    if spec.kind == "gpu":
+        return spec.peak_fp32_tflops * 1e12
+    # CPU: fp32 FMA peak = 2 ports * 2 flops * lanes * frequency.
+    return 2 * 2 * spec.simd_fp32_lanes * spec.frequency_ghz * 1e9
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One (model, platform) point against the platform's roofline."""
+
+    model: str
+    platform: str
+    arithmetic_intensity: float  # flops / byte
+    peak_flops: float
+    memory_bandwidth: float  # bytes/s
+
+    @property
+    def ridge_point(self) -> float:
+        """Intensity at which the platform turns compute-bound."""
+        return self.peak_flops / self.memory_bandwidth
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.arithmetic_intensity >= self.ridge_point
+
+    @property
+    def attainable_flops(self) -> float:
+        """min(peak, intensity * bandwidth): the roofline ceiling."""
+        return min(
+            self.peak_flops, self.arithmetic_intensity * self.memory_bandwidth
+        )
+
+    @property
+    def compute_fraction_of_peak(self) -> float:
+        return self.attainable_flops / self.peak_flops
+
+
+def roofline_point(
+    model: RecommendationModel,
+    platform: Union[str, PlatformSpec],
+    batch_size: int,
+) -> RooflinePoint:
+    spec = platform_by_name(platform) if isinstance(platform, str) else platform
+    workload = graph_workload(model.build_graph(batch_size))
+    return RooflinePoint(
+        model=model.name,
+        platform=spec.name,
+        arithmetic_intensity=workload.arithmetic_intensity,
+        peak_flops=_peak_flops(spec),
+        memory_bandwidth=spec.dram_bandwidth_gbps * 1e9,
+    )

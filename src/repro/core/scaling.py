@@ -1,0 +1,99 @@
+"""Batch-size scaling analysis: sublinearity and platform crossovers.
+
+The paper's Fig 3/5 sweeps tell a crossover story ("GPUs win above
+batch X"). This module extracts the quantitative handles from a sweep:
+
+* the **scaling exponent** of latency vs batch (1.0 = perfectly linear;
+  < 1 means per-sample cost falls with batch — overhead amortization),
+* the **crossover batch** where one platform overtakes another, found
+  by log-space interpolation between swept points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.speedup import SweepResult
+
+__all__ = ["ScalingFit", "fit_scaling", "crossover_batch", "crossover_table"]
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Power-law fit ``latency ~ a * batch^exponent``."""
+
+    model: str
+    platform: str
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    @property
+    def amortizes_overhead(self) -> bool:
+        """Per-sample cost decreasing with batch (exponent < 1)."""
+        return self.exponent < 0.95
+
+
+def fit_scaling(sweep: SweepResult, model: str, platform: str) -> ScalingFit:
+    batches = np.array(sweep.batch_sizes, dtype=np.float64)
+    times = np.array(
+        [sweep.total_seconds(model, platform, int(b)) for b in batches]
+    )
+    x = np.log(batches)
+    y = np.log(times)
+    design = np.vstack([x, np.ones_like(x)]).T
+    (slope, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+    predictions = design @ np.array([slope, intercept])
+    ss_res = float(np.sum((y - predictions) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    return ScalingFit(
+        model=model,
+        platform=platform,
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0,
+    )
+
+
+def crossover_batch(
+    sweep: SweepResult,
+    model: str,
+    challenger: str,
+    incumbent: str = "broadwell",
+) -> Optional[float]:
+    """Smallest batch where ``challenger`` beats ``incumbent``.
+
+    Interpolates log-linearly between swept points; returns None when
+    the challenger never wins inside the swept range, and the smallest
+    swept batch when it always wins.
+    """
+    batches = sweep.batch_sizes
+    # Advantage > 0 means the challenger is faster.
+    advantage = [
+        np.log(sweep.total_seconds(model, incumbent, b))
+        - np.log(sweep.total_seconds(model, challenger, b))
+        for b in batches
+    ]
+    if advantage[0] > 0:
+        return float(batches[0])
+    for (b0, a0), (b1, a1) in zip(
+        zip(batches, advantage), zip(batches[1:], advantage[1:])
+    ):
+        if a0 <= 0 < a1:
+            # Root of the advantage in log-batch space.
+            t = -a0 / (a1 - a0)
+            return float(np.exp(np.log(b0) + t * (np.log(b1) - np.log(b0))))
+    return None
+
+
+def crossover_table(
+    sweep: SweepResult, challenger: str = "t4", incumbent: str = "broadwell"
+) -> Dict[str, Optional[float]]:
+    """Per-model crossover batches (the Fig 5 boundary, quantified)."""
+    return {
+        model: crossover_batch(sweep, model, challenger, incumbent)
+        for model in sweep.model_names
+    }

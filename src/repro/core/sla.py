@@ -1,0 +1,100 @@
+"""SLA-aware batching analysis.
+
+The paper motivates its batch-size sweep with datacenter SLAs:
+"recommendation in datacenters runs with batch sizes from tens to
+thousands to meet different SLA targets". This module answers the
+operational question behind that: *given a latency target, what is the
+largest batch (and hence the best throughput) each platform can run,
+and which platform wins at each SLA tier?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.speedup import SweepResult
+
+__all__ = ["SlaOperatingPoint", "max_batch_under_sla", "sla_frontier"]
+
+#: Representative datacenter latency tiers (seconds).
+DEFAULT_SLA_TIERS = (0.001, 0.005, 0.02, 0.1)
+
+
+@dataclass(frozen=True)
+class SlaOperatingPoint:
+    """Best feasible configuration for one (model, platform, SLA)."""
+
+    model: str
+    platform: str
+    sla_seconds: float
+    batch_size: Optional[int]  # None: even batch 1 misses the SLA
+    latency_seconds: float
+    throughput_qps: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.batch_size is not None
+
+
+def max_batch_under_sla(
+    sweep: SweepResult,
+    model: str,
+    platform: str,
+    sla_seconds: float,
+) -> SlaOperatingPoint:
+    """Largest swept batch whose end-to-end latency meets the SLA.
+
+    Latency here is one inference's end-to-end time (compute + data
+    communication), matching the paper's measurement; queueing delay is
+    out of scope.
+    """
+    if sla_seconds <= 0:
+        raise ValueError("SLA must be positive")
+    best: Optional[SlaOperatingPoint] = None
+    for batch in sweep.batch_sizes:
+        latency = sweep.total_seconds(model, platform, batch)
+        if latency <= sla_seconds:
+            candidate = SlaOperatingPoint(
+                model=model,
+                platform=platform,
+                sla_seconds=sla_seconds,
+                batch_size=batch,
+                latency_seconds=latency,
+                throughput_qps=batch / latency,
+            )
+            if best is None or candidate.throughput_qps > best.throughput_qps:
+                best = candidate
+    if best is None:
+        smallest = min(sweep.batch_sizes)
+        return SlaOperatingPoint(
+            model=model,
+            platform=platform,
+            sla_seconds=sla_seconds,
+            batch_size=None,
+            latency_seconds=sweep.total_seconds(model, platform, smallest),
+            throughput_qps=0.0,
+        )
+    return best
+
+
+def sla_frontier(
+    sweep: SweepResult,
+    model: str,
+    sla_tiers: Sequence[float] = DEFAULT_SLA_TIERS,
+) -> Dict[float, SlaOperatingPoint]:
+    """Per SLA tier, the best operating point across all platforms.
+
+    The expected shape mirrors Fig 5: tight SLAs (small feasible
+    batches) favor the CPUs; loose SLAs (big batches allowed) favor
+    the GPUs — for the FC-heavy models. Embedding-heavy models stay
+    CPU-competitive much longer.
+    """
+    frontier: Dict[float, SlaOperatingPoint] = {}
+    for sla in sla_tiers:
+        candidates = [
+            max_batch_under_sla(sweep, model, platform, sla)
+            for platform in sweep.platform_names
+        ]
+        frontier[sla] = max(candidates, key=lambda c: c.throughput_qps)
+    return frontier

@@ -1,0 +1,117 @@
+"""CPU microarchitectural characterization (paper Section VI, Figs 8-15).
+
+One :class:`MicroarchReport` per (model, CPU, batch) carries every
+metric Section VI reads off the PMU: the TopDown hierarchy, AVX
+vectorization degree, retired-instruction counts, functional-unit usage,
+instruction-cache MPKI, decoder (DSB/MITE) limited cycles, DRAM
+bandwidth congestion, and branch mispredictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.hw import CpuSpec, cpu_platforms, platform_by_name
+from repro.models import RecommendationModel, build_all_models
+from repro.runtime import InferenceSession
+from repro.uarch import PmuEvents, TopDownBreakdown, UarchConstants, topdown_from_events
+
+__all__ = ["MicroarchReport", "collect_report", "collect_suite"]
+
+#: The batch size Section VI fixes for its TopDown panels.
+TOPDOWN_BATCH_SIZE = 16
+
+
+@dataclass(frozen=True)
+class MicroarchReport:
+    model: str
+    platform: str
+    batch_size: int
+    events: PmuEvents
+    topdown: TopDownBreakdown
+
+    # -- Fig 9 / Fig 11 -----------------------------------------------------
+    @property
+    def avx_fraction(self) -> float:
+        return self.events.avx_fraction
+
+    @property
+    def retired_instructions(self) -> float:
+        return self.events.instructions
+
+    # -- Fig 10 ---------------------------------------------------------------
+    @property
+    def core_to_memory_ratio(self) -> float:
+        return self.topdown.core_to_memory_ratio
+
+    @property
+    def fu_usage(self) -> Dict[str, float]:
+        """Fraction of cycles using 0 / 1-2 / 3+ of the 8 FUs."""
+        cycles = max(self.events.cycles, 1e-12)
+        return {
+            "0": self.events.port_cycles_0 / cycles,
+            "1-2": self.events.port_cycles_1_2 / cycles,
+            "3+": self.events.port_cycles_3_plus / cycles,
+        }
+
+    # -- Fig 12 ---------------------------------------------------------------
+    @property
+    def i_mpki(self) -> float:
+        return self.events.i_mpki
+
+    # -- Fig 13 ---------------------------------------------------------------
+    @property
+    def dsb_limited_fraction(self) -> float:
+        return self.events.dsb_limited_cycles / max(self.events.cycles, 1e-12)
+
+    @property
+    def mite_limited_fraction(self) -> float:
+        return self.events.mite_limited_cycles / max(self.events.cycles, 1e-12)
+
+    # -- Fig 14 ---------------------------------------------------------------
+    @property
+    def dram_congested_fraction(self) -> float:
+        return self.events.dram_congested_fraction
+
+    # -- Fig 15 ---------------------------------------------------------------
+    @property
+    def branch_mpki(self) -> float:
+        return self.events.branch_mpki
+
+
+def collect_report(
+    model: RecommendationModel,
+    platform: "str | CpuSpec",
+    batch_size: int = TOPDOWN_BATCH_SIZE,
+    constants: Optional[UarchConstants] = None,
+) -> MicroarchReport:
+    spec = platform_by_name(platform) if isinstance(platform, str) else platform
+    if spec.kind != "cpu":
+        raise ValueError("microarchitectural characterization requires a CPU platform")
+    session = InferenceSession(model, spec, constants=constants)
+    profile = session.profile(batch_size)
+    assert profile.events is not None
+    return MicroarchReport(
+        model=model.name,
+        platform=spec.microarchitecture,
+        batch_size=batch_size,
+        events=profile.events,
+        topdown=topdown_from_events(profile.events, issue_width=spec.issue_width),
+    )
+
+
+def collect_suite(
+    batch_size: int = TOPDOWN_BATCH_SIZE,
+    models: Optional[Mapping[str, RecommendationModel]] = None,
+    constants: Optional[UarchConstants] = None,
+) -> Dict[str, Dict[str, MicroarchReport]]:
+    """All models x both CPUs: ``{cpu_name: {model_name: report}}``."""
+    models = dict(models) if models is not None else build_all_models()
+    out: Dict[str, Dict[str, MicroarchReport]] = {}
+    for cpu_name, spec in cpu_platforms().items():
+        out[cpu_name] = {
+            name: collect_report(model, spec, batch_size, constants)
+            for name, model in models.items()
+        }
+    return out

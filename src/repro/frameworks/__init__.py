@@ -1,0 +1,13 @@
+"""Framework operator vocabularies (Caffe2 vs TensorFlow, Figs 6-7)."""
+
+from repro.frameworks.caffe2 import CAFFE2
+from repro.frameworks.lowering import FrameworkLowering, lower_time_by_kind
+from repro.frameworks.tensorflow_like import CAFFE2_TO_TF_EQUIVALENTS, TENSORFLOW
+
+__all__ = [
+    "FrameworkLowering",
+    "lower_time_by_kind",
+    "CAFFE2",
+    "TENSORFLOW",
+    "CAFFE2_TO_TF_EQUIVALENTS",
+]

@@ -1,0 +1,43 @@
+"""Caffe2 operator vocabulary.
+
+Our graph kinds are Caffe2-flavoured already; the interesting mapping
+is DIN's fused ``LocalActivation``, which the Caffe2 net actually
+expresses as per-lookup ``Concat`` + ``FC`` chains plus a weighted
+``Sum`` pool (paper Section IV: "DIN implements attention with local
+activation units and small FC layers followed by concatenation
+operations for aggregation"). On GPUs the concatenation copies dominate
+that trio; on CPUs the small GEMVs do.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.lowering import FrameworkLowering, _validate
+
+__all__ = ["CAFFE2"]
+
+_LOCAL_ACTIVATION_CPU = (("Concat", 0.25), ("FC", 0.62), ("Sum", 0.13))
+_LOCAL_ACTIVATION_GPU = (("Concat", 0.55), ("FC", 0.33), ("Sum", 0.12))
+
+CAFFE2 = _validate(
+    FrameworkLowering(
+        name="caffe2",
+        cpu_map={
+            "LocalActivation": _LOCAL_ACTIVATION_CPU,
+            "AUGRU": (("RecurrentNetwork", 1.0),),
+            "AttentionScores": (("BatchMatMul", 1.0),),
+            "DotInteraction": (("BatchMatMul", 0.8), ("Concat", 0.2)),
+            # Optimized-graph fused kinds report under their base ops.
+            "FusedFC": (("FC", 1.0),),
+            "GroupedSparseLengthsSum": (("SparseLengthsSum", 1.0),),
+        },
+        gpu_map={
+            "LocalActivation": _LOCAL_ACTIVATION_GPU,
+            "AUGRU": (("RecurrentNetwork", 1.0),),
+            "AttentionScores": (("BatchMatMul", 1.0),),
+            "DotInteraction": (("BatchMatMul", 0.7), ("Concat", 0.3)),
+            "FusedFC": (("FC", 1.0),),
+            "GroupedSparseLengthsSum": (("SparseLengthsSum", 1.0),),
+        },
+        runtime_overhead=1.0,
+    )
+)

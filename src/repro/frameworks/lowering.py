@@ -1,0 +1,70 @@
+"""Framework lowering: graph operator kinds -> framework operator names.
+
+The paper's Fig 6 reports execution-time breakdowns over *Caffe2*
+operator names, and Fig 7 shows the same models lowered to *TensorFlow*
+have matching bottlenecks under different names (``FC`` ->
+``FusedMatMul``; ``SparseLengthsSum`` -> ``ResourceGather`` + ``Sum``).
+
+A :class:`FrameworkLowering` maps each graph kind to one or more
+(framework op name, time share) pairs. Shares within one kind sum to 1,
+so lowering conserves total time exactly — property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["FrameworkLowering", "lower_time_by_kind"]
+
+#: (framework op, share of the source kind's time).
+Split = Tuple[Tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class FrameworkLowering:
+    """One deep-learning framework's operator vocabulary."""
+
+    name: str
+    #: Kind -> splits for CPU execution.
+    cpu_map: Mapping[str, Split]
+    #: Kind -> splits for GPU execution (data movement weighs more).
+    gpu_map: Mapping[str, Split]
+    #: Multiplier on total time for framework/runtime overhead
+    #: relative to the Caffe2 baseline the performance model embodies.
+    runtime_overhead: float = 1.0
+
+    def split_for(self, kind: str, platform_kind: str) -> Split:
+        table = self.cpu_map if platform_kind == "cpu" else self.gpu_map
+        if kind in table:
+            return table[kind]
+        return ((kind, 1.0),)
+
+    def lower(
+        self, time_by_kind: Mapping[str, float], platform_kind: str
+    ) -> Dict[str, float]:
+        """Re-attribute per-kind times to framework operator names."""
+        out: Dict[str, float] = {}
+        for kind, seconds in time_by_kind.items():
+            for op_name, share in self.split_for(kind, platform_kind):
+                out[op_name] = out.get(op_name, 0.0) + seconds * share * self.runtime_overhead
+        return out
+
+
+def _validate(lowering: FrameworkLowering) -> FrameworkLowering:
+    for table in (lowering.cpu_map, lowering.gpu_map):
+        for kind, split in table.items():
+            total = sum(share for _, share in split)
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(
+                    f"{lowering.name}: splits for {kind!r} sum to {total}, not 1"
+                )
+    return lowering
+
+
+def lower_time_by_kind(
+    lowering: FrameworkLowering,
+    time_by_kind: Mapping[str, float],
+    platform_kind: str,
+) -> Dict[str, float]:
+    return lowering.lower(time_by_kind, platform_kind)

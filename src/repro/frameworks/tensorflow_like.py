@@ -1,0 +1,73 @@
+"""TensorFlow operator vocabulary (paper Fig 7).
+
+The paper's cross-framework check: ``FC`` maps to ``FusedMatMul``;
+``SparseLengthsSum`` maps to ``ResourceGather`` (the lookup) followed
+by ``Sum`` (the pool). The lookup part carries the irregular memory
+accesses, so it takes the larger share. TensorFlow's graph runtime
+carries slightly more per-op overhead than Caffe2's, which the paper
+folds into the observation that the *dominant* operators match anyway.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.lowering import FrameworkLowering, _validate
+
+__all__ = ["TENSORFLOW"]
+
+_SLS_SPLIT = (("ResourceGather", 0.75), ("Sum", 0.25))
+
+TENSORFLOW = _validate(
+    FrameworkLowering(
+        name="tensorflow",
+        cpu_map={
+            "FC": (("FusedMatMul", 1.0),),
+            "FusedFC": (("FusedMatMul", 1.0),),
+            "SparseLengthsSum": _SLS_SPLIT,
+            "GroupedSparseLengthsSum": _SLS_SPLIT,
+            "Gather": (("ResourceGather", 1.0),),
+            "Concat": (("ConcatV2", 1.0),),
+            "RecurrentNetwork": (("GRUBlockCell", 1.0),),
+            "AUGRU": (("GRUBlockCell", 1.0),),
+            "LocalActivation": (
+                ("ConcatV2", 0.25),
+                ("FusedMatMul", 0.62),
+                ("Sum", 0.13),
+            ),
+            "AttentionScores": (("BatchMatMulV2", 1.0),),
+            "BatchMatMul": (("BatchMatMulV2", 1.0),),
+            "DotInteraction": (("BatchMatMulV2", 0.8), ("ConcatV2", 0.2)),
+            "Mul": (("Mul", 1.0),),
+            "Add": (("AddV2", 1.0),),
+        },
+        gpu_map={
+            "FC": (("FusedMatMul", 1.0),),
+            "FusedFC": (("FusedMatMul", 1.0),),
+            "SparseLengthsSum": _SLS_SPLIT,
+            "GroupedSparseLengthsSum": _SLS_SPLIT,
+            "Gather": (("ResourceGather", 1.0),),
+            "Concat": (("ConcatV2", 1.0),),
+            "RecurrentNetwork": (("GRUBlockCell", 1.0),),
+            "AUGRU": (("GRUBlockCell", 1.0),),
+            "LocalActivation": (
+                ("ConcatV2", 0.55),
+                ("FusedMatMul", 0.33),
+                ("Sum", 0.12),
+            ),
+            "AttentionScores": (("BatchMatMulV2", 1.0),),
+            "BatchMatMul": (("BatchMatMulV2", 1.0),),
+            "DotInteraction": (("BatchMatMulV2", 0.7), ("ConcatV2", 0.3)),
+            "Mul": (("Mul", 1.0),),
+            "Add": (("AddV2", 1.0),),
+        },
+        runtime_overhead=1.06,
+    )
+)
+
+#: Correspondence between the two vocabularies for dominant-operator
+#: comparisons (Fig 7's "the mapping of the operator responsible...").
+CAFFE2_TO_TF_EQUIVALENTS = {
+    "FC": ("FusedMatMul",),
+    "SparseLengthsSum": ("ResourceGather", "Sum"),
+    "Concat": ("ConcatV2",),
+    "RecurrentNetwork": ("GRUBlockCell",),
+}

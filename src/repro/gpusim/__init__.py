@@ -1,0 +1,16 @@
+"""GPU performance model (roofline kernels + PCIe transfers)."""
+
+from repro.gpusim.device import GpuGraphProfile, GpuModel, GpuOpProfile
+from repro.gpusim.kernels import COMPUTE_EFFICIENCY, KernelCostModel, OpDeviceProfile
+from repro.gpusim.pcie import PcieModel, TransferProfile
+
+__all__ = [
+    "GpuModel",
+    "GpuGraphProfile",
+    "GpuOpProfile",
+    "KernelCostModel",
+    "OpDeviceProfile",
+    "COMPUTE_EFFICIENCY",
+    "PcieModel",
+    "TransferProfile",
+]

@@ -1,0 +1,60 @@
+"""PCIe 3.0 host-to-device transfer model.
+
+The paper's Fig 4 attributes the bulk of GPU "data communication"
+overhead to loading inference inputs (continuous features + categorical
+indices) over PCIe. Caffe2 issues one host-to-device copy per input
+tensor, so models with many embedding tables (RM2: 33 inputs, WnD: 28)
+pay a fixed per-transfer latency that dominates at small batch, while
+the byte volume dominates at large batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hw.platform import GpuSpec
+
+__all__ = ["TransferProfile", "PcieModel"]
+
+
+@dataclass(frozen=True)
+class TransferProfile:
+    num_transfers: int
+    total_bytes: int
+    seconds: float
+
+    @property
+    def effective_gbps(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.total_bytes / self.seconds / 1e9
+
+
+class PcieModel:
+    def __init__(self, spec: GpuSpec) -> None:
+        self.spec = spec
+
+    #: Host-side staging throughput (batch assembly + pinned-buffer
+    #: copy before the DMA), GB/s. This is the "data loading" part of
+    #: Fig 4 that is neither kernel time nor raw PCIe wire time.
+    HOST_STAGING_GBPS = 6.0
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """One host-to-device copy of ``nbytes`` (staging + DMA)."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        return (
+            self.spec.pcie_latency_us * 1e-6
+            + nbytes / (self.HOST_STAGING_GBPS * 1e9)
+            + nbytes / (self.spec.pcie_bandwidth_gbps * 1e9)
+        )
+
+    def batch_transfer(self, tensor_bytes: Sequence[int]) -> TransferProfile:
+        """Copies for one inference batch: one transfer per input tensor."""
+        seconds = sum(self.transfer_seconds(b) for b in tensor_bytes)
+        return TransferProfile(
+            num_transfers=len(tensor_bytes),
+            total_bytes=int(sum(tensor_bytes)),
+            seconds=seconds,
+        )

@@ -1,0 +1,21 @@
+"""Operator graph IR: tensor specs, graphs, builder, functional executor."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.passes import fuse_fc_activations, group_sls_into_concat, optimize
+from repro.graph.executor import ExecutionTrace, execute, execute_traced
+from repro.graph.graph import Graph, GraphError, Node
+from repro.graph.tensor import TensorSpec
+
+__all__ = [
+    "TensorSpec",
+    "Graph",
+    "GraphError",
+    "Node",
+    "GraphBuilder",
+    "execute",
+    "execute_traced",
+    "ExecutionTrace",
+    "optimize",
+    "fuse_fc_activations",
+    "group_sls_into_concat",
+]

@@ -1,0 +1,50 @@
+"""Fluent helper for assembling graphs.
+
+Model definitions in :mod:`repro.models` read much more naturally when
+each operator application is one line; ``GraphBuilder`` provides that,
+generating unique node names and marking outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.graph.tensor import TensorSpec
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incremental graph construction with auto-generated node names."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.graph = Graph(name)
+        self._counts: Dict[str, int] = {}
+
+    def input(self, name: str, shape: Sequence[int], dtype: str = "float32") -> str:
+        return self.graph.add_input(name, TensorSpec(tuple(shape), dtype))
+
+    def apply(
+        self,
+        op,
+        inputs: "str | Sequence[str]",
+        name: Optional[str] = None,
+    ) -> str:
+        """Add ``op`` consuming ``inputs``; returns the new edge name."""
+        if isinstance(inputs, str):
+            inputs = [inputs]
+        if name is None:
+            kind = getattr(op, "kind", type(op).__name__)
+            index = self._counts.get(kind, 0)
+            self._counts[kind] = index + 1
+            name = f"{kind.lower()}_{index}"
+        return self.graph.add_node(name, op, inputs)
+
+    def output(self, *names: str) -> None:
+        for n in names:
+            self.graph.mark_output(n)
+
+    def build(self) -> Graph:
+        self.graph.validate()
+        return self.graph

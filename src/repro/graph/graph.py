@@ -1,0 +1,149 @@
+"""Operator graph: nodes, wiring, validation, and topological order.
+
+Graphs are DAGs of named nodes. Each node applies one
+:class:`~repro.ops.base.Operator` to the outputs of earlier nodes (or
+to graph inputs). Shape inference runs eagerly at wiring time, so a
+fully built graph always has a concrete :class:`TensorSpec` on every
+edge — both the functional executor and the performance models rely on
+that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graph.tensor import TensorSpec
+
+__all__ = ["GraphError", "Node", "Graph"]
+
+
+class GraphError(ValueError):
+    """Raised for malformed graph construction or execution."""
+
+
+@dataclass(frozen=True)
+class Node:
+    """One operator application inside a graph."""
+
+    name: str
+    op: "object"  # repro.ops.base.Operator (kept loose to avoid cycles)
+    inputs: Tuple[str, ...]
+    output_spec: TensorSpec
+
+    @property
+    def kind(self) -> str:
+        return getattr(self.op, "kind", type(self.op).__name__)
+
+
+class Graph:
+    """A directed acyclic operator graph with named edges.
+
+    Edges are identified by the producing node's name; graph inputs are
+    declared with :meth:`add_input` and referenced the same way.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._inputs: Dict[str, TensorSpec] = {}
+        self._nodes: Dict[str, Node] = {}
+        self._order: List[str] = []
+        self._outputs: List[str] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_input(self, name: str, spec: TensorSpec) -> str:
+        if name in self._inputs or name in self._nodes:
+            raise GraphError(f"duplicate name {name!r}")
+        self._inputs[name] = spec
+        return name
+
+    def add_node(self, name: str, op, inputs: Sequence[str]) -> str:
+        """Append an operator node; runs shape inference immediately."""
+        if name in self._inputs or name in self._nodes:
+            raise GraphError(f"duplicate name {name!r}")
+        input_specs = [self.spec_of(i) for i in inputs]
+        output_spec = op.infer_shape(input_specs)
+        node = Node(name=name, op=op, inputs=tuple(inputs), output_spec=output_spec)
+        self._nodes[name] = node
+        self._order.append(name)
+        return name
+
+    def mark_output(self, name: str) -> None:
+        if name not in self._nodes and name not in self._inputs:
+            raise GraphError(f"unknown tensor {name!r}")
+        if name not in self._outputs:
+            self._outputs.append(name)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def input_names(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def input_specs(self) -> Dict[str, TensorSpec]:
+        return dict(self._inputs)
+
+    @property
+    def output_names(self) -> List[str]:
+        return list(self._outputs)
+
+    @property
+    def nodes(self) -> List[Node]:
+        """Nodes in topological (insertion) order."""
+        return [self._nodes[n] for n in self._order]
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise GraphError(f"unknown node {name!r}") from None
+
+    def spec_of(self, name: str) -> TensorSpec:
+        if name in self._inputs:
+            return self._inputs[name]
+        if name in self._nodes:
+            return self._nodes[name].output_spec
+        raise GraphError(f"unknown tensor {name!r}")
+
+    def has_tensor(self, name: str) -> bool:
+        return name in self._inputs or name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def kinds(self) -> List[str]:
+        """Operator kinds in topological order (for lowering/analysis)."""
+        return [n.kind for n in self.nodes]
+
+    @property
+    def parameter_bytes(self) -> int:
+        """Total parameter footprint across all node operators."""
+        return sum(getattr(n.op, "parameter_bytes", 0) for n in self.nodes)
+
+    def validate(self) -> None:
+        """Re-check wiring invariants; raises :class:`GraphError`."""
+        seen = set(self._inputs)
+        for name in self._order:
+            node = self._nodes[name]
+            for src in node.inputs:
+                if src not in seen:
+                    raise GraphError(
+                        f"node {name!r} consumes {src!r} before it is defined"
+                    )
+            seen.add(name)
+        if not self._outputs:
+            raise GraphError("graph has no outputs marked")
+        for out in self._outputs:
+            if out not in seen:
+                raise GraphError(f"output {out!r} is undefined")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Graph {self.name!r}: {len(self._inputs)} inputs, "
+            f"{len(self._nodes)} nodes, {len(self._outputs)} outputs>"
+        )

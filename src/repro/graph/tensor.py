@@ -1,0 +1,66 @@
+"""Tensor specifications for the operator graph IR.
+
+The graph IR separates *specification* (shape + dtype, used by shape
+inference and the analytical performance models) from *values* (NumPy
+arrays, used by the functional executor). ``TensorSpec`` is the
+specification half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["TensorSpec"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape and dtype of one tensor flowing through a graph.
+
+    Shapes are concrete (no symbolic dimensions): graphs are built per
+    batch size, which keeps both execution and cost modeling simple.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if any(d < 0 for d in self.shape):
+            raise ValueError(f"negative dimension in shape {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def itemsize(self) -> int:
+        return int(np.dtype(self.dtype).itemsize)
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.itemsize
+
+    def with_shape(self, shape: Tuple[int, ...]) -> "TensorSpec":
+        return TensorSpec(tuple(shape), self.dtype)
+
+    @staticmethod
+    def like(array: np.ndarray) -> "TensorSpec":
+        return TensorSpec(tuple(array.shape), str(array.dtype))
+
+    def matches(self, array: np.ndarray) -> bool:
+        """Whether a concrete array conforms to this spec."""
+        return tuple(array.shape) == self.shape and str(array.dtype) == self.dtype
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{self.dtype}[{dims}]"

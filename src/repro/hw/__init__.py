@@ -1,0 +1,31 @@
+"""Hardware platform specifications (paper Table II)."""
+
+from repro.hw.platform import (
+    BROADWELL,
+    CASCADE_LAKE,
+    GTX_1080_TI,
+    PLATFORM_ORDER,
+    PLATFORMS,
+    T4,
+    CpuSpec,
+    GpuSpec,
+    PlatformSpec,
+    cpu_platforms,
+    gpu_platforms,
+    platform_by_name,
+)
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "PlatformSpec",
+    "BROADWELL",
+    "CASCADE_LAKE",
+    "GTX_1080_TI",
+    "T4",
+    "PLATFORMS",
+    "PLATFORM_ORDER",
+    "platform_by_name",
+    "cpu_platforms",
+    "gpu_platforms",
+]

@@ -1,0 +1,274 @@
+"""Hardware platform specifications (paper Table II).
+
+Two server CPUs (Intel Broadwell Xeon E5-2697A v4, Cascade Lake Xeon
+Gold 6242) and two GPUs (NVIDIA GTX 1080 Ti / Pascal, T4 / Turing).
+Spec values are Table II's, augmented with the microarchitectural
+parameters the pipeline models need (issue width, port counts, DSB
+capacity, latencies, branch-predictor quality). Where the paper/Intel
+documentation gives a number we use it; remaining parameters are
+standard published values for these microarchitectures, centralized
+here so ablation benches can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Union
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "PlatformSpec",
+    "BROADWELL",
+    "CASCADE_LAKE",
+    "GTX_1080_TI",
+    "T4",
+    "PLATFORMS",
+    "platform_by_name",
+    "cpu_platforms",
+    "gpu_platforms",
+]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A server-class CPU for single-threaded Caffe2 inference."""
+
+    name: str
+    microarchitecture: str
+    frequency_ghz: float
+    cores: int
+    simd_width_bits: int
+    has_vnni: bool
+    l1d_kb: int
+    l1i_kb: int
+    l2_kb: int
+    l3_mb: float
+    cache_inclusive: bool  # L2/L3 inclusion policy
+    dram_capacity_gb: int
+    ddr_type: str
+    ddr_frequency_mhz: int
+    dram_bandwidth_gbps: float
+    tdp_w: int
+
+    # -- microarchitectural parameters beyond Table II --------------------
+    #: Pipeline issue/rename width (slots per cycle for TopDown).
+    issue_width: int = 4
+    #: Execution ports: 4 ALU/vector-capable, 2 load, 2 store on both
+    #: Broadwell and Cascade Lake (8 functional units, Fig 10).
+    alu_ports: int = 4
+    load_ports: int = 2
+    store_ports: int = 2
+    #: Ports that can start an FMA each cycle.
+    fma_ports: int = 2
+    #: Decoded stream buffer capacity in micro-ops.
+    dsb_uops: int = 1536
+    #: Legacy decode pipeline (MITE) throughput, instructions/cycle.
+    mite_width: float = 4.0
+    #: DSB delivery throughput, micro-ops/cycle.
+    dsb_width: float = 6.0
+    #: Cache access latencies, cycles.
+    l1_latency: int = 4
+    l2_latency: int = 12
+    l3_latency: int = 42
+    #: DRAM access latency, nanoseconds.
+    dram_latency_ns: float = 80.0
+    #: Branch mispredict pipeline flush penalty, cycles.
+    branch_penalty: int = 16
+    #: Fraction of "hard" (high-entropy) branches the predictor still
+    #: gets right; Skylake-class predictors resolve more patterns.
+    predictor_quality: float = 0.80
+    #: Miss-status-holding registers / offcore request buffer depth;
+    #: bounds gather memory-level parallelism and defines the 70 %
+    #: occupancy threshold of the DRAM-congestion rule (Fig 14).
+    max_offcore_requests: int = 10
+    #: Sustained cache bandwidths seen by one core, bytes/cycle.
+    l2_bandwidth_bpc: float = 32.0
+    l3_bandwidth_bpc: float = 13.0
+
+    @property
+    def kind(self) -> str:
+        return "cpu"
+
+    @property
+    def simd_fp32_lanes(self) -> int:
+        return self.simd_width_bits // 32
+
+    @property
+    def l3_effective_kb(self) -> float:
+        """Capacity visible to one core's working set.
+
+        Inclusive L3 (Broadwell) duplicates L2 contents; exclusive
+        (Cascade Lake) adds L2 and L3 capacity.
+        """
+        if self.cache_inclusive:
+            return self.l3_mb * 1024
+        return self.l3_mb * 1024 + self.l2_kb
+
+    def with_overrides(self, **kwargs) -> "CpuSpec":
+        """Spec variant for ablation studies."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A PCIe-attached AI-accelerator GPU."""
+
+    name: str
+    microarchitecture: str
+    frequency_ghz: float
+    sm_count: int
+    cuda_capability: str
+    l1_kb: int
+    l2_mb: float
+    dram_capacity_gb: int
+    ddr_type: str
+    ddr_frequency_mhz: int
+    dram_bandwidth_gbps: float
+    tdp_w: int
+
+    #: FP32 CUDA cores per SM (128 for both Pascal GP102 and Turing TU104).
+    cores_per_sm: int = 128
+    #: Host link: PCIe 3.0 x16 effective bandwidth (GB/s each way).
+    pcie_bandwidth_gbps: float = 12.0
+    #: Per-transfer latency, microseconds: cudaMemcpy call overhead +
+    #: driver synchronization for each (unpinned) input-tensor copy.
+    pcie_latency_us: float = 15.0
+    #: Kernel launch + framework dispatch overhead, microseconds
+    #: (async stream queuing amortizes the raw driver cost).
+    kernel_launch_us: float = 3.0
+
+    @property
+    def kind(self) -> str:
+        return "gpu"
+
+    @property
+    def peak_fp32_tflops(self) -> float:
+        return 2.0 * self.sm_count * self.cores_per_sm * self.frequency_ghz / 1e3
+
+    def with_overrides(self, **kwargs) -> "GpuSpec":
+        return replace(self, **kwargs)
+
+
+PlatformSpec = Union[CpuSpec, GpuSpec]
+
+
+BROADWELL = CpuSpec(
+    name="Xeon E5-2697A",
+    microarchitecture="Broadwell",
+    frequency_ghz=2.6,
+    cores=16,
+    simd_width_bits=256,  # AVX-2
+    has_vnni=False,
+    l1d_kb=32,
+    l1i_kb=32,
+    l2_kb=256,
+    l3_mb=40.0,
+    cache_inclusive=True,
+    dram_capacity_gb=256,
+    ddr_type="DDR4",
+    ddr_frequency_mhz=2400,
+    dram_bandwidth_gbps=77.0,
+    tdp_w=145,
+    branch_penalty=16,
+    predictor_quality=0.80,
+)
+
+CASCADE_LAKE = CpuSpec(
+    name="Xeon Gold 6242",
+    microarchitecture="Cascade Lake",
+    frequency_ghz=2.8,
+    cores=16,
+    simd_width_bits=512,  # AVX-512 (+VNNI)
+    has_vnni=True,
+    l1d_kb=32,
+    l1i_kb=32,
+    l2_kb=1024,
+    l3_mb=22.0,
+    cache_inclusive=False,
+    dram_capacity_gb=384,
+    ddr_type="DDR4",
+    ddr_frequency_mhz=2933,
+    dram_bandwidth_gbps=131.0,
+    tdp_w=150,
+    # Skylake-class frontend/speculation improvements (paper Section
+    # VI-B #5; Fog 2020: reduced wrong-target penalties).
+    branch_penalty=14,
+    predictor_quality=0.93,
+    l2_latency=14,
+    l3_latency=50,
+    dram_latency_ns=75.0,
+    # AVX-512 doubles the L1/L2 data-path width; the non-inclusive mesh
+    # L3 delivers slightly less per core than Broadwell's ring.
+    l2_bandwidth_bpc=64.0,
+    l3_bandwidth_bpc=11.0,
+)
+
+GTX_1080_TI = GpuSpec(
+    name="GTX 1080 Ti",
+    microarchitecture="Pascal",
+    frequency_ghz=1.48,
+    sm_count=28,
+    cuda_capability="6.1",
+    l1_kb=48,
+    l2_mb=2.75,
+    dram_capacity_gb=11,
+    ddr_type="GDDR5X",
+    ddr_frequency_mhz=1376,
+    dram_bandwidth_gbps=484.4,
+    tdp_w=250,
+)
+
+T4 = GpuSpec(
+    name="T4",
+    microarchitecture="Turing",
+    frequency_ghz=0.58,
+    sm_count=40,
+    cuda_capability="7.5",
+    l1_kb=64,
+    l2_mb=4.0,
+    dram_capacity_gb=16,
+    ddr_type="GDDR6",
+    ddr_frequency_mhz=1250,
+    dram_bandwidth_gbps=320.0,
+    tdp_w=70,
+    # Turing's lower launch/driver overhead path + better small-batch
+    # scheduling (paper: T4 advantageous at small batch for RM1/RM2).
+    kernel_launch_us=2.4,
+    pcie_latency_us=12.0,
+)
+
+PLATFORMS: Dict[str, PlatformSpec] = {
+    "broadwell": BROADWELL,
+    "cascade_lake": CASCADE_LAKE,
+    "gtx1080ti": GTX_1080_TI,
+    "t4": T4,
+}
+
+#: Paper presentation order.
+PLATFORM_ORDER: List[str] = ["broadwell", "cascade_lake", "gtx1080ti", "t4"]
+
+
+def platform_by_name(name: str) -> PlatformSpec:
+    key = name.lower().replace("-", "_").replace(" ", "_")
+    aliases = {
+        "bdw": "broadwell",
+        "clx": "cascade_lake",
+        "cascadelake": "cascade_lake",
+        "1080ti": "gtx1080ti",
+        "gtx_1080_ti": "gtx1080ti",
+        "pascal": "gtx1080ti",
+        "turing": "t4",
+    }
+    key = aliases.get(key, key)
+    if key not in PLATFORMS:
+        raise KeyError(f"unknown platform {name!r}; available: {sorted(PLATFORMS)}")
+    return PLATFORMS[key]
+
+
+def cpu_platforms() -> Dict[str, CpuSpec]:
+    return {k: v for k, v in PLATFORMS.items() if v.kind == "cpu"}
+
+
+def gpu_platforms() -> Dict[str, GpuSpec]:
+    return {k: v for k, v in PLATFORMS.items() if v.kind == "gpu"}

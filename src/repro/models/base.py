@@ -1,0 +1,152 @@
+"""Base class shared by the eight recommendation models.
+
+A model knows how to
+
+* build its operator :class:`~repro.graph.graph.Graph` for a concrete
+  batch size,
+* describe its input tensors (so :mod:`repro.workloads` can synthesize
+  query batches), and
+* report its *architecture features* — the normalized algorithmic
+  descriptors the paper regresses against pipeline bottlenecks in
+  Fig 16.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Tuple
+
+from repro.graph import Graph, GraphBuilder, TensorSpec
+from repro.models.config import EmbeddingGroupConfig, MlpConfig, ModelInfo
+from repro.ops import FC, Relu, Sigmoid, Tanh
+
+__all__ = ["RecommendationModel", "InputDescription"]
+
+
+class InputDescription:
+    """What one graph input carries, for workload synthesis."""
+
+    DENSE = "dense"
+    INDICES = "indices"
+
+    def __init__(self, name: str, kind: str, spec: TensorSpec, rows: int = 0) -> None:
+        self.name = name
+        self.kind = kind
+        self.spec = spec
+        #: For index inputs, the nominal table row count (index range).
+        self.rows = rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Input {self.name} {self.kind} {self.spec}>"
+
+
+_ACTIVATIONS = {"Relu": Relu, "Sigmoid": Sigmoid, "Tanh": Tanh}
+
+
+class RecommendationModel(ABC):
+    """One member of the eight-model suite."""
+
+    #: Short identifier, e.g. ``"rm2"``; set by subclasses.
+    name: str = "model"
+    info: ModelInfo
+
+    @abstractmethod
+    def build_graph(self, batch_size: int) -> Graph:
+        """Operator graph for one inference batch."""
+
+    @abstractmethod
+    def input_descriptions(self, batch_size: int) -> List[InputDescription]:
+        """Inputs required by :meth:`build_graph` for this batch size."""
+
+    @abstractmethod
+    def embedding_groups(self) -> List[EmbeddingGroupConfig]:
+        """All embedding-table groups in the model."""
+
+    # -- derived quantities --------------------------------------------------
+
+    def total_embedding_tables(self) -> int:
+        return sum(g.num_tables for g in self.embedding_groups())
+
+    def lookups_per_table(self) -> float:
+        groups = self.embedding_groups()
+        tables = sum(g.num_tables for g in groups)
+        if not tables:
+            return 0.0
+        return sum(g.total_lookups for g in groups) / tables
+
+    def embedding_weight_bytes(self) -> int:
+        return sum(g.weight_bytes for g in self.embedding_groups())
+
+    def fc_weight_bytes(self, batch_size: int = 16) -> int:
+        graph = self.build_graph(batch_size)
+        total = 0
+        for node in graph.nodes:
+            if node.kind in ("FC", "RecurrentNetwork", "AUGRU", "LocalActivation"):
+                total += getattr(node.op, "parameter_bytes", 0)
+        return total
+
+    def architecture_features(self, batch_size: int = 16) -> Dict[str, float]:
+        """Raw (un-normalized) algorithmic features for the Fig 16 model.
+
+        The paper's regression inputs revolve around the FC/embedding
+        balance, the *distribution* of FC weights through the stack
+        (top-heaviness), lookup volume, and the attention/recurrence
+        implementation style.
+        """
+        graph = self.build_graph(batch_size)
+        fc_bytes_by_node = [
+            getattr(n.op, "parameter_bytes", 0)
+            for n in graph.nodes
+            if n.kind == "FC"
+        ]
+        fc_total = sum(fc_bytes_by_node) or 1
+        # Top-heaviness: share of FC weights in the second half of the
+        # topological order (the "top" stacks past feature interaction).
+        half = len(fc_bytes_by_node) // 2
+        top_share = sum(fc_bytes_by_node[half:]) / fc_total
+        emb_bytes = self.embedding_weight_bytes()
+        groups = self.embedding_groups()
+        return {
+            "fc_weight_bytes": float(sum(fc_bytes_by_node)),
+            "embedding_weight_bytes": float(emb_bytes),
+            "fc_to_embedding_ratio": sum(fc_bytes_by_node) / max(emb_bytes, 1),
+            "fc_top_heaviness": top_share,
+            "num_tables": float(self.total_embedding_tables()),
+            "lookups_per_table": float(self.lookups_per_table()),
+            "latent_dim": float(max((g.dim for g in groups), default=0)),
+            "attention_units": float(
+                sum(
+                    g.total_lookups
+                    for g in groups
+                    if getattr(self, "attention_over", None) == g.name
+                )
+            ),
+            "recurrent_steps": float(getattr(self, "recurrent_steps", 0)),
+        }
+
+    # -- graph-building helpers ----------------------------------------------
+
+    @staticmethod
+    def _mlp(
+        builder: GraphBuilder,
+        x: str,
+        input_dim: int,
+        mlp: MlpConfig,
+        seed_prefix: str,
+    ) -> Tuple[str, int]:
+        """Append an FC stack; returns (edge name, output dim)."""
+        prev_dim = input_dim
+        edge = x
+        last = len(mlp.layer_dims) - 1
+        for i, dim in enumerate(mlp.layer_dims):
+            edge = builder.apply(
+                FC(prev_dim, dim, seed_key=f"{seed_prefix}/{mlp.name}/{i}"), edge
+            )
+            act_name = mlp.final_activation if i == last else mlp.activation
+            if act_name:
+                edge = builder.apply(_ACTIVATIONS[act_name](), edge)
+            prev_dim = dim
+        return edge, prev_dim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

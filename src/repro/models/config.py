@@ -1,0 +1,78 @@
+"""Configuration dataclasses for the recommendation model zoo.
+
+Every architectural knob the paper calls out as "highly configurable"
+(Section II-B: number of tables, lookups per table, rows, latent
+dimension, DNN-stack shapes) is an explicit field here, so studies can
+sweep them and Table I can be rendered straight from the configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["EmbeddingGroupConfig", "MlpConfig", "ModelInfo"]
+
+
+@dataclass(frozen=True)
+class EmbeddingGroupConfig:
+    """A group of identically-shaped embedding tables."""
+
+    name: str
+    num_tables: int
+    rows: int
+    dim: int
+    lookups_per_table: int
+    #: Temporal locality of the lookup distribution in [0, 1]
+    #: (Zipf-skewed production traffic re-touches hot rows).
+    locality: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.num_tables <= 0 or self.rows <= 0 or self.dim <= 0:
+            raise ValueError(f"invalid embedding group {self.name!r}")
+        if self.lookups_per_table <= 0:
+            raise ValueError("lookups_per_table must be positive")
+
+    @property
+    def total_lookups(self) -> int:
+        return self.num_tables * self.lookups_per_table
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.num_tables * self.rows * self.dim * 4
+
+
+@dataclass(frozen=True)
+class MlpConfig:
+    """A stack of FC layers with interleaved activations."""
+
+    name: str
+    layer_dims: Tuple[int, ...]
+    activation: str = "Relu"
+    final_activation: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.layer_dims:
+            raise ValueError(f"MLP {self.name!r} needs at least one layer")
+        if any(d <= 0 for d in self.layer_dims):
+            raise ValueError(f"MLP {self.name!r} has non-positive layer dim")
+
+    def weight_bytes(self, input_dim: int) -> int:
+        total = 0
+        prev = input_dim
+        for dim in self.layer_dims:
+            total += (prev * dim + dim) * 4
+            prev = dim
+        return total
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Table I row: provenance and qualitative insight for one model."""
+
+    name: str
+    display_name: str
+    application_domain: str
+    evaluation_dataset: str
+    use_case: str
+    architecture_insight: str

@@ -1,0 +1,176 @@
+"""Deep Interest Evolution Network (Zhou et al., AAAI'19).
+
+DIEN replaces DIN's per-lookup local activation units with explicit
+recurrence: an *interest extractor* GRU summarizes the behavior
+sequence, attention scores each hidden state against the candidate
+item, and an attentional AUGRU evolves the final interest state.
+
+The paper's point (Sections IV, VI): the GRU implementation "more
+efficiently translates to matrix operations" — regular, cache-friendly
+loops (i-MPKI 7.7 < DIN's 12.4) and up to ~7x GPU speedup versus DIN's
+sub-4x — at the cost of timestep serialization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph import Graph, GraphBuilder, TensorSpec
+from repro.models.base import InputDescription, RecommendationModel
+from repro.models.config import EmbeddingGroupConfig, MlpConfig, ModelInfo
+from repro.ops import (
+    AUGRU,
+    AttentionScores,
+    Concat,
+    EmbeddingTable,
+    Gather,
+    GRU,
+    Sigmoid,
+    Softmax,
+    SparseLengthsSum,
+)
+
+__all__ = ["DIEN"]
+
+
+class DIEN(RecommendationModel):
+    name = "dien"
+    info = ModelInfo(
+        name="dien",
+        display_name="DIEN",
+        application_domain="E-Commerce",
+        evaluation_dataset="Alibaba - Taobao",
+        use_case="Model evolving user preferences (i.e., time-series nature of dataset)",
+        architecture_insight=(
+            "Medium model with interaction GRUs to replace large amount of "
+            "lookups found in DIN"
+        ),
+    )
+
+    def __init__(
+        self,
+        sequence_length: int = 50,
+        behavior_rows: int = 100_000,
+        embedding_dim: int = 64,
+        hidden_dim: int = 64,
+        num_profile_tables: int = 2,
+        profile_rows: int = 100_000,
+        output_layers: Tuple[int, ...] = (200, 80, 1),
+        table_locality: float = 0.25,
+    ) -> None:
+        self.sequence_length = sequence_length
+        self.behavior_rows = behavior_rows
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.num_profile_tables = num_profile_tables
+        self.profile_rows = profile_rows
+        self.output_mlp = MlpConfig("dien_output", tuple(output_layers))
+        self.table_locality = table_locality
+
+        self._behavior_table = EmbeddingTable(
+            behavior_rows, embedding_dim, ("dien", "behavior"),
+            lookup_locality=table_locality,
+        )
+        self._candidate_table = EmbeddingTable(
+            behavior_rows, embedding_dim, ("dien", "candidate"),
+            lookup_locality=table_locality,
+        )
+        self._profile_tables = [
+            EmbeddingTable(
+                profile_rows, embedding_dim, ("dien", "profile", i),
+                lookup_locality=table_locality,
+            )
+            for i in range(num_profile_tables)
+        ]
+        self._interest_gru = GRU(
+            embedding_dim, hidden_dim, return_sequence=True, seed_key=("dien", "gru1")
+        )
+        self._evolution_gru = AUGRU(hidden_dim, hidden_dim, seed_key=("dien", "augru"))
+
+    #: Timestep serialization reported to the feature extractor (Fig 16).
+    @property
+    def recurrent_steps(self) -> int:
+        return 2 * self.sequence_length  # two stacked recurrent layers
+
+    def embedding_groups(self) -> List[EmbeddingGroupConfig]:
+        return [
+            EmbeddingGroupConfig(
+                "behavior",
+                1,
+                self.behavior_rows,
+                self.embedding_dim,
+                self.sequence_length,
+                self.table_locality,
+            ),
+            EmbeddingGroupConfig(
+                "candidate", 1, self.behavior_rows, self.embedding_dim, 1,
+                self.table_locality,
+            ),
+            EmbeddingGroupConfig(
+                "profile",
+                self.num_profile_tables,
+                self.profile_rows,
+                self.embedding_dim,
+                1,
+                self.table_locality,
+            ),
+        ]
+
+    def input_descriptions(self, batch_size: int) -> List[InputDescription]:
+        inputs = [
+            InputDescription(
+                "behavior_ids",
+                InputDescription.INDICES,
+                TensorSpec((batch_size, self.sequence_length), "int64"),
+                rows=self.behavior_rows,
+            ),
+            InputDescription(
+                "candidate_id",
+                InputDescription.INDICES,
+                TensorSpec((batch_size, 1), "int64"),
+                rows=self.behavior_rows,
+            ),
+        ]
+        for i in range(self.num_profile_tables):
+            inputs.append(
+                InputDescription(
+                    f"profile_{i}",
+                    InputDescription.INDICES,
+                    TensorSpec((batch_size, 1), "int64"),
+                    rows=self.profile_rows,
+                )
+            )
+        return inputs
+
+    def build_graph(self, batch_size: int) -> Graph:
+        b = GraphBuilder(f"dien_b{batch_size}")
+        behavior_ids = b.input(
+            "behavior_ids", (batch_size, self.sequence_length), "int64"
+        )
+        candidate_id = b.input("candidate_id", (batch_size, 1), "int64")
+        profile_inputs = [
+            b.input(f"profile_{i}", (batch_size, 1), "int64")
+            for i in range(self.num_profile_tables)
+        ]
+
+        behaviors = b.apply(Gather(self._behavior_table), behavior_ids)
+        candidate = b.apply(SparseLengthsSum(self._candidate_table), candidate_id)
+
+        # Interest extraction over the behavior sequence.
+        hidden_seq = b.apply(self._interest_gru, behaviors)
+        scores = b.apply(AttentionScores(), [hidden_seq, candidate])
+        weights = b.apply(Softmax(), scores)
+        interest = b.apply(self._evolution_gru, [hidden_seq, weights])
+
+        profiles = [
+            b.apply(SparseLengthsSum(table), idx)
+            for table, idx in zip(self._profile_tables, profile_inputs)
+        ]
+        features = b.apply(Concat(axis=1), [interest, candidate] + profiles)
+        feature_dim = (
+            self.hidden_dim + (1 + self.num_profile_tables) * self.embedding_dim
+        )
+        logit, _ = self._mlp(b, features, feature_dim, self.output_mlp, "dien")
+        score = b.apply(Sigmoid(), logit)
+        b.output(score)
+        return b.build()

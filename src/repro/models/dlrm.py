@@ -1,0 +1,226 @@
+"""DLRM (Naumov et al. 2019) and the paper's RM1 / RM2 / RM3 variants.
+
+The Deep Learning Recommendation Model processes continuous features
+with a *bottom* MLP, gathers-and-pools categorical features with one
+``SparseLengthsSum`` per table, crosses everything with a pairwise
+dot-product interaction, and scores with a *top* MLP.
+
+The three paper configurations stress opposite ends of the design
+space (Table I):
+
+* **RM1** — early-stage social-media filter: small FC stacks, a
+  *medium* number of lookups per table (80).
+* **RM2** — late-stage ranker over categorical features: 4x the
+  tables and 120 lookups per table. Embedding-dominated; the model the
+  paper finds DRAM-bandwidth congested (Fig 14).
+* **RM3** — late-stage ranker over continuous features: very large
+  bottom/top FC stacks with a single lookup per table. The model that
+  saturates Broadwell's functional units (Fig 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.graph import Graph, GraphBuilder, TensorSpec
+from repro.models.base import InputDescription, RecommendationModel
+from repro.models.config import EmbeddingGroupConfig, MlpConfig, ModelInfo
+from repro.ops import (
+    DotInteraction,
+    EmbeddingTable,
+    Sigmoid,
+    SparseLengthsSum,
+)
+
+__all__ = ["DLRMConfig", "DLRM", "make_rm1", "make_rm2", "make_rm3"]
+
+
+@dataclass(frozen=True)
+class DLRMConfig:
+    """Every knob of a DLRM instance."""
+
+    name: str
+    num_dense_features: int
+    num_tables: int
+    rows_per_table: int
+    embedding_dim: int
+    lookups_per_table: int
+    bottom_mlp: Tuple[int, ...]
+    top_mlp: Tuple[int, ...]
+    lookup_locality: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.bottom_mlp[-1] != self.embedding_dim:
+            raise ValueError(
+                "bottom MLP must project dense features to the embedding "
+                f"dimension ({self.bottom_mlp[-1]} != {self.embedding_dim})"
+            )
+
+
+class DLRM(RecommendationModel):
+    """Configurable DLRM; RM1/RM2/RM3 are instances."""
+
+    def __init__(self, config: DLRMConfig, info: ModelInfo) -> None:
+        self.config = config
+        self.name = config.name
+        self.info = info
+        self.bottom = MlpConfig(f"{config.name}_bottom", config.bottom_mlp)
+        self.top = MlpConfig(
+            f"{config.name}_top", config.top_mlp, final_activation=""
+        )
+        self._tables = [
+            EmbeddingTable(
+                config.rows_per_table,
+                config.embedding_dim,
+                (config.name, "table", i),
+                lookup_locality=config.lookup_locality,
+            )
+            for i in range(config.num_tables)
+        ]
+
+    def embedding_groups(self) -> List[EmbeddingGroupConfig]:
+        c = self.config
+        return [
+            EmbeddingGroupConfig(
+                "categorical",
+                c.num_tables,
+                c.rows_per_table,
+                c.embedding_dim,
+                c.lookups_per_table,
+                c.lookup_locality,
+            )
+        ]
+
+    def input_descriptions(self, batch_size: int) -> List[InputDescription]:
+        c = self.config
+        inputs = [
+            InputDescription(
+                "dense",
+                InputDescription.DENSE,
+                TensorSpec((batch_size, c.num_dense_features), "float32"),
+            )
+        ]
+        for i in range(c.num_tables):
+            inputs.append(
+                InputDescription(
+                    f"indices_{i}",
+                    InputDescription.INDICES,
+                    TensorSpec((batch_size, c.lookups_per_table), "int64"),
+                    rows=c.rows_per_table,
+                )
+            )
+        return inputs
+
+    def build_graph(self, batch_size: int) -> Graph:
+        c = self.config
+        b = GraphBuilder(f"{c.name}_b{batch_size}")
+        dense = b.input("dense", (batch_size, c.num_dense_features))
+        index_inputs = [
+            b.input(f"indices_{i}", (batch_size, c.lookups_per_table), "int64")
+            for i in range(c.num_tables)
+        ]
+
+        bottom_out, _ = self._mlp(
+            b, dense, c.num_dense_features, self.bottom, c.name
+        )
+        pooled = [
+            b.apply(SparseLengthsSum(table), idx)
+            for table, idx in zip(self._tables, index_inputs)
+        ]
+        interacted = b.apply(DotInteraction(), [bottom_out] + pooled)
+        interaction_dim = c.num_tables + 1
+        top_in_dim = c.embedding_dim + interaction_dim * (interaction_dim - 1) // 2
+        top_out, _ = self._mlp(b, interacted, top_in_dim, self.top, c.name)
+        score = b.apply(Sigmoid(), top_out)
+        b.output(score)
+        return b.build()
+
+
+_RM1_CONFIG = DLRMConfig(
+    name="rm1",
+    num_dense_features=13,
+    num_tables=8,
+    rows_per_table=1_000_000,
+    embedding_dim=32,
+    lookups_per_table=80,
+    bottom_mlp=(256, 128, 32),
+    top_mlp=(256, 64, 1),
+)
+
+_RM2_CONFIG = DLRMConfig(
+    name="rm2",
+    num_dense_features=13,
+    num_tables=32,
+    rows_per_table=1_000_000,
+    embedding_dim=32,
+    lookups_per_table=120,
+    bottom_mlp=(256, 128, 32),
+    top_mlp=(512, 128, 1),
+)
+
+_RM3_CONFIG = DLRMConfig(
+    name="rm3",
+    num_dense_features=256,
+    num_tables=10,
+    rows_per_table=1_000_000,
+    embedding_dim=64,
+    lookups_per_table=1,
+    bottom_mlp=(2048, 1024, 256, 64),
+    top_mlp=(1024, 512, 256, 1),
+)
+
+
+def make_rm1() -> DLRM:
+    return DLRM(
+        _RM1_CONFIG,
+        ModelInfo(
+            name="rm1",
+            display_name="RM1",
+            application_domain="Social Media",
+            evaluation_dataset="Facebook",
+            use_case="Early stage filtering (i.e., low run-time requirements)",
+            architecture_insight=(
+                "Small model with medium amount (80) of lookups per embedding table"
+            ),
+        ),
+    )
+
+
+def make_rm2() -> DLRM:
+    return DLRM(
+        _RM2_CONFIG,
+        ModelInfo(
+            name="rm2",
+            display_name="RM2",
+            application_domain="Social Media",
+            evaluation_dataset="Facebook",
+            use_case=(
+                "Late stage ranking (i.e., high accuracy requirements) "
+                "targeting categorical features"
+            ),
+            architecture_insight=(
+                "Large model with large amount (120) of lookups per embedding table"
+            ),
+        ),
+    )
+
+
+def make_rm3() -> DLRM:
+    return DLRM(
+        _RM3_CONFIG,
+        ModelInfo(
+            name="rm3",
+            display_name="RM3",
+            application_domain="Social Media",
+            evaluation_dataset="Facebook",
+            use_case=(
+                "Late stage ranking (i.e., high accuracy requirements) "
+                "targeting continuous features"
+            ),
+            architecture_insight=(
+                "Large model with large FC stacks and immediate continuous "
+                "input processing"
+            ),
+        ),
+    )

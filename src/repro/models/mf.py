@@ -1,0 +1,91 @@
+"""Classical matrix-factorization recommendation (paper Fig 2, top).
+
+The paper's background section contrasts deep recommendation with its
+ancestor: collaborative filtering by matrix factorization — one user
+table, one item table, a dot product (``r_ij ~ u_i . v_j``). Included
+as a ninth model so studies can quantify how the deep components
+changed the hardware picture: MF is two lookups and a 64-flop dot
+product per sample; everything the paper characterizes (FC pressure,
+attention i-cache pathologies, gather walls) is absent.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph import Graph, GraphBuilder, TensorSpec
+from repro.models.base import InputDescription, RecommendationModel
+from repro.models.config import EmbeddingGroupConfig, ModelInfo
+from repro.ops import EmbeddingTable, Mul, Sigmoid, SparseLengthsSum, Sum
+
+__all__ = ["MatrixFactorization"]
+
+
+class MatrixFactorization(RecommendationModel):
+    name = "mf"
+    info = ModelInfo(
+        name="mf",
+        display_name="MF",
+        application_domain="Classical collaborative filtering",
+        evaluation_dataset="synthetic",
+        use_case="Pre-deep-learning baseline (paper Fig 2, top)",
+        architecture_insight=(
+            "Two embedding tables and an inner product; no DNN stacks"
+        ),
+    )
+
+    def __init__(
+        self,
+        num_users: int = 100_000,
+        num_items: int = 100_000,
+        latent_dim: int = 64,
+        table_locality: float = 0.3,
+    ) -> None:
+        self.num_users = num_users
+        self.num_items = num_items
+        self.latent_dim = latent_dim
+        self.table_locality = table_locality
+        self._user_table = EmbeddingTable(
+            num_users, latent_dim, ("mf", "user"), lookup_locality=table_locality
+        )
+        self._item_table = EmbeddingTable(
+            num_items, latent_dim, ("mf", "item"), lookup_locality=table_locality
+        )
+
+    def embedding_groups(self) -> List[EmbeddingGroupConfig]:
+        return [
+            EmbeddingGroupConfig(
+                "user", 1, self.num_users, self.latent_dim, 1, self.table_locality
+            ),
+            EmbeddingGroupConfig(
+                "item", 1, self.num_items, self.latent_dim, 1, self.table_locality
+            ),
+        ]
+
+    def input_descriptions(self, batch_size: int) -> List[InputDescription]:
+        return [
+            InputDescription(
+                "user_ids",
+                InputDescription.INDICES,
+                TensorSpec((batch_size, 1), "int64"),
+                rows=self.num_users,
+            ),
+            InputDescription(
+                "item_ids",
+                InputDescription.INDICES,
+                TensorSpec((batch_size, 1), "int64"),
+                rows=self.num_items,
+            ),
+        ]
+
+    def build_graph(self, batch_size: int) -> Graph:
+        b = GraphBuilder(f"mf_b{batch_size}")
+        users = b.input("user_ids", (batch_size, 1), "int64")
+        items = b.input("item_ids", (batch_size, 1), "int64")
+        u = b.apply(SparseLengthsSum(self._user_table), users)
+        v = b.apply(SparseLengthsSum(self._item_table), items)
+        product = b.apply(Mul(), [u, v])
+        score = b.apply(Sum(axis=1), product)
+        prob = b.apply(Sigmoid(), score)
+        b.output(prob)
+        return b.build()

@@ -1,0 +1,106 @@
+"""Neural Collaborative Filtering (He et al., WWW'17).
+
+NCF fuses generalized matrix factorization (GMF — elementwise product
+of user/item embeddings) with an MLP over concatenated embeddings.
+Only **four** embedding tables with one lookup each (Table I: "small
+model with only four embedding tables"), so its runtime is dominated by
+small FC layers — which is exactly why the paper finds it frontend
+(i-cache) bound rather than core bound on Broadwell (Section VI-B #3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph import Graph, GraphBuilder, TensorSpec
+from repro.models.base import InputDescription, RecommendationModel
+from repro.models.config import EmbeddingGroupConfig, MlpConfig, ModelInfo
+from repro.ops import FC, Concat, EmbeddingTable, Mul, Sigmoid, SparseLengthsSum
+
+__all__ = ["NCF"]
+
+
+class NCF(RecommendationModel):
+    name = "ncf"
+    info = ModelInfo(
+        name="ncf",
+        display_name="NCF",
+        application_domain="Movies",
+        evaluation_dataset="MovieLens",
+        use_case="Small amount of required training data (see # of embedding tables)",
+        architecture_insight="Small model with only four embedding tables",
+    )
+
+    def __init__(
+        self,
+        num_users: int = 50_000,
+        num_items: int = 50_000,
+        mf_dim: int = 64,
+        mlp_dim: int = 64,
+        mlp_layers: tuple = (256, 256, 128),
+        table_locality: float = 0.3,
+    ) -> None:
+        self.num_users = num_users
+        self.num_items = num_items
+        self.mf_dim = mf_dim
+        self.mlp_dim = mlp_dim
+        self.mlp = MlpConfig("ncf_mlp", tuple(mlp_layers))
+        self.table_locality = table_locality
+        self._tables = {
+            "user_mf": EmbeddingTable(num_users, mf_dim, ("ncf", "user_mf"),
+                                      lookup_locality=table_locality),
+            "item_mf": EmbeddingTable(num_items, mf_dim, ("ncf", "item_mf"),
+                                      lookup_locality=table_locality),
+            "user_mlp": EmbeddingTable(num_users, mlp_dim, ("ncf", "user_mlp"),
+                                       lookup_locality=table_locality),
+            "item_mlp": EmbeddingTable(num_items, mlp_dim, ("ncf", "item_mlp"),
+                                       lookup_locality=table_locality),
+        }
+
+    def embedding_groups(self) -> List[EmbeddingGroupConfig]:
+        return [
+            EmbeddingGroupConfig(
+                "mf", 2, self.num_users, self.mf_dim, 1, self.table_locality
+            ),
+            EmbeddingGroupConfig(
+                "mlp", 2, self.num_users, self.mlp_dim, 1, self.table_locality
+            ),
+        ]
+
+    def input_descriptions(self, batch_size: int) -> List[InputDescription]:
+        return [
+            InputDescription(
+                "user_ids",
+                InputDescription.INDICES,
+                TensorSpec((batch_size, 1), "int64"),
+                rows=self.num_users,
+            ),
+            InputDescription(
+                "item_ids",
+                InputDescription.INDICES,
+                TensorSpec((batch_size, 1), "int64"),
+                rows=self.num_items,
+            ),
+        ]
+
+    def build_graph(self, batch_size: int) -> Graph:
+        b = GraphBuilder(f"ncf_b{batch_size}")
+        users = b.input("user_ids", (batch_size, 1), "int64")
+        items = b.input("item_ids", (batch_size, 1), "int64")
+
+        user_mf = b.apply(SparseLengthsSum(self._tables["user_mf"]), users)
+        item_mf = b.apply(SparseLengthsSum(self._tables["item_mf"]), items)
+        gmf = b.apply(Mul(), [user_mf, item_mf])
+
+        user_mlp = b.apply(SparseLengthsSum(self._tables["user_mlp"]), users)
+        item_mlp = b.apply(SparseLengthsSum(self._tables["item_mlp"]), items)
+        mlp_in = b.apply(Concat(axis=1), [user_mlp, item_mlp])
+        mlp_out, mlp_dim = self._mlp(b, mlp_in, 2 * self.mlp_dim, self.mlp, "ncf")
+
+        merged = b.apply(Concat(axis=1), [gmf, mlp_out])
+        logit = b.apply(
+            FC(self.mf_dim + mlp_dim, 1, seed_key="ncf/predict"), merged
+        )
+        score = b.apply(Sigmoid(), logit)
+        b.output(score)
+        return b.build()

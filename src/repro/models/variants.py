@@ -1,0 +1,84 @@
+"""Parametric DLRM variants for sensitivity studies.
+
+The paper's Fig 16 regresses bottlenecks against architecture features;
+these helpers generate the controlled experiments behind such a model:
+families of DLRMs that differ in exactly one feature (lookups per
+table, table count, FC width, embedding dimension), so benches can
+show each feature *causing* its bottleneck shift rather than merely
+correlating with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence
+
+from repro.models.config import ModelInfo
+from repro.models.dlrm import DLRM
+
+__all__ = [
+    "dlrm_variant",
+    "lookup_sweep",
+    "table_count_sweep",
+    "fc_width_sweep",
+    "embedding_dim_sweep",
+]
+
+
+def _variant_info(name: str, description: str) -> ModelInfo:
+    return ModelInfo(
+        name=name,
+        display_name=name.upper(),
+        application_domain="Sensitivity study",
+        evaluation_dataset="synthetic",
+        use_case=description,
+        architecture_insight=description,
+    )
+
+
+def dlrm_variant(base: DLRM, suffix: str, **config_overrides) -> DLRM:
+    """A DLRM differing from ``base`` only in the overridden fields."""
+    name = f"{base.config.name}_{suffix}"
+    config = replace(base.config, name=name, **config_overrides)
+    description = ", ".join(f"{k}={v}" for k, v in config_overrides.items())
+    return DLRM(config, _variant_info(name, description or "baseline"))
+
+
+def lookup_sweep(base: DLRM, lookups: Sequence[int]) -> Dict[int, DLRM]:
+    """Same model, varying lookups per table (Fig 16's strongest axis)."""
+    return {
+        n: dlrm_variant(base, f"l{n}", lookups_per_table=n) for n in lookups
+    }
+
+
+def table_count_sweep(base: DLRM, table_counts: Sequence[int]) -> Dict[int, DLRM]:
+    return {
+        n: dlrm_variant(base, f"t{n}", num_tables=n) for n in table_counts
+    }
+
+
+def fc_width_sweep(base: DLRM, scales: Sequence[float]) -> Dict[float, DLRM]:
+    """Scale every hidden FC width (keeping the embedding-dim contract)."""
+    out = {}
+    for scale in scales:
+        bottom = tuple(
+            max(8, int(d * scale)) for d in base.config.bottom_mlp[:-1]
+        ) + (base.config.embedding_dim,)
+        top = tuple(
+            max(8, int(d * scale)) for d in base.config.top_mlp[:-1]
+        ) + (base.config.top_mlp[-1],)
+        out[scale] = dlrm_variant(
+            base, f"fc{scale:g}", bottom_mlp=bottom, top_mlp=top
+        )
+    return out
+
+
+def embedding_dim_sweep(base: DLRM, dims: Sequence[int]) -> Dict[int, DLRM]:
+    """Vary the latent dimension (bottom MLP output tracks it)."""
+    out = {}
+    for dim in dims:
+        bottom = base.config.bottom_mlp[:-1] + (dim,)
+        out[dim] = dlrm_variant(
+            base, f"d{dim}", embedding_dim=dim, bottom_mlp=bottom
+        )
+    return out

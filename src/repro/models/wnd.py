@@ -1,0 +1,173 @@
+"""Wide & Deep (Cheng et al. 2016) and Multi-Task Wide & Deep.
+
+WnD concatenates one-hot embedding lookups (the "deep" categorical
+path, one lookup per table) with continuous inputs, processes them with
+a large feed-forward stack, and adds a "wide" linear memorization path
+over cross features. MT-WnD (Zhao et al., RecSys'19) bolts several
+parallel task-head FC stacks on top to score multiple engagement
+objectives at once (likes, ratings, ...).
+
+Both are "FC-intensive" in the paper's taxonomy: GPU-friendly (Fig 3),
+retire/core-bound on Broadwell (Fig 8, 10), > 60 % AVX retired
+instructions (Fig 9).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph import Graph, GraphBuilder, TensorSpec
+from repro.models.base import InputDescription, RecommendationModel
+from repro.models.config import EmbeddingGroupConfig, MlpConfig, ModelInfo
+from repro.ops import FC, Add, Concat, EmbeddingTable, Sigmoid, SparseLengthsSum
+
+__all__ = ["WideAndDeep", "MultiTaskWideAndDeep"]
+
+
+class WideAndDeep(RecommendationModel):
+    name = "wnd"
+    info = ModelInfo(
+        name="wnd",
+        display_name="WnD",
+        application_domain="Smartphone Applications",
+        evaluation_dataset="Google Play Store",
+        use_case=(
+            "Generic large-scale regression and classification problems "
+            "with categorical features"
+        ),
+        architecture_insight="Medium model with large FC stacks",
+    )
+
+    def __init__(
+        self,
+        num_tables: int = 26,
+        rows_per_table: int = 100_000,
+        embedding_dim: int = 64,
+        num_dense_features: int = 13,
+        num_wide_features: int = 64,
+        deep_layers: Tuple[int, ...] = (1024, 512, 256),
+        table_locality: float = 0.25,
+    ) -> None:
+        self.num_tables = num_tables
+        self.rows_per_table = rows_per_table
+        self.embedding_dim = embedding_dim
+        self.num_dense_features = num_dense_features
+        self.num_wide_features = num_wide_features
+        self.deep = MlpConfig("wnd_deep", tuple(deep_layers))
+        self.table_locality = table_locality
+        self._tables = [
+            EmbeddingTable(
+                rows_per_table,
+                embedding_dim,
+                (self.name, "table", i),
+                lookup_locality=table_locality,
+            )
+            for i in range(num_tables)
+        ]
+
+    def embedding_groups(self) -> List[EmbeddingGroupConfig]:
+        return [
+            EmbeddingGroupConfig(
+                "one_hot",
+                self.num_tables,
+                self.rows_per_table,
+                self.embedding_dim,
+                1,
+                self.table_locality,
+            )
+        ]
+
+    def input_descriptions(self, batch_size: int) -> List[InputDescription]:
+        inputs = [
+            InputDescription(
+                "dense",
+                InputDescription.DENSE,
+                TensorSpec((batch_size, self.num_dense_features), "float32"),
+            ),
+            InputDescription(
+                "wide",
+                InputDescription.DENSE,
+                TensorSpec((batch_size, self.num_wide_features), "float32"),
+            ),
+        ]
+        for i in range(self.num_tables):
+            inputs.append(
+                InputDescription(
+                    f"indices_{i}",
+                    InputDescription.INDICES,
+                    TensorSpec((batch_size, 1), "int64"),
+                    rows=self.rows_per_table,
+                )
+            )
+        return inputs
+
+    def _build_trunk(self, b: GraphBuilder, batch_size: int) -> Tuple[str, int]:
+        """Shared WnD trunk; returns (deep+wide merged logit input, dim)."""
+        dense = b.input("dense", (batch_size, self.num_dense_features))
+        wide = b.input("wide", (batch_size, self.num_wide_features))
+        index_inputs = [
+            b.input(f"indices_{i}", (batch_size, 1), "int64")
+            for i in range(self.num_tables)
+        ]
+        pooled = [
+            b.apply(SparseLengthsSum(table), idx)
+            for table, idx in zip(self._tables, index_inputs)
+        ]
+        deep_in = b.apply(Concat(axis=1), pooled + [dense])
+        deep_in_dim = self.num_tables * self.embedding_dim + self.num_dense_features
+        deep_out, deep_dim = self._mlp(b, deep_in, deep_in_dim, self.deep, self.name)
+        # Wide path: a single linear memorization layer projected to the
+        # deep output width so the two paths sum.
+        wide_out = b.apply(
+            FC(self.num_wide_features, deep_dim, seed_key=f"{self.name}/wide"), wide
+        )
+        merged = b.apply(Add(), [deep_out, wide_out])
+        return merged, deep_dim
+
+    def build_graph(self, batch_size: int) -> Graph:
+        b = GraphBuilder(f"{self.name}_b{batch_size}")
+        merged, dim = self._build_trunk(b, batch_size)
+        logit = b.apply(FC(dim, 1, seed_key=f"{self.name}/logit"), merged)
+        score = b.apply(Sigmoid(), logit)
+        b.output(score)
+        return b.build()
+
+
+class MultiTaskWideAndDeep(WideAndDeep):
+    name = "mtwnd"
+    info = ModelInfo(
+        name="mtwnd",
+        display_name="MT-WnD",
+        application_domain="Video",
+        evaluation_dataset="YouTube",
+        use_case="Evaluation of multiple objectives (e.g., likes, ratings)",
+        architecture_insight=(
+            "Large model with multiple parallel FC stacks on top of WnD"
+        ),
+    )
+
+    def __init__(
+        self,
+        num_tasks: int = 5,
+        task_layers: Tuple[int, ...] = (512, 256, 1),
+        **wnd_kwargs,
+    ) -> None:
+        super().__init__(**wnd_kwargs)
+        if num_tasks <= 0:
+            raise ValueError("num_tasks must be positive")
+        self.num_tasks = num_tasks
+        self.task_mlps = [
+            MlpConfig(f"task_{t}", tuple(task_layers)) for t in range(num_tasks)
+        ]
+
+    def build_graph(self, batch_size: int) -> Graph:
+        b = GraphBuilder(f"{self.name}_b{batch_size}")
+        merged, dim = self._build_trunk(b, batch_size)
+        task_outputs = []
+        for t, task in enumerate(self.task_mlps):
+            head, _ = self._mlp(b, merged, dim, task, f"{self.name}/task{t}")
+            task_outputs.append(head)
+        objectives = b.apply(Concat(axis=1), task_outputs)
+        scores = b.apply(Sigmoid(), objectives)
+        b.output(scores)
+        return b.build()

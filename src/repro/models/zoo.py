@@ -1,0 +1,47 @@
+"""The eight-model suite, addressable by name.
+
+``MODEL_ORDER`` fixes the presentation order the paper's figures use
+(grouped: embedding-dominated, FC-dominated, attention-based).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.base import RecommendationModel
+from repro.models.dien import DIEN
+from repro.models.din import DIN
+from repro.models.dlrm import make_rm1, make_rm2, make_rm3
+from repro.models.ncf import NCF
+from repro.models.wnd import MultiTaskWideAndDeep, WideAndDeep
+
+__all__ = ["MODEL_ORDER", "MODEL_FACTORIES", "build_model", "build_all_models"]
+
+MODEL_FACTORIES: Dict[str, Callable[[], RecommendationModel]] = {
+    "ncf": NCF,
+    "rm1": make_rm1,
+    "rm2": make_rm2,
+    "rm3": make_rm3,
+    "wnd": WideAndDeep,
+    "mtwnd": MultiTaskWideAndDeep,
+    "din": DIN,
+    "dien": DIEN,
+}
+
+#: Figure ordering used throughout the paper.
+MODEL_ORDER: List[str] = ["ncf", "rm1", "rm2", "rm3", "wnd", "mtwnd", "din", "dien"]
+
+
+def build_model(name: str) -> RecommendationModel:
+    """Instantiate one model by its short name (case-insensitive)."""
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in MODEL_FACTORIES:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_FACTORIES)}"
+        )
+    return MODEL_FACTORIES[key]()
+
+
+def build_all_models() -> Dict[str, RecommendationModel]:
+    """All eight models in paper order."""
+    return {name: build_model(name) for name in MODEL_ORDER}

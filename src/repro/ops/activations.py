@@ -1,0 +1,151 @@
+"""Pointwise activation operators (Relu, Sigmoid, Tanh, Softmax).
+
+Activations are bandwidth-bound streaming kernels: trivially
+vectorizable, negligible code footprint, perfectly predictable loops.
+They matter to the characterization mostly through their contribution
+to operator-count (Fig 6's "Other" slice) and GPU kernel-launch counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import Operator, OpError
+from repro.ops.workload import MemoryStream, OpWorkload, SEQUENTIAL
+
+__all__ = ["Relu", "Sigmoid", "Tanh", "Softmax"]
+
+_ACT_CODE_BYTES = 512
+
+
+class _Pointwise(Operator):
+    """Shared scaffolding for elementwise unary activations."""
+
+    arity = 1
+    #: Approximate scalar flops per element (polynomial/exp cost).
+    flops_per_element = 1
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        (x,) = input_specs
+        if not x.dtype.startswith("float"):
+            raise OpError(f"{self.kind} expects float input, got {x.dtype}")
+        return x
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        (x,) = input_specs
+        n = x.num_elements
+        streams = (
+            MemoryStream(
+                footprint_bytes=x.nbytes,
+                accesses=max(1, x.nbytes // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+            ),
+            MemoryStream(
+                footprint_bytes=x.nbytes,
+                accesses=max(1, x.nbytes // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+                is_write=True,
+            ),
+        )
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=n * self.flops_per_element,
+            vector_fraction=0.9,
+            scalar_ops=max(1, n // 16),
+            streams=streams,
+            code_bytes=_ACT_CODE_BYTES,
+            unique_code_blocks=1,
+            branches=max(1, n // 64),
+            branch_entropy=0.02,
+            kernel_launches=1,
+        )
+
+
+class Relu(_Pointwise):
+    kind = "Relu"
+    flops_per_element = 1
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return np.maximum(x, 0.0).astype(np.float32)
+
+
+class Sigmoid(_Pointwise):
+    kind = "Sigmoid"
+    flops_per_element = 4
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        # Numerically stable logistic.
+        out = np.empty_like(x, dtype=np.float32)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out
+
+
+class Tanh(_Pointwise):
+    kind = "Tanh"
+    flops_per_element = 5
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return np.tanh(x).astype(np.float32)
+
+
+class Softmax(Operator):
+    """Softmax over the last axis (attention-score normalization)."""
+
+    kind = "Softmax"
+    arity = 1
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        (x,) = input_specs
+        if x.rank < 1:
+            raise OpError("Softmax needs at least rank-1 input")
+        return x
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        shifted = x - x.max(axis=-1, keepdims=True)
+        ex = np.exp(shifted)
+        return (ex / ex.sum(axis=-1, keepdims=True)).astype(np.float32)
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        (x,) = input_specs
+        n = x.num_elements
+        streams = (
+            MemoryStream(
+                footprint_bytes=x.nbytes,
+                accesses=max(1, 3 * x.nbytes // 64),  # max, exp, normalize passes
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+            ),
+            MemoryStream(
+                footprint_bytes=x.nbytes,
+                accesses=max(1, x.nbytes // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+                is_write=True,
+            ),
+        )
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=6 * n,
+            vector_fraction=0.85,
+            scalar_ops=max(1, n // 8),
+            streams=streams,
+            code_bytes=1024,
+            unique_code_blocks=1,
+            branches=max(1, n // 32),
+            branch_entropy=0.05,
+            kernel_launches=2,  # reduce + normalize
+        )

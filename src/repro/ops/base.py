@@ -1,0 +1,82 @@
+"""Operator base class.
+
+An :class:`Operator` is the unit the whole stack agrees on:
+
+* the **functional executor** calls :meth:`Operator.compute` with NumPy
+  arrays and gets NumPy arrays back (real inference);
+* the **performance models** call :meth:`Operator.workload` with tensor
+  specs and get an :class:`~repro.ops.workload.OpWorkload` back
+  (analytical characterization);
+* the **framework lowerings** read :attr:`Operator.kind` and map it to
+  Caffe2- or TensorFlow-style operator names.
+
+Operators own their parameters (weights); graphs only wire activations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.graph.tensor import TensorSpec
+from repro.ops.workload import OpWorkload
+
+__all__ = ["Operator", "OpError"]
+
+
+class OpError(ValueError):
+    """Raised for invalid operator configuration or inputs."""
+
+
+class Operator(ABC):
+    """Base class for all graph operators.
+
+    Subclasses must set :attr:`kind` (a Caffe2-flavoured operator kind
+    string such as ``"FC"`` or ``"SparseLengthsSum"``) and implement
+    shape inference, functional compute, and workload synthesis.
+    """
+
+    #: Caffe2-flavoured operator kind; overridden by subclasses.
+    kind: str = "Op"
+
+    #: Number of graph inputs the operator expects, or None if variadic.
+    arity: int = 1
+
+    def check_arity(self, input_specs: Sequence[TensorSpec]) -> None:
+        if self.arity is not None and len(input_specs) != self.arity:
+            raise OpError(
+                f"{self.kind} expects {self.arity} input(s), "
+                f"got {len(input_specs)}"
+            )
+
+    @abstractmethod
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        """Output spec for the given input specs (validates inputs)."""
+
+    @abstractmethod
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Run the operator functionally on concrete arrays."""
+
+    @abstractmethod
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        """Hardware-neutral work descriptor for the given input specs."""
+
+    # -- parameters --------------------------------------------------------
+
+    def parameters(self) -> List[np.ndarray]:
+        """Learnable/constant parameter arrays owned by this operator."""
+        return []
+
+    @property
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} kind={self.kind}>"
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise OpError(message)

@@ -1,0 +1,146 @@
+"""Elementwise binary/variadic arithmetic: Sum, Mul, Add.
+
+``Sum`` is TensorFlow's pooling half of an embedding lookup
+(``ResourceGather`` + ``Sum`` == Caffe2 ``SparseLengthsSum``, Fig 7),
+so it accepts either several same-shaped tensors or a single tensor
+with a reduction axis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import Operator, OpError
+from repro.ops.workload import MemoryStream, OpWorkload, SEQUENTIAL
+
+__all__ = ["Sum", "Mul", "Add"]
+
+_EW_CODE_BYTES = 512
+
+
+def _streaming_workload(
+    kind: str,
+    read_specs: Sequence[TensorSpec],
+    out_spec: TensorSpec,
+    flops: int,
+    kernel_launches: int = 1,
+) -> OpWorkload:
+    streams = tuple(
+        MemoryStream(
+            footprint_bytes=s.nbytes,
+            accesses=max(1, s.nbytes // 64),
+            granule_bytes=64,
+            pattern=SEQUENTIAL,
+        )
+        for s in read_specs
+    ) + (
+        MemoryStream(
+            footprint_bytes=out_spec.nbytes,
+            accesses=max(1, out_spec.nbytes // 64),
+            granule_bytes=64,
+            pattern=SEQUENTIAL,
+            is_write=True,
+        ),
+    )
+    return OpWorkload(
+        op_kind=kind,
+        flops=flops,
+        vector_fraction=0.9,
+        scalar_ops=max(1, flops // 16),
+        streams=streams,
+        code_bytes=_EW_CODE_BYTES,
+        unique_code_blocks=1,
+        branches=max(1, flops // 64),
+        branch_entropy=0.02,
+        kernel_launches=kernel_launches,
+    )
+
+
+class Sum(Operator):
+    """Variadic elementwise add, or axis reduction of a single input.
+
+    * N inputs of identical shape -> elementwise sum of them.
+    * 1 input with ``axis`` set -> reduce-sum along that axis.
+    """
+
+    kind = "Sum"
+    arity = None
+
+    def __init__(self, axis: Optional[int] = None) -> None:
+        self.axis = axis
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        if not input_specs:
+            raise OpError("Sum needs at least one input")
+        first = input_specs[0]
+        if len(input_specs) == 1:
+            if self.axis is None:
+                return first
+            if not 0 <= self.axis < first.rank:
+                raise OpError(f"Sum axis {self.axis} out of range for {first.shape}")
+            shape = first.shape[: self.axis] + first.shape[self.axis + 1 :]
+            return first.with_shape(shape)
+        if self.axis is not None:
+            raise OpError("axis reduction only valid for single-input Sum")
+        for spec in input_specs[1:]:
+            if spec.shape != first.shape:
+                raise OpError("Sum inputs must share shape")
+        return first
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        if len(inputs) == 1:
+            x = inputs[0]
+            if self.axis is None:
+                return x.astype(np.float32)
+            return x.sum(axis=self.axis).astype(np.float32)
+        out = inputs[0].astype(np.float32).copy()
+        for x in inputs[1:]:
+            out += x
+        return out
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        out = self.infer_shape(input_specs)
+        total_in = sum(s.num_elements for s in input_specs)
+        flops = max(1, total_in - out.num_elements) if len(input_specs) == 1 else max(
+            1, (len(input_specs) - 1) * out.num_elements
+        )
+        return _streaming_workload(self.kind, input_specs, out, flops)
+
+
+class _Binary(Operator):
+    arity = 2
+    flops_per_element = 1
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        a, b = input_specs
+        if a.shape != b.shape:
+            raise OpError(f"{self.kind} inputs must share shape: {a.shape} vs {b.shape}")
+        return a
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        out = self.infer_shape(input_specs)
+        return _streaming_workload(
+            self.kind, input_specs, out, self.flops_per_element * out.num_elements
+        )
+
+
+class Mul(_Binary):
+    """Hadamard product (NCF's GMF interaction)."""
+
+    kind = "Mul"
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        a, b = inputs
+        return (a * b).astype(np.float32)
+
+
+class Add(_Binary):
+    kind = "Add"
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        a, b = inputs
+        return (a + b).astype(np.float32)

@@ -1,0 +1,227 @@
+"""Embedding-table operators: ``SparseLengthsSum`` and ``Gather``.
+
+``SparseLengthsSum`` (SLS) is Caffe2's fused lookup-and-pool operator:
+for each sample it gathers ``lookups_per_sample`` rows of an embedding
+table and partially sums them. TensorFlow expresses the same work as
+``ResourceGather`` followed by ``Sum`` (paper Fig 7); ``Gather`` here is
+that unfused lookup.
+
+SLS is the paper's problem child: its workload is dominated by
+*irregular* (random-pattern) reads over tables far larger than any
+cache, with data-dependent index arithmetic that stresses branch
+prediction and the frontend decoders (Sections V-VI).
+
+Functional-execution note (documented substitution): nominal production
+tables reach millions of rows (GBs). The performance models always use
+the **nominal** row count; the functional executor allocates at most
+``alloc_rows_cap`` real rows and wraps indices modulo the allocation,
+which preserves the math (a gather is a gather) while keeping test
+memory bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import Operator, OpError
+from repro.ops.initializers import rng_for, scaled_normal
+from repro.ops.workload import MemoryStream, OpWorkload, RANDOM, SEQUENTIAL
+
+__all__ = ["EmbeddingTable", "SparseLengthsSum", "Gather"]
+
+#: Default cap on physically allocated rows for functional execution.
+DEFAULT_ALLOC_ROWS_CAP = 4096
+
+_SLS_CODE_BYTES = 2048
+_GATHER_CODE_BYTES = 1536
+
+
+class EmbeddingTable:
+    """A (possibly capped) embedding table shared by lookup operators."""
+
+    def __init__(
+        self,
+        rows: int,
+        dim: int,
+        seed_key: object = "table",
+        alloc_rows_cap: int = DEFAULT_ALLOC_ROWS_CAP,
+        lookup_locality: float = 0.2,
+    ) -> None:
+        if rows <= 0 or dim <= 0:
+            raise OpError("embedding table dimensions must be positive")
+        if not 0.0 <= lookup_locality <= 1.0:
+            raise OpError("lookup_locality must lie in [0, 1]")
+        self.rows = rows
+        self.dim = dim
+        self.alloc_rows = min(rows, alloc_rows_cap)
+        self.lookup_locality = lookup_locality
+        rng = rng_for(seed_key, rows, dim)
+        self.data = scaled_normal((self.alloc_rows, dim), rng)
+
+    @property
+    def nominal_bytes(self) -> int:
+        return self.rows * self.dim * 4
+
+    @property
+    def row_bytes(self) -> int:
+        return self.dim * 4
+
+    def fetch(self, indices: np.ndarray) -> np.ndarray:
+        """Row gather with modulo wrapping onto the allocated rows."""
+        if np.any(indices < 0) or np.any(indices >= self.rows):
+            raise OpError("embedding index out of nominal range")
+        return self.data[np.asarray(indices) % self.alloc_rows]
+
+
+class SparseLengthsSum(Operator):
+    """Fused gather-and-sum over one embedding table.
+
+    Input: int32/int64 indices ``[batch, lookups]``.
+    Output: pooled embeddings ``[batch, dim]``.
+    """
+
+    kind = "SparseLengthsSum"
+    arity = 1
+
+    def __init__(self, table: EmbeddingTable) -> None:
+        self.table = table
+
+    def parameters(self):
+        return [self.table.data]
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        (idx,) = input_specs
+        if idx.rank != 2:
+            raise OpError(f"SLS expects [batch, lookups] indices, got {idx.shape}")
+        if not idx.dtype.startswith("int"):
+            raise OpError("SLS indices must be integer typed")
+        batch = idx.shape[0]
+        return TensorSpec((batch, self.table.dim), "float32")
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (indices,) = inputs
+        gathered = self.table.fetch(indices)  # [batch, lookups, dim]
+        return gathered.sum(axis=1).astype(np.float32)
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        (idx,) = input_specs
+        batch, lookups = idx.shape
+        total_lookups = batch * lookups
+        dim = self.table.dim
+        streams = (
+            # The irregular table gather: one row-granule access per lookup.
+            MemoryStream(
+                footprint_bytes=self.table.nominal_bytes,
+                accesses=total_lookups,
+                granule_bytes=self.table.row_bytes,
+                pattern=RANDOM,
+                locality=self.table.lookup_locality,
+                parallelism=lookups,
+            ),
+            MemoryStream(
+                footprint_bytes=total_lookups * 4,
+                accesses=max(1, total_lookups * 4 // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+            ),
+            MemoryStream(
+                footprint_bytes=batch * dim * 4,
+                accesses=max(1, batch * dim * 4 // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+                is_write=True,
+            ),
+        )
+        # Short pooling sums vectorize poorly versus a GEMM: the row is
+        # only a handful of vectors long and each iteration re-does
+        # index arithmetic. Per-lookup control flow (length loop, bounds
+        # checks, row-tail handling) is data-dependent and branchy —
+        # the source of the embedding models' bad-speculation slots.
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=total_lookups * dim,
+            vector_fraction=0.6,
+            uses_fma=False,
+            scalar_ops=total_lookups * 6,  # index load/scale/bounds per lookup
+            streams=streams,
+            code_bytes=_SLS_CODE_BYTES,
+            unique_code_blocks=1,
+            branches=5 * total_lookups + batch,
+            branch_entropy=0.3,
+            kernel_launches=1,
+        )
+
+
+class Gather(Operator):
+    """Unpooled row gather (TensorFlow ``ResourceGather`` shape).
+
+    Input: indices ``[batch, lookups]``; output ``[batch, lookups, dim]``.
+    """
+
+    kind = "Gather"
+    arity = 1
+
+    def __init__(self, table: EmbeddingTable) -> None:
+        self.table = table
+
+    def parameters(self):
+        return [self.table.data]
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        (idx,) = input_specs
+        if idx.rank != 2:
+            raise OpError(f"Gather expects [batch, lookups] indices, got {idx.shape}")
+        if not idx.dtype.startswith("int"):
+            raise OpError("Gather indices must be integer typed")
+        batch, lookups = idx.shape
+        return TensorSpec((batch, lookups, self.table.dim), "float32")
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (indices,) = inputs
+        return self.table.fetch(indices).astype(np.float32)
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        (idx,) = input_specs
+        batch, lookups = idx.shape
+        total_lookups = batch * lookups
+        dim = self.table.dim
+        streams = (
+            MemoryStream(
+                footprint_bytes=self.table.nominal_bytes,
+                accesses=total_lookups,
+                granule_bytes=self.table.row_bytes,
+                pattern=RANDOM,
+                locality=self.table.lookup_locality,
+                parallelism=lookups,
+            ),
+            MemoryStream(
+                footprint_bytes=total_lookups * 4,
+                accesses=max(1, total_lookups * 4 // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+            ),
+            MemoryStream(
+                footprint_bytes=total_lookups * dim * 4,
+                accesses=max(1, total_lookups * dim * 4 // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+                is_write=True,
+            ),
+        )
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=0,
+            vector_fraction=0.0,
+            scalar_ops=total_lookups * 6,
+            streams=streams,
+            code_bytes=_GATHER_CODE_BYTES,
+            unique_code_blocks=1,
+            branches=5 * total_lookups + batch,
+            branch_entropy=0.3,
+            kernel_launches=1,
+        )

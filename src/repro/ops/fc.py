@@ -1,0 +1,131 @@
+"""Fully-connected (FC) layer — the paper's headline compute operator.
+
+Caffe2's ``FC`` computes ``y = x W^T + b``. On CPUs it lowers to a
+vectorized (AVX) GEMM with FMA; on GPUs it is the operator class that
+"readily accelerates" (paper Section IV). Its workload descriptor is
+therefore: almost fully vectorizable FMA flops, sequential weight and
+activation streams, a single tight code region, and highly predictable
+loop branches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import Operator, OpError
+from repro.ops.initializers import rng_for, xavier_uniform
+from repro.ops.workload import MemoryStream, OpWorkload, SEQUENTIAL
+
+__all__ = ["FC"]
+
+#: Approximate machine-code bytes of a blocked GEMM microkernel.
+_FC_CODE_BYTES = 3072
+
+
+class FC(Operator):
+    """Dense affine layer ``y = x W^T + b`` over ``[batch, in]`` inputs."""
+
+    kind = "FC"
+    arity = 1
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        seed_key: object = "fc",
+        weight: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise OpError("FC dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng_for(seed_key, in_features, out_features)
+        self.weight = (
+            weight.astype(np.float32)
+            if weight is not None
+            else xavier_uniform((out_features, in_features), rng)
+        )
+        self.bias = (
+            bias.astype(np.float32)
+            if bias is not None
+            else np.zeros(out_features, dtype=np.float32)
+        )
+        if self.weight.shape != (out_features, in_features):
+            raise OpError("FC weight shape mismatch")
+        if self.bias.shape != (out_features,):
+            raise OpError("FC bias shape mismatch")
+
+    def parameters(self):
+        return [self.weight, self.bias]
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        (x,) = input_specs
+        if x.rank < 2 or x.shape[-1] != self.in_features:
+            raise OpError(
+                f"FC expects [..., {self.in_features}], got {x.shape}"
+            )
+        return x.with_shape(x.shape[:-1] + (self.out_features,))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return (x @ self.weight.T + self.bias).astype(np.float32)
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        (x,) = input_specs
+        rows = x.num_elements // self.in_features
+        flops = 2 * rows * self.in_features * self.out_features
+        weight_bytes = self.in_features * self.out_features * 4
+        # Cache-blocked GEMM touches the weight panel once per row block;
+        # model one pass over the weights per 32 input rows (the typical
+        # register/L2 blocking factor), min one pass. With several
+        # passes the panel chunks are L2-resident on re-touch
+        # (locality); a single pass (small batch) streams cold.
+        weight_passes = max(1, rows // 32)
+        streams = (
+            MemoryStream(
+                footprint_bytes=weight_bytes,
+                accesses=weight_passes * max(1, weight_bytes // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+                locality=max(0.0, 1.0 - 1.0 / weight_passes),
+            ),
+            MemoryStream(
+                footprint_bytes=rows * self.in_features * 4,
+                accesses=max(1, rows * self.in_features * 4 // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+            ),
+            MemoryStream(
+                footprint_bytes=rows * self.out_features * 4,
+                accesses=max(1, rows * self.out_features * 4 // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+                is_write=True,
+            ),
+        )
+        # Loop-control branches: one per unrolled microkernel iteration.
+        branches = max(1, flops // 384)
+        # Blocked GEMM microkernels need a full register block of rows
+        # (~16) to vectorize effectively; below that the kernel degrades
+        # toward GEMV and small-batch FC time balloons — the mechanism
+        # behind RM1's dominant operator flipping from FC to
+        # SparseLengthsSum between batch 4 and 64 (paper Section V).
+        vector_fraction = 0.97 * min(1.0, rows / 16.0)
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=flops,
+            vector_fraction=vector_fraction,
+            uses_fma=True,
+            scalar_ops=max(1, flops // 96),
+            streams=streams,
+            code_bytes=_FC_CODE_BYTES,
+            unique_code_blocks=1,
+            branches=branches,
+            branch_entropy=0.02,
+            kernel_launches=1,
+        )

@@ -1,0 +1,164 @@
+"""Batched matrix products and DLRM's dot-product feature interaction."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import Operator, OpError
+from repro.ops.workload import MemoryStream, OpWorkload, SEQUENTIAL
+
+__all__ = ["BatchMatMul", "DotInteraction", "AttentionScores"]
+
+
+class BatchMatMul(Operator):
+    """``[b, m, k] @ [b, k, n] -> [b, m, n]``."""
+
+    kind = "BatchMatMul"
+    arity = 2
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        a, b = input_specs
+        if a.rank != 3 or b.rank != 3:
+            raise OpError("BatchMatMul expects rank-3 inputs")
+        if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+            raise OpError(f"BatchMatMul mismatch: {a.shape} @ {b.shape}")
+        return a.with_shape((a.shape[0], a.shape[1], b.shape[2]))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        a, b = inputs
+        return (a @ b).astype(np.float32)
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        a, b = input_specs
+        batch, m, k = a.shape
+        n = b.shape[2]
+        flops = 2 * batch * m * k * n
+        out_bytes = batch * m * n * 4
+        streams = (
+            MemoryStream(a.nbytes, max(1, a.nbytes // 64), 64, SEQUENTIAL, 0.5),
+            MemoryStream(b.nbytes, max(1, b.nbytes // 64), 64, SEQUENTIAL, 0.5),
+            MemoryStream(out_bytes, max(1, out_bytes // 64), 64, SEQUENTIAL, 0.0, True),
+        )
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=flops,
+            vector_fraction=0.95,
+            uses_fma=True,
+            scalar_ops=max(1, flops // 64),
+            streams=streams,
+            code_bytes=3072,
+            unique_code_blocks=1,
+            branches=max(1, flops // 256),
+            branch_entropy=0.02,
+            kernel_launches=1,
+        )
+
+
+class DotInteraction(Operator):
+    """DLRM pairwise dot-product feature interaction.
+
+    Takes N same-shaped ``[batch, dim]`` feature vectors (bottom-MLP
+    output + one pooled embedding per table) and emits the upper
+    triangle of their pairwise inner products, concatenated with the
+    first (dense) feature: ``[batch, dim + N*(N-1)/2]``.
+    """
+
+    kind = "DotInteraction"
+    arity = None
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        if len(input_specs) < 2:
+            raise OpError("DotInteraction needs at least two features")
+        first = input_specs[0]
+        if first.rank != 2:
+            raise OpError("DotInteraction expects [batch, dim] features")
+        for spec in input_specs[1:]:
+            if spec.shape != first.shape:
+                raise OpError("DotInteraction features must share shape")
+        n = len(input_specs)
+        pairs = n * (n - 1) // 2
+        return first.with_shape((first.shape[0], first.shape[1] + pairs))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        stacked = np.stack(list(inputs), axis=1)  # [batch, n, dim]
+        gram = stacked @ stacked.transpose(0, 2, 1)  # [batch, n, n]
+        n = stacked.shape[1]
+        iu, ju = np.triu_indices(n, k=1)
+        pairs = gram[:, iu, ju]
+        return np.concatenate([inputs[0], pairs], axis=1).astype(np.float32)
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        batch, dim = input_specs[0].shape
+        n = len(input_specs)
+        flops = 2 * batch * n * n * dim
+        in_bytes = n * batch * dim * 4
+        out_bytes = batch * (dim + n * (n - 1) // 2) * 4
+        streams = (
+            MemoryStream(in_bytes, max(1, in_bytes // 64), 64, SEQUENTIAL, 0.5),
+            MemoryStream(out_bytes, max(1, out_bytes // 64), 64, SEQUENTIAL, 0.0, True),
+        )
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=flops,
+            vector_fraction=0.9,
+            uses_fma=True,
+            scalar_ops=max(1, flops // 32),
+            streams=streams,
+            code_bytes=2048,
+            unique_code_blocks=1,
+            branches=max(1, flops // 128),
+            branch_entropy=0.03,
+            kernel_launches=2,  # gram + triangle extraction
+        )
+
+
+class AttentionScores(Operator):
+    """Batched query-key dot products: ``[b,t,h] x [b,h] -> [b,t]``.
+
+    DIEN scores each interest-extractor hidden state against the
+    candidate item embedding before feeding its attentional GRU.
+    """
+
+    kind = "AttentionScores"
+    arity = 2
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        seq, query = input_specs
+        if seq.rank != 3 or query.rank != 2:
+            raise OpError("AttentionScores expects [b,t,h] and [b,h]")
+        if seq.shape[0] != query.shape[0] or seq.shape[2] != query.shape[1]:
+            raise OpError(f"AttentionScores mismatch: {seq.shape} vs {query.shape}")
+        return seq.with_shape((seq.shape[0], seq.shape[1]))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        seq, query = inputs
+        return np.einsum("bth,bh->bt", seq, query).astype(np.float32)
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        seq, query = input_specs
+        batch, steps, hidden = seq.shape
+        flops = 2 * batch * steps * hidden
+        out_bytes = batch * steps * 4
+        streams = (
+            MemoryStream(seq.nbytes, max(1, seq.nbytes // 64), 64, SEQUENTIAL),
+            MemoryStream(query.nbytes, max(1, query.nbytes // 64), 64, SEQUENTIAL, 0.8),
+            MemoryStream(out_bytes, max(1, out_bytes // 64), 64, SEQUENTIAL, 0.0, True),
+        )
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=flops,
+            vector_fraction=0.9,
+            uses_fma=True,
+            scalar_ops=max(1, flops // 32),
+            streams=streams,
+            code_bytes=1024,
+            unique_code_blocks=1,
+            branches=max(1, batch * steps),
+            branch_entropy=0.05,
+            kernel_launches=1,
+        )

@@ -1,0 +1,58 @@
+"""Operator-kind registry.
+
+Maps Caffe2-flavoured kind strings to operator classes so frameworks,
+reports, and tests can reason about the vocabulary in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.ops.activations import Relu, Sigmoid, Softmax, Tanh
+from repro.ops.attention import LocalActivationAttention
+from repro.ops.base import Operator
+from repro.ops.elementwise import Add, Mul, Sum
+from repro.ops.embedding import Gather, SparseLengthsSum
+from repro.ops.fc import FC
+from repro.ops.matmul import AttentionScores, BatchMatMul, DotInteraction
+from repro.ops.recurrent import AUGRU, GRU
+from repro.ops.shaping import Concat, Flatten, Reshape, Slice
+
+__all__ = ["OPERATOR_KINDS", "operator_class", "all_kinds"]
+
+OPERATOR_KINDS: Dict[str, Type[Operator]] = {
+    cls.kind: cls
+    for cls in (
+        FC,
+        SparseLengthsSum,
+        Gather,
+        Relu,
+        Sigmoid,
+        Tanh,
+        Softmax,
+        Concat,
+        Flatten,
+        Reshape,
+        Slice,
+        Sum,
+        Mul,
+        Add,
+        BatchMatMul,
+        DotInteraction,
+        AttentionScores,
+        GRU,
+        AUGRU,
+        LocalActivationAttention,
+    )
+}
+
+
+def operator_class(kind: str) -> Type[Operator]:
+    try:
+        return OPERATOR_KINDS[kind]
+    except KeyError:
+        raise KeyError(f"unknown operator kind {kind!r}") from None
+
+
+def all_kinds() -> List[str]:
+    return sorted(OPERATOR_KINDS)

@@ -1,0 +1,185 @@
+"""Data-movement operators: Concat, Flatten, Reshape, Slice.
+
+The paper singles out concatenation as the operator that makes DIN's
+attention implementation GPU-hostile ("heavy concatenation operations
+that perform poorly on GPUs", Section IV): a concat does no math, but
+on a device it costs a kernel launch and an uncoalesced copy per input.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.tensor import TensorSpec
+from repro.ops.base import Operator, OpError
+from repro.ops.workload import MemoryStream, OpWorkload, SEQUENTIAL
+
+__all__ = ["Concat", "Flatten", "Reshape", "Slice"]
+
+_CONCAT_CODE_BYTES = 768
+
+
+class Concat(Operator):
+    """Concatenate along ``axis``; variadic inputs."""
+
+    kind = "Concat"
+    arity = None  # variadic
+
+    def __init__(self, axis: int = 1) -> None:
+        self.axis = axis
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        if not input_specs:
+            raise OpError("Concat needs at least one input")
+        first = input_specs[0]
+        axis = self._norm_axis(first)
+        concat_dim = 0
+        for spec in input_specs:
+            if spec.rank != first.rank or spec.dtype != first.dtype:
+                raise OpError("Concat inputs must share rank and dtype")
+            for d in range(first.rank):
+                if d != axis and spec.shape[d] != first.shape[d]:
+                    raise OpError(
+                        f"Concat mismatch on dim {d}: {spec.shape} vs {first.shape}"
+                    )
+            concat_dim += spec.shape[axis]
+        shape = list(first.shape)
+        shape[axis] = concat_dim
+        return first.with_shape(tuple(shape))
+
+    def _norm_axis(self, spec: TensorSpec) -> int:
+        axis = self.axis if self.axis >= 0 else spec.rank + self.axis
+        if not 0 <= axis < spec.rank:
+            raise OpError(f"Concat axis {self.axis} out of range for {spec.shape}")
+        return axis
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        return np.concatenate(list(inputs), axis=self.axis)
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        total_bytes = sum(s.nbytes for s in input_specs)
+        streams = tuple(
+            MemoryStream(
+                footprint_bytes=s.nbytes,
+                accesses=max(1, s.nbytes // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+            )
+            for s in input_specs
+        ) + (
+            MemoryStream(
+                footprint_bytes=total_bytes,
+                accesses=max(1, total_bytes // 64),
+                granule_bytes=64,
+                pattern=SEQUENTIAL,
+                is_write=True,
+            ),
+        )
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=0,
+            scalar_ops=max(1, total_bytes // 16),
+            streams=streams,
+            code_bytes=_CONCAT_CODE_BYTES,
+            unique_code_blocks=1,
+            branches=max(1, len(input_specs) + total_bytes // 256),
+            branch_entropy=0.05,
+            # One copy kernel per input on device.
+            kernel_launches=max(1, len(input_specs)),
+        )
+
+
+class _ViewOp(Operator):
+    """Base for zero-copy reshapes (no work, no kernels)."""
+
+    arity = 1
+
+    def workload(self, input_specs: Sequence[TensorSpec]) -> OpWorkload:
+        return OpWorkload(
+            op_kind=self.kind,
+            flops=0,
+            scalar_ops=8,
+            streams=(),
+            code_bytes=128,
+            unique_code_blocks=1,
+            branches=1,
+            kernel_launches=0,
+        )
+
+
+class Flatten(_ViewOp):
+    """Collapse all trailing dims: ``[b, ...] -> [b, prod(...)]``."""
+
+    kind = "Flatten"
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        (x,) = input_specs
+        if x.rank < 2:
+            raise OpError("Flatten needs rank >= 2")
+        return x.with_shape((x.shape[0], x.num_elements // x.shape[0]))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return x.reshape(x.shape[0], -1)
+
+
+class Reshape(_ViewOp):
+    kind = "Reshape"
+
+    def __init__(self, shape: Tuple[int, ...]) -> None:
+        self.shape = tuple(shape)
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        (x,) = input_specs
+        target = list(self.shape)
+        if target.count(-1) > 1:
+            raise OpError("Reshape allows at most one -1")
+        known = 1
+        for d in target:
+            if d != -1:
+                known *= d
+        if -1 in target:
+            if known == 0 or x.num_elements % known:
+                raise OpError(f"cannot reshape {x.shape} to {self.shape}")
+            target[target.index(-1)] = x.num_elements // known
+        elif known != x.num_elements:
+            raise OpError(f"cannot reshape {x.shape} to {self.shape}")
+        return x.with_shape(tuple(target))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return x.reshape(self.shape)
+
+
+class Slice(_ViewOp):
+    """Select ``[start:stop]`` along ``axis``."""
+
+    kind = "Slice"
+
+    def __init__(self, axis: int, start: int, stop: int) -> None:
+        if stop <= start or start < 0:
+            raise OpError("invalid slice bounds")
+        self.axis = axis
+        self.start = start
+        self.stop = stop
+
+    def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self.check_arity(input_specs)
+        (x,) = input_specs
+        if not 0 <= self.axis < x.rank:
+            raise OpError(f"Slice axis {self.axis} out of range for {x.shape}")
+        if self.stop > x.shape[self.axis]:
+            raise OpError("slice exceeds input extent")
+        shape = list(x.shape)
+        shape[self.axis] = self.stop - self.start
+        return x.with_shape(tuple(shape))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        index = [slice(None)] * x.ndim
+        index[self.axis] = slice(self.start, self.stop)
+        return np.ascontiguousarray(x[tuple(index)])

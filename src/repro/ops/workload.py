@@ -1,0 +1,221 @@
+"""Platform-independent work descriptors emitted by operators.
+
+Every operator, given concrete input/output shapes, can describe the
+*work* it performs in a hardware-neutral way: floating point operations
+and how vectorizable they are, memory streams and their access
+patterns, static code footprint, branch behaviour, and how the work
+maps onto GPU kernels. The CPU microarchitecture model
+(:mod:`repro.uarch`) and the GPU model (:mod:`repro.gpusim`) both
+consume these descriptors; neither ever needs to re-inspect tensor
+shapes.
+
+This is the reproduction's stand-in for what the paper measures with
+hardware PMUs: instead of counting retired AVX instructions with perf,
+we synthesize the instruction stream each operator *would* retire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+__all__ = ["MemoryStream", "OpWorkload", "merge_workloads"]
+
+#: Access-pattern labels understood by the memory model.
+SEQUENTIAL = "sequential"
+RANDOM = "random"
+STRIDED = "strided"
+
+_VALID_PATTERNS = (SEQUENTIAL, RANDOM, STRIDED)
+
+
+@dataclass(frozen=True)
+class MemoryStream:
+    """One logical memory stream touched by an operator.
+
+    Parameters
+    ----------
+    footprint_bytes:
+        Unique bytes addressable by the stream (e.g. the full embedding
+        table, or a weight matrix).
+    accesses:
+        Number of granule-sized accesses issued over the operator's
+        execution.
+    granule_bytes:
+        Bytes moved per access (an embedding row, a cache line of a
+        weight matrix, ...).
+    pattern:
+        ``sequential`` streams are prefetch-friendly; ``random`` streams
+        (embedding gathers) are not; ``strided`` sits in between.
+    locality:
+        Fraction in [0, 1] expressing how much temporal locality the
+        access distribution has beyond what the footprint implies.
+        Zipf-skewed embedding lookups have locality > 0 even over huge
+        tables because hot rows are re-touched.
+    is_write:
+        Whether the stream writes (stores) rather than reads (loads).
+    parallelism:
+        Independent accesses available to overlap (per request window);
+        bounds the memory-level parallelism a gather achieves. A table
+        with 120 lookups per sample exposes parallelism 120.
+    """
+
+    footprint_bytes: int
+    accesses: int
+    granule_bytes: int
+    pattern: str = SEQUENTIAL
+    locality: float = 0.0
+    is_write: bool = False
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pattern not in _VALID_PATTERNS:
+            raise ValueError(f"unknown access pattern {self.pattern!r}")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError("locality must lie in [0, 1]")
+        if self.footprint_bytes < 0 or self.accesses < 0 or self.granule_bytes < 0:
+            raise ValueError("stream sizes must be non-negative")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved if every access went to memory."""
+        return self.accesses * self.granule_bytes
+
+    def scaled(self, factor: float) -> "MemoryStream":
+        """Stream with access count scaled (footprint unchanged)."""
+        return replace(self, accesses=int(round(self.accesses * factor)))
+
+
+@dataclass(frozen=True)
+class OpWorkload:
+    """Hardware-neutral description of one operator invocation.
+
+    The descriptor deliberately mirrors the quantities the paper's
+    characterization hinges on: FLOP volume and vectorizability drive
+    the AVX analysis (Fig 9, 11), memory streams drive the cache/DRAM
+    analysis (Fig 10, 14), code footprint drives the i-cache and
+    decoder analysis (Fig 12, 13), branch behaviour drives the bad
+    speculation analysis (Fig 8, 15), and kernel mapping drives the GPU
+    evaluation (Fig 3-6).
+    """
+
+    op_kind: str
+    flops: int = 0
+    #: Fraction of ``flops`` executable with SIMD (packed fp32).
+    vector_fraction: float = 0.0
+    #: Whether the vector work is FMA-shaped (2 flops per lane per inst).
+    uses_fma: bool = False
+    #: Scalar bookkeeping instructions (index math, loop control, ...)
+    #: beyond the flop-carrying instructions.
+    scalar_ops: int = 0
+    streams: Tuple[MemoryStream, ...] = field(default_factory=tuple)
+    #: Static machine-code bytes of the hot region executed.
+    code_bytes: int = 2048
+    #: Distinct code regions with unique operand references. Attention
+    #: models that unroll one local-activation unit per lookup (DIN)
+    #: have hundreds of these; a GEMM has one.
+    unique_code_blocks: int = 1
+    branches: int = 0
+    #: 0 = perfectly predictable, 1 = coin-flip data-dependent.
+    branch_entropy: float = 0.05
+    #: Number of device kernels this op lowers to on a GPU.
+    kernel_launches: int = 1
+    #: Serialization across the batch dimension (GRU timesteps).
+    sequential_steps: int = 1
+    #: Times the op's code region is (re-)entered per execution on a
+    #: CPU, when that differs from the device kernel count — e.g.
+    #: sample-major attention sweeps or per-timestep RNN sub-nets.
+    #: ``None`` means "same as kernel_launches".
+    code_entries: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.vector_fraction <= 1.0:
+            raise ValueError("vector_fraction must lie in [0, 1]")
+        if not 0.0 <= self.branch_entropy <= 1.0:
+            raise ValueError("branch_entropy must lie in [0, 1]")
+        if self.flops < 0 or self.scalar_ops < 0 or self.branches < 0:
+            raise ValueError("work counts must be non-negative")
+        if self.kernel_launches < 0 or self.sequential_steps < 1:
+            raise ValueError("invalid kernel/step counts")
+        if self.code_entries is not None and self.code_entries < 1:
+            raise ValueError("code_entries must be positive when set")
+
+    # -- convenience aggregates -------------------------------------------
+
+    @property
+    def effective_code_entries(self) -> int:
+        """CPU code-region entries (defaults to the kernel count)."""
+        if self.code_entries is not None:
+            return self.code_entries
+        return max(self.kernel_launches, 1)
+
+    @property
+    def vector_flops(self) -> int:
+        return int(self.flops * self.vector_fraction)
+
+    @property
+    def scalar_flops(self) -> int:
+        return self.flops - self.vector_flops
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(s.total_bytes for s in self.streams if not s.is_write)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(s.total_bytes for s in self.streams if s.is_write)
+
+    @property
+    def read_streams(self) -> List[MemoryStream]:
+        return [s for s in self.streams if not s.is_write]
+
+    @property
+    def write_streams(self) -> List[MemoryStream]:
+        return [s for s in self.streams if s.is_write]
+
+    @property
+    def random_access_bytes(self) -> int:
+        """Bytes moved by irregular (gather-style) streams."""
+        return sum(s.total_bytes for s in self.streams if s.pattern == RANDOM)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte moved; the roofline x-coordinate."""
+        total = self.bytes_read + self.bytes_written
+        if total == 0:
+            return float("inf") if self.flops else 0.0
+        return self.flops / total
+
+
+def merge_workloads(op_kind: str, parts: List[OpWorkload]) -> OpWorkload:
+    """Combine several workloads into one aggregate descriptor.
+
+    Used by composite operators (e.g. GRU = several matmuls plus
+    elementwise gates per timestep) to publish a single descriptor.
+    Scalar quantities add; code footprints add (distinct regions);
+    ``sequential_steps`` takes the maximum since serialization does not
+    add across fused parts.
+    """
+    if not parts:
+        return OpWorkload(op_kind=op_kind)
+    flops = sum(p.flops for p in parts)
+    vflops = sum(p.vector_flops for p in parts)
+    return OpWorkload(
+        op_kind=op_kind,
+        flops=flops,
+        vector_fraction=(vflops / flops) if flops else 0.0,
+        uses_fma=any(p.uses_fma for p in parts),
+        scalar_ops=sum(p.scalar_ops for p in parts),
+        streams=tuple(s for p in parts for s in p.streams),
+        code_bytes=sum(p.code_bytes for p in parts),
+        unique_code_blocks=sum(p.unique_code_blocks for p in parts),
+        branches=sum(p.branches for p in parts),
+        branch_entropy=(
+            sum(p.branch_entropy * max(p.branches, 1) for p in parts)
+            / max(sum(max(p.branches, 1) for p in parts), 1)
+        ),
+        kernel_launches=sum(p.kernel_launches for p in parts),
+        sequential_steps=max(p.sequential_steps for p in parts),
+    )

@@ -1,0 +1,22 @@
+"""Execution runtime: sessions, plus at-scale query scheduling."""
+
+from repro.runtime.scheduler import (
+    BatchingPolicy,
+    QueryScheduler,
+    ScheduleResult,
+    ServiceTimeModel,
+)
+from repro.runtime.session import InferenceProfile, InferenceSession
+from repro.runtime.timeline import Timeline, TimelineSpan, timeline_from_profile
+
+__all__ = [
+    "InferenceSession",
+    "InferenceProfile",
+    "Timeline",
+    "TimelineSpan",
+    "timeline_from_profile",
+    "ServiceTimeModel",
+    "BatchingPolicy",
+    "QueryScheduler",
+    "ScheduleResult",
+]

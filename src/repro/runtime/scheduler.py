@@ -1,0 +1,195 @@
+"""At-scale inference scheduling simulation (DeepRecSys-style).
+
+The paper's systems evaluation measures isolated inferences; its
+companion system (DeepRecSys, cited as the model source) schedules a
+*query stream* across heterogeneous hardware under tail-latency SLAs.
+This module closes that loop with a discrete-event simulation:
+
+* queries arrive by a Poisson process,
+* a batching queue accumulates queries until ``max_batch`` or
+  ``batch_timeout`` (the standard dynamic-batching policy),
+* a server executes each batch with the service time the performance
+  models predict for that (platform, batch size),
+* the simulator reports throughput and latency percentiles.
+
+Service-time lookup interpolates between profiled batch sizes, so one
+:class:`~repro.core.speedup.SweepResult` parameterizes any policy.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid runtime circularity with repro.core
+    from repro.core.speedup import SweepResult
+
+__all__ = ["ServiceTimeModel", "BatchingPolicy", "ScheduleResult", "QueryScheduler"]
+
+
+class ServiceTimeModel:
+    """Interpolated end-to-end latency for one (model, platform)."""
+
+    def __init__(self, sweep: "SweepResult", model: str, platform: str) -> None:
+        self.model = model
+        self.platform = platform
+        self._batches = sorted(sweep.batch_sizes)
+        self._times = [
+            sweep.total_seconds(model, platform, b) for b in self._batches
+        ]
+
+    def seconds(self, batch_size: int) -> float:
+        """Latency of one batch, log-linearly interpolated."""
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        batches = self._batches
+        if batch_size <= batches[0]:
+            return self._times[0]
+        if batch_size >= batches[-1]:
+            # Extrapolate linearly in batch from the last segment slope.
+            slope = (self._times[-1] - self._times[-2]) / (
+                batches[-1] - batches[-2]
+            )
+            return self._times[-1] + slope * (batch_size - batches[-1])
+        hi = bisect_left(batches, batch_size)
+        lo = hi - 1
+        # Interpolate in log-batch space (latency curves are smooth there).
+        t = (np.log(batch_size) - np.log(batches[lo])) / (
+            np.log(batches[hi]) - np.log(batches[lo])
+        )
+        return float(self._times[lo] * (1 - t) + self._times[hi] * t)
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Dynamic batching: dispatch at ``max_batch`` or after ``timeout``."""
+
+    max_batch: int = 64
+    batch_timeout_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_timeout_s < 0:
+            raise ValueError("batch timeout must be non-negative")
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one simulated query stream."""
+
+    queries: int
+    duration_s: float
+    latencies_s: np.ndarray = field(repr=False)
+    batch_sizes: List[int] = field(repr=False)
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.queries / self.duration_s if self.duration_s > 0 else 0.0
+
+    def percentile(self, p: float) -> float:
+        return float(np.percentile(self.latencies_s, p))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    def meets_sla(self, sla_seconds: float, percentile: float = 99.0) -> bool:
+        return self.percentile(percentile) <= sla_seconds
+
+
+class QueryScheduler:
+    """Discrete-event simulation of one batching server."""
+
+    def __init__(
+        self,
+        service_model: ServiceTimeModel,
+        policy: BatchingPolicy,
+        seed: int = 2020,
+    ) -> None:
+        self.service_model = service_model
+        self.policy = policy
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, arrival_qps: float, num_queries: int = 2000) -> ScheduleResult:
+        """Simulate ``num_queries`` Poisson arrivals at ``arrival_qps``."""
+        if arrival_qps <= 0:
+            raise ValueError("arrival rate must be positive")
+        if num_queries < 1:
+            raise ValueError("need at least one query")
+        inter_arrivals = self._rng.exponential(1.0 / arrival_qps, size=num_queries)
+        arrivals = np.cumsum(inter_arrivals)
+
+        policy = self.policy
+        latencies = np.empty(num_queries)
+        batch_sizes: List[int] = []
+        server_free_at = 0.0
+        i = 0
+        while i < num_queries:
+            # Collect a batch: the head query opens the window; whatever
+            # arrives before (head + timeout) joins, up to max_batch —
+            # but the server being busy extends the window for free.
+            head_arrival = arrivals[i]
+            dispatch_at = max(head_arrival + policy.batch_timeout_s, server_free_at)
+            j = i + 1
+            while (
+                j < num_queries
+                and j - i < policy.max_batch
+                and arrivals[j] <= dispatch_at
+            ):
+                j += 1
+            batch = j - i
+            start = max(dispatch_at, server_free_at)
+            # If the batch filled before the timeout, dispatch early.
+            if batch == policy.max_batch:
+                start = max(arrivals[j - 1], server_free_at)
+            service = self.service_model.seconds(batch)
+            finish = start + service
+            latencies[i:j] = finish - arrivals[i:j]
+            batch_sizes.append(batch)
+            server_free_at = finish
+            i = j
+
+        duration = float(server_free_at - arrivals[0] + inter_arrivals[0])
+        return ScheduleResult(
+            queries=num_queries,
+            duration_s=duration,
+            latencies_s=latencies,
+            batch_sizes=batch_sizes,
+        )
+
+    def max_load_under_sla(
+        self,
+        sla_seconds: float,
+        percentile: float = 99.0,
+        num_queries: int = 2000,
+        qps_grid: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Largest tested arrival rate whose tail latency meets the SLA."""
+        if qps_grid is None:
+            # Geometric grid anchored at the server's best-case capacity.
+            peak = self.policy.max_batch / self.service_model.seconds(
+                self.policy.max_batch
+            )
+            qps_grid = [peak * f for f in (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95)]
+        best = 0.0
+        for qps in qps_grid:
+            result = self.run(qps, num_queries)
+            if result.meets_sla(sla_seconds, percentile):
+                best = max(best, qps)
+        return best

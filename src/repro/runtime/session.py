@@ -1,0 +1,140 @@
+"""Inference sessions: one API over models, platforms, and both halves
+of the reproduction (functional execution and performance modeling).
+
+``InferenceSession`` binds a model to a platform spec. ``run`` executes
+the graph numerically (NumPy); ``profile`` produces an
+:class:`InferenceProfile` with end-to-end latency split the way the
+paper reports it (model computation vs data communication), per-op
+times for the Fig 6 breakdowns, and — on CPUs — the full PMU event set
+for Section VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.graph import Graph, execute
+from repro.gpusim import GpuGraphProfile, GpuModel
+from repro.hw import PlatformSpec, platform_by_name
+from repro.models import RecommendationModel
+from repro.uarch import CpuGraphProfile, CpuModel, PmuEvents, UarchConstants
+from repro.workloads import QueryGenerator
+
+__all__ = ["InferenceProfile", "InferenceSession"]
+
+
+@dataclass
+class InferenceProfile:
+    """End-to-end inference characterization at one (model, batch, platform)."""
+
+    model_name: str
+    platform_name: str
+    platform_kind: str  # "cpu" | "gpu"
+    batch_size: int
+    #: Model computation seconds (operator execution).
+    compute_seconds: float
+    #: Data loading / CPU-GPU communication seconds.
+    data_comm_seconds: float
+    #: Seconds per operator kind (compute side only).
+    op_time_by_kind: Dict[str, float]
+    #: PMU events (CPU platforms only).
+    events: Optional[PmuEvents] = None
+    #: Raw underlying profile for deeper inspection.
+    raw: Union[CpuGraphProfile, GpuGraphProfile, None] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.data_comm_seconds
+
+    @property
+    def data_comm_fraction(self) -> float:
+        total = self.total_seconds
+        return self.data_comm_seconds / total if total else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.batch_size / self.total_seconds
+
+    def dominant_operator(self) -> str:
+        """The operator kind with the largest time share (Fig 6 talk-track)."""
+        if not self.op_time_by_kind:
+            return ""
+        return max(self.op_time_by_kind.items(), key=lambda kv: kv[1])[0]
+
+
+class InferenceSession:
+    """A model bound to one platform, with graph caching per batch size."""
+
+    def __init__(
+        self,
+        model: RecommendationModel,
+        platform: Union[str, PlatformSpec],
+        constants: Optional[UarchConstants] = None,
+    ) -> None:
+        self.model = model
+        self.platform = (
+            platform_by_name(platform) if isinstance(platform, str) else platform
+        )
+        self._graphs: Dict[int, Graph] = {}
+        if self.platform.kind == "cpu":
+            self._cpu_model: Optional[CpuModel] = CpuModel(self.platform, constants)
+            self._gpu_model: Optional[GpuModel] = None
+        else:
+            if constants is not None:
+                raise ValueError("uarch constants only apply to CPU platforms")
+            self._cpu_model = None
+            self._gpu_model = GpuModel(self.platform)
+
+    def graph(self, batch_size: int) -> Graph:
+        if batch_size not in self._graphs:
+            self._graphs[batch_size] = self.model.build_graph(batch_size)
+        return self._graphs[batch_size]
+
+    # -- functional execution ------------------------------------------------
+
+    def run(self, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Numerically execute one batch (platform-independent math)."""
+        batch_size = next(iter(feeds.values())).shape[0]
+        return execute(self.graph(batch_size), feeds)
+
+    def run_generated(self, batch_size: int, seed: int = 2020) -> Dict[str, np.ndarray]:
+        feeds = QueryGenerator(self.model, seed=seed).generate(batch_size)
+        return self.run(feeds)
+
+    # -- performance modeling --------------------------------------------------
+
+    def profile(self, batch_size: int) -> InferenceProfile:
+        graph = self.graph(batch_size)
+        input_bytes = [
+            desc.spec.nbytes for desc in self.model.input_descriptions(batch_size)
+        ]
+        if self._cpu_model is not None:
+            raw = self._cpu_model.profile_graph(graph, input_bytes=sum(input_bytes))
+            return InferenceProfile(
+                model_name=self.model.name,
+                platform_name=self.platform.name,
+                platform_kind="cpu",
+                batch_size=batch_size,
+                compute_seconds=raw.compute_seconds,
+                data_comm_seconds=raw.data_load_seconds,
+                op_time_by_kind=raw.time_by_kind(),
+                events=raw.events,
+                raw=raw,
+            )
+        raw = self._gpu_model.profile_graph(graph, input_tensor_bytes=input_bytes)
+        return InferenceProfile(
+            model_name=self.model.name,
+            platform_name=self.platform.name,
+            platform_kind="gpu",
+            batch_size=batch_size,
+            compute_seconds=raw.compute_seconds,
+            data_comm_seconds=raw.data_comm_seconds,
+            op_time_by_kind=raw.time_by_kind(),
+            events=None,
+            raw=raw,
+        )

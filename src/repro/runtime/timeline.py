@@ -1,0 +1,106 @@
+"""Per-operator execution timelines.
+
+Turns a profiled inference into an ordered list of (operator, start,
+end) spans — the single-stream equivalent of a profiler's trace view —
+and renders it as a text Gantt chart. Useful for eyeballing *where* a
+configuration spends its time (the Fig 6 breakdown, but in execution
+order instead of aggregated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.runtime.session import InferenceProfile
+
+__all__ = ["TimelineSpan", "Timeline", "timeline_from_profile"]
+
+
+@dataclass(frozen=True)
+class TimelineSpan:
+    name: str
+    op_kind: str
+    start_seconds: float
+    end_seconds: float
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.end_seconds - self.start_seconds
+
+
+@dataclass
+class Timeline:
+    model: str
+    platform: str
+    batch_size: int
+    spans: List[TimelineSpan]
+    #: Leading data-load / transfer phase, seconds.
+    data_comm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        if not self.spans:
+            return self.data_comm_seconds
+        return self.spans[-1].end_seconds
+
+    def slowest(self, n: int = 5) -> List[TimelineSpan]:
+        return sorted(self.spans, key=lambda s: -s.duration_seconds)[:n]
+
+    def render(self, width: int = 60) -> str:
+        """Text Gantt chart: one row per span, bars scaled to total."""
+        total = max(self.total_seconds, 1e-12)
+        lines = [
+            f"timeline: {self.model} on {self.platform}, batch "
+            f"{self.batch_size} ({total * 1e3:.3f} ms total)"
+        ]
+        if self.data_comm_seconds > 0:
+            bar = max(1, round(self.data_comm_seconds / total * width))
+            lines.append(
+                f"{'<data comm>':24s} |{'#' * bar:{width}s}| "
+                f"{self.data_comm_seconds * 1e6:9.1f} us"
+            )
+        for span in self.spans:
+            offset = round(span.start_seconds / total * width)
+            bar = max(1, round(span.duration_seconds / total * width))
+            bar = min(bar, width - offset)
+            track = " " * offset + "#" * bar
+            lines.append(
+                f"{span.name[:24]:24s} |{track:{width}s}| "
+                f"{span.duration_seconds * 1e6:9.1f} us"
+            )
+        return "\n".join(lines)
+
+
+def timeline_from_profile(profile: InferenceProfile) -> Timeline:
+    """Build the serial execution timeline from a profiled inference.
+
+    Operators execute in topological order on a single stream (the
+    paper's single-threaded CPU / single-GPU setting); data
+    communication leads the compute phase.
+    """
+    raw = profile.raw
+    if raw is None:
+        raise ValueError("profile carries no per-op data")
+    cursor = profile.data_comm_seconds
+    spans: List[TimelineSpan] = []
+    for op in raw.op_profiles:
+        seconds = (
+            op._time_seconds if hasattr(op, "_time_seconds") else op.seconds
+        )
+        spans.append(
+            TimelineSpan(
+                name=op.node_name,
+                op_kind=op.op_kind,
+                start_seconds=cursor,
+                end_seconds=cursor + seconds,
+            )
+        )
+        cursor += seconds
+    return Timeline(
+        model=profile.model_name,
+        platform=profile.platform_name,
+        batch_size=profile.batch_size,
+        spans=spans,
+        data_comm_seconds=profile.data_comm_seconds,
+    )

@@ -1,0 +1,52 @@
+"""Analytical CPU microarchitecture simulator (TopDown-style)."""
+
+from repro.uarch.backend import BackendModel, BackendProfile
+from repro.uarch.branch import BranchModel, BranchProfile
+from repro.uarch.caches import (
+    AnalyticalHierarchy,
+    CacheHierarchy,
+    LevelAccesses,
+    SetAssociativeCache,
+)
+from repro.uarch.constants import DEFAULT_CONSTANTS, UarchConstants
+from repro.uarch.events import PmuEvents
+from repro.uarch.frontend import CodeRegion, FrontendModel, FrontendProfile
+from repro.uarch.memory import MemoryModel, MemoryProfile
+from repro.uarch.pipeline import CpuGraphProfile, CpuModel, CpuOpProfile
+from repro.uarch.multicore import CoreScalingPoint, MulticoreModel
+from repro.uarch.nmp import NmpConfig, NmpSystem
+from repro.uarch.synth import InstructionMix, synthesize
+from repro.uarch.topdown import TopDownBreakdown, topdown_from_events
+from repro.uarch.tracesim import EmbeddingTraceStudy, TraceStudyResult
+
+__all__ = [
+    "CpuModel",
+    "CpuGraphProfile",
+    "CpuOpProfile",
+    "PmuEvents",
+    "TopDownBreakdown",
+    "topdown_from_events",
+    "InstructionMix",
+    "synthesize",
+    "BranchModel",
+    "BranchProfile",
+    "BackendModel",
+    "BackendProfile",
+    "MemoryModel",
+    "MemoryProfile",
+    "FrontendModel",
+    "FrontendProfile",
+    "CodeRegion",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "AnalyticalHierarchy",
+    "LevelAccesses",
+    "UarchConstants",
+    "DEFAULT_CONSTANTS",
+    "EmbeddingTraceStudy",
+    "TraceStudyResult",
+    "MulticoreModel",
+    "CoreScalingPoint",
+    "NmpConfig",
+    "NmpSystem",
+]

@@ -1,0 +1,55 @@
+"""Branch-prediction model.
+
+Mispredict rate per branch is ``entropy * (1 - predictor_quality)``:
+perfectly regular loop branches (entropy ~0) never mispredict on either
+machine; data-dependent branches (embedding-lookup index handling,
+attention control flow) mispredict in proportion to how much of their
+entropy the predictor cannot capture. Cascade Lake's Skylake-class
+predictor (higher ``predictor_quality``, lower flush penalty) is what
+collapses bad speculation between Fig 8's top and bottom panels and
+drives Fig 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.platform import CpuSpec
+from repro.ops.workload import OpWorkload
+from repro.uarch.constants import UarchConstants
+
+__all__ = ["BranchModel", "BranchProfile"]
+
+
+@dataclass
+class BranchProfile:
+    branches: float = 0.0
+    mispredicts: float = 0.0
+    #: Pipeline cycles lost to wrong-path execution + recovery.
+    bad_speculation_cycles: float = 0.0
+
+
+class BranchModel:
+    def __init__(self, spec: CpuSpec, constants: UarchConstants) -> None:
+        self.spec = spec
+        self.constants = constants
+
+    def mispredict_rate(self, entropy: float) -> float:
+        """Per-branch mispredict probability for a given entropy."""
+        if not 0.0 <= entropy <= 1.0:
+            raise ValueError("branch entropy must lie in [0, 1]")
+        return entropy * (1.0 - self.spec.predictor_quality)
+
+    def profile(self, workload: OpWorkload) -> BranchProfile:
+        branches = float(workload.branches)
+        mispredicts = branches * self.mispredict_rate(workload.branch_entropy)
+        wasted_cycles = (
+            mispredicts
+            * self.spec.branch_penalty
+            * self.constants.badspec_slot_fraction
+        )
+        return BranchProfile(
+            branches=branches,
+            mispredicts=mispredicts,
+            bad_speculation_cycles=wasted_cycles,
+        )

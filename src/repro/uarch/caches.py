@@ -1,0 +1,274 @@
+"""Cache simulation substrate.
+
+Two layers:
+
+* :class:`SetAssociativeCache` / :class:`CacheHierarchy` — a
+  trace-driven, LRU, set-associative simulator supporting the inclusive
+  (Broadwell) and exclusive (Cascade Lake) L2/L3 policies of Table II.
+  Used to *validate* the analytical model on sampled embedding-lookup
+  traces and directly by tests.
+* :class:`AnalyticalHierarchy` — the closed-form residency model the
+  pipeline fast path uses: given a stream's footprint, pattern, and
+  locality it returns the distribution of accesses over hit levels.
+  Closed form keeps full 8-model x 8-batch x 4-platform sweeps under a
+  second; the trace-driven simulator exists to show the closed form is
+  honest (see ``tests/test_caches.py`` cross-validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+from repro.hw.platform import CpuSpec
+from repro.ops.workload import MemoryStream, RANDOM
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "AnalyticalHierarchy",
+    "LevelAccesses",
+]
+
+LINE_BYTES = 64
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over 64-byte lines."""
+
+    def __init__(self, capacity_bytes: int, ways: int = 8) -> None:
+        if capacity_bytes < LINE_BYTES * ways:
+            raise ValueError("cache too small for its associativity")
+        self.capacity_bytes = capacity_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (LINE_BYTES * ways)
+        # sets[i] is an ordered list of line tags, most recent last.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // LINE_BYTES
+        return line % self.num_sets, line
+
+    def access(self, address: int) -> bool:
+        """Touch one address; returns True on hit. Fills on miss."""
+        set_idx, tag = self._locate(address)
+        lines = self._sets[set_idx]
+        if tag in lines:
+            lines.remove(tag)
+            lines.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.insert(address)
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check presence without updating state."""
+        set_idx, tag = self._locate(address)
+        return tag in self._sets[set_idx]
+
+    def insert(self, address: int) -> Optional[int]:
+        """Fill a line; returns the evicted line's base address, if any."""
+        set_idx, tag = self._locate(address)
+        lines = self._sets[set_idx]
+        if tag in lines:
+            lines.remove(tag)
+            lines.append(tag)
+            return None
+        victim = None
+        if len(lines) >= self.ways:
+            victim = lines.pop(0) * LINE_BYTES
+        lines.append(tag)
+        return victim
+
+    def invalidate(self, address: int) -> bool:
+        set_idx, tag = self._locate(address)
+        lines = self._sets[set_idx]
+        if tag in lines:
+            lines.remove(tag)
+            return True
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class CacheHierarchy:
+    """Three-level hierarchy with inclusive or exclusive L2/L3.
+
+    * **Inclusive** (Broadwell): fills propagate into every level; an
+      L3 eviction back-invalidates inner copies.
+    * **Exclusive** (Cascade Lake): L3 is a victim cache — lines enter
+      L3 only when evicted from L2, and an L3 hit moves the line back
+      up (removing it from L3).
+    """
+
+    def __init__(
+        self,
+        l1_bytes: int,
+        l2_bytes: int,
+        l3_bytes: int,
+        inclusive: bool,
+        l1_ways: int = 8,
+        l2_ways: int = 8,
+        l3_ways: int = 16,
+    ) -> None:
+        self.l1 = SetAssociativeCache(l1_bytes, l1_ways)
+        self.l2 = SetAssociativeCache(l2_bytes, l2_ways)
+        self.l3 = SetAssociativeCache(l3_bytes, l3_ways)
+        self.inclusive = inclusive
+        self.dram_accesses = 0
+
+    @classmethod
+    def for_cpu(cls, spec: CpuSpec) -> "CacheHierarchy":
+        return cls(
+            spec.l1d_kb * 1024,
+            spec.l2_kb * 1024,
+            int(spec.l3_mb * 1024 * 1024),
+            inclusive=spec.cache_inclusive,
+        )
+
+    def _fill_l2(self, address: int) -> None:
+        """Fill L2; under the exclusive policy the victim spills to L3."""
+        victim = self.l2.insert(address)
+        if victim is not None:
+            if self.inclusive:
+                # Inclusive L3 already holds the line; nothing to do.
+                pass
+            else:
+                self.l3.insert(victim)
+
+    def access(self, address: int) -> str:
+        """Touch an address; returns the level that served it."""
+        if self.l1.access(address):
+            return "l1"
+        # L1 access() above already filled L1 on miss.
+        if self.l2.probe(address):
+            self.l2.access(address)  # refresh LRU
+            return "l2"
+        if self.inclusive:
+            if self.l3.probe(address):
+                self.l3.access(address)
+                self._fill_l2(address)
+                return "l3"
+            # DRAM fill: populate every level; back-invalidate inner
+            # copies of any L3 victim to preserve inclusion.
+            victim = self.l3.insert(address)
+            if victim is not None:
+                self.l2.invalidate(victim)
+                self.l1.invalidate(victim)
+            self._fill_l2(address)
+            self.dram_accesses += 1
+            return "dram"
+        # Exclusive (victim) L3: a hit migrates the line back to L2 and
+        # removes it from L3; the displaced L2 victim spills to L3.
+        if self.l3.invalidate(address):
+            self._fill_l2(address)
+            return "l3"
+        self._fill_l2(address)
+        self.dram_accesses += 1
+        return "dram"
+
+    def run_trace(self, addresses: Iterable[int]) -> Dict[str, int]:
+        counts = {"l1": 0, "l2": 0, "l3": 0, "dram": 0}
+        for addr in addresses:
+            counts[self.access(int(addr))] += 1
+        return counts
+
+
+@dataclass(frozen=True)
+class LevelAccesses:
+    """How one stream's accesses distribute over the hierarchy."""
+
+    l1: float = 0.0
+    l2: float = 0.0
+    l3: float = 0.0
+    dram: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.l1 + self.l2 + self.l3 + self.dram
+
+    def scaled(self, factor: float) -> "LevelAccesses":
+        return LevelAccesses(
+            self.l1 * factor, self.l2 * factor, self.l3 * factor, self.dram * factor
+        )
+
+
+class AnalyticalHierarchy:
+    """Closed-form steady-state hit-level model for memory streams."""
+
+    def __init__(self, spec: CpuSpec) -> None:
+        self.spec = spec
+        self.l1_bytes = spec.l1d_kb * 1024
+        self.l2_bytes = spec.l2_kb * 1024
+        self.l3_bytes = int(spec.l3_effective_kb * 1024)
+
+    def classify(self, stream: MemoryStream) -> LevelAccesses:
+        """Distribute a stream's accesses across serving levels."""
+        if stream.accesses == 0:
+            return LevelAccesses()
+        if stream.pattern == RANDOM:
+            return self._classify_random(stream)
+        return self._classify_sequential(stream)
+
+    def _residence_fractions(self, footprint: int) -> Dict[str, float]:
+        """Fraction of a uniformly-touched footprint resident per level."""
+        fractions: Dict[str, float] = {}
+        remaining = 1.0
+        for name, capacity in (
+            ("l1", self.l1_bytes),
+            ("l2", self.l2_bytes),
+            ("l3", self.l3_bytes),
+        ):
+            if footprint <= 0:
+                share = remaining
+            else:
+                share = min(remaining, capacity / footprint)
+            fractions[name] = share
+            remaining -= share
+            if remaining <= 0:
+                remaining = 0.0
+        fractions["dram"] = remaining
+        return fractions
+
+    def _classify_random(self, stream: MemoryStream) -> LevelAccesses:
+        # A random gather over a footprint: the resident fraction of the
+        # footprint (under LRU, roughly the capacity ratio) hits; the
+        # rest go to DRAM. Zipf locality concentrates extra hits in L2/L3.
+        frac = self._residence_fractions(stream.footprint_bytes)
+        hot = stream.locality  # extra re-touch probability of hot rows
+        l1 = stream.accesses * frac["l1"] * (1 - hot)
+        l2 = stream.accesses * (frac["l2"] * (1 - hot) + hot * 0.35)
+        l3 = stream.accesses * (frac["l3"] * (1 - hot) + hot * 0.65)
+        dram = max(0.0, stream.accesses - l1 - l2 - l3)
+        return LevelAccesses(l1, l2, l3, dram)
+
+    def _classify_sequential(self, stream: MemoryStream) -> LevelAccesses:
+        # Streaming data is served from the smallest level that holds
+        # the whole footprint in steady state; locality expresses reuse
+        # (e.g. a weight panel re-streamed every block row).
+        footprint = stream.footprint_bytes
+        if footprint <= self.l1_bytes:
+            return LevelAccesses(l1=stream.accesses)
+        if footprint <= self.l2_bytes:
+            return LevelAccesses(
+                l1=stream.accesses * stream.locality,
+                l2=stream.accesses * (1 - stream.locality),
+            )
+        if footprint <= self.l3_bytes:
+            return LevelAccesses(
+                l2=stream.accesses * stream.locality,
+                l3=stream.accesses * (1 - stream.locality),
+            )
+        # Bigger than LLC: first pass streams from DRAM; reuse passes
+        # (locality) are served by the LLC.
+        return LevelAccesses(
+            l3=stream.accesses * stream.locality,
+            dram=stream.accesses * (1 - stream.locality),
+        )

@@ -1,0 +1,108 @@
+"""Calibration constants for the CPU microarchitecture model.
+
+The pipeline model is mechanistic — stalls follow from instruction
+streams, cache footprints, and platform specs — but mechanisms need
+coefficients (how many cycles a DSB switch costs, how much of a
+mispredict's penalty lands in wasted issue slots, ...). They are
+centralized here, with the paper- or vendor-documented rationale, so
+ablation benches can sweep them and tests can pin them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["UarchConstants", "DEFAULT_CONSTANTS"]
+
+
+@dataclass(frozen=True)
+class UarchConstants:
+    #: Micro-op expansion of simple instructions (macro-fusion nets out
+    #: close to 1; complex addressing adds a little).
+    uops_per_instruction: float = 1.05
+
+    #: Achievable fraction of peak FMA-port throughput in real GEMM
+    #: inner loops (dependency chains, edge cases, prologue).
+    fma_port_efficiency: float = 0.8
+
+    #: Achievable fraction of peak scalar-ALU throughput.
+    alu_port_efficiency: float = 0.85
+
+    #: Instruction-count discount for AVX-512 VNNI's fused forms on
+    #: FC-class kernels (paper Fig 11: retired instructions drop
+    #: beyond the 2x lane-width effect).
+    vnni_instruction_factor: float = 0.9
+
+    #: Out-of-order latency hiding for cache hits: the fraction of a
+    #: hit's latency that stalls retirement.
+    l2_hit_visible_fraction: float = 0.25
+    l3_hit_visible_fraction: float = 0.45
+    dram_visible_fraction: float = 0.85
+
+    #: Memory-level parallelism achieved by a random gather stream, as
+    #: a fraction of the offcore request buffers, scaling with the
+    #: number of independent lookups available.
+    gather_mlp_base: float = 0.8
+
+    #: Prefetcher coverage of sequential streams (fraction of misses
+    #: hidden entirely).
+    prefetch_coverage: float = 0.85
+
+    #: Visible fraction of L2/L3 streaming-bandwidth time (the rest
+    #: overlaps with compute under double-buffered blocking).
+    l2_stream_visible_fraction: float = 0.25
+    l3_stream_visible_fraction: float = 0.75
+
+    #: Machine-code bytes per static micro-op (DSB/L1i sizing).
+    code_bytes_per_uop: float = 4.0
+
+    #: Framework/runtime code resident alongside kernels (operator
+    #: dispatch, allocator, libm) competing for L1i, in bytes.
+    framework_code_bytes: int = 24 * 1024
+
+    #: L1i cache lines re-missed per code-region entry once the hot
+    #: code footprint exceeds L1i (dispatch path + evicted kernel
+    #: prologue; drives Fig 12).
+    icache_lines_per_entry: float = 64.0
+
+    #: Cycles of frontend latency per L1i miss (hits L2).
+    icache_miss_penalty: float = 14.0
+
+    #: Dispatch instructions executed per code-region entry (framework
+    #: sub-kernel dispatch; full operator dispatch is heavier but rare).
+    dispatch_instructions_per_entry: float = 100.0
+
+    #: Extra L1i lines thrashed per region entry beyond the region's
+    #: own leading lines (shared library / dispatch-path conflicts).
+    icache_thrash_lines: float = 8.0
+
+    #: Cycles of DSB-delivery disturbance per (taken) branch in
+    #: DSB-resident code, and per mispredict (refill).
+    dsb_branch_bubble: float = 0.45
+    dsb_mispredict_refill: float = 3.0
+
+    #: Legacy-decoder (MITE) fetch-window break per taken branch, cycles.
+    mite_branch_stall: float = 0.5
+
+    #: Fraction of the mispredict flush penalty that lands in wasted
+    #: pipeline slots (the rest overlaps with useful work).
+    badspec_slot_fraction: float = 0.6
+
+    #: CPU-side framework dispatch overhead per operator node, us.
+    cpu_dispatch_us: float = 4.0
+
+    #: Host-side input staging throughput (data loading on CPU), GB/s.
+    host_staging_gbps: float = 20.0
+
+    #: Fixed host-side data-load latency per input tensor, us.
+    host_staging_latency_us: float = 0.5
+
+    #: DRAM occupancy above which Intel classifies stalls as bandwidth
+    #: congestion rather than latency (Fig 14's 70 % rule).
+    dram_congestion_threshold: float = 0.7
+
+    def with_overrides(self, **kwargs) -> "UarchConstants":
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONSTANTS = UarchConstants()

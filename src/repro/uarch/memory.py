@@ -1,0 +1,146 @@
+"""Data-side memory model: stall cycles, DRAM bandwidth and congestion.
+
+Consumes the per-stream level classification from
+:class:`~repro.uarch.caches.AnalyticalHierarchy` and produces
+
+* visible memory stall cycles (out-of-order overlap, prefetching, and
+  gather memory-level parallelism applied),
+* DRAM traffic and a Little's-law occupancy estimate of the offcore
+  request queue, from which the Intel "> 70 % occupancy = bandwidth
+  congestion" rule of Fig 14 is evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.platform import CpuSpec
+from repro.ops.workload import MemoryStream, OpWorkload, RANDOM
+from repro.uarch.caches import AnalyticalHierarchy
+from repro.uarch.constants import UarchConstants
+
+__all__ = ["MemoryModel", "MemoryProfile"]
+
+
+@dataclass
+class MemoryProfile:
+    """Memory behaviour of one operator invocation."""
+
+    stall_cycles: float = 0.0
+    l1_accesses: float = 0.0
+    l2_accesses: float = 0.0
+    l3_accesses: float = 0.0
+    dram_accesses: float = 0.0
+    dram_bytes: float = 0.0
+    #: Estimated offcore-queue occupancy in [0, 1] while this op runs.
+    dram_occupancy: float = 0.0
+    #: Cycles lower-bounded by DRAM bandwidth alone.
+    dram_bandwidth_cycles: float = 0.0
+
+
+class MemoryModel:
+    """Analytical data-memory behaviour for one CPU."""
+
+    def __init__(self, spec: CpuSpec, constants: UarchConstants) -> None:
+        self.spec = spec
+        self.constants = constants
+        self.hierarchy = AnalyticalHierarchy(spec)
+
+    def gather_mlp(self, stream: MemoryStream) -> float:
+        """Memory-level parallelism a random gather stream achieves.
+
+        More independent lookups per request window expose more
+        overlap, saturating at the offcore request-buffer depth — this
+        is what separates RM2 (120 lookups/table) from RM1 (80) in the
+        Fig 14 occupancy analysis.
+        """
+        c = self.constants
+        mlp = c.gather_mlp_base * float(np.sqrt(max(stream.parallelism, 1)))
+        return float(min(max(mlp, 1.0), self.spec.max_offcore_requests))
+
+    def profile(self, workload: OpWorkload) -> MemoryProfile:
+        spec, c = self.spec, self.constants
+        profile = MemoryProfile()
+        latency_cycles = 0.0
+        dram_latency_cycles = spec.dram_latency_ns * spec.frequency_ghz
+        occupancy_weight = 0.0  # stall-cycle-weighted occupancy
+
+        for stream in workload.streams:
+            levels = self.hierarchy.classify(stream)
+            profile.l1_accesses += levels.l1
+            profile.l2_accesses += levels.l2
+            profile.l3_accesses += levels.l3
+            profile.dram_accesses += levels.dram
+            profile.dram_bytes += levels.dram * stream.granule_bytes
+
+            if stream.is_write:
+                # Store buffers + write-combining hide store latency;
+                # only DRAM bandwidth (counted below) matters.
+                continue
+
+            if stream.pattern == RANDOM:
+                # Independent gathers overlap up to the offcore queue.
+                mlp = self.gather_mlp(stream)
+                stream_stall = (
+                    levels.dram * dram_latency_cycles * c.dram_visible_fraction / mlp
+                    + levels.l3
+                    * spec.l3_latency
+                    * c.l3_hit_visible_fraction
+                    / min(mlp, 4.0)
+                    + levels.l2 * spec.l2_latency * c.l2_hit_visible_fraction
+                )
+                latency_cycles += stream_stall
+                # Occupancy while this stream's gathers are in flight.
+                occupancy_weight += stream_stall * min(
+                    1.0, mlp / spec.max_offcore_requests
+                )
+            else:
+                # Prefetchers cover sequential miss latency; what
+                # remains is cache/DRAM *bandwidth*: streaming a
+                # footprint through L2/L3/DRAM cannot go faster than
+                # the level's data path.
+                uncovered = 1.0 - c.prefetch_coverage
+                stream_stall = (
+                    levels.dram
+                    * dram_latency_cycles
+                    * c.dram_visible_fraction
+                    * uncovered
+                )
+                stream_stall += (
+                    levels.l2 * stream.granule_bytes / spec.l2_bandwidth_bpc
+                ) * c.l2_stream_visible_fraction
+                stream_stall += (
+                    levels.l3 * stream.granule_bytes / spec.l3_bandwidth_bpc
+                ) * c.l3_stream_visible_fraction
+                bytes_per_cycle = spec.dram_bandwidth_gbps / spec.frequency_ghz
+                stream_stall += (
+                    levels.dram * stream.granule_bytes / bytes_per_cycle
+                ) * c.l3_stream_visible_fraction
+                latency_cycles += stream_stall
+
+        # Bandwidth floor: moving the DRAM bytes takes at least this long.
+        bytes_per_cycle = spec.dram_bandwidth_gbps / spec.frequency_ghz
+        profile.dram_bandwidth_cycles = profile.dram_bytes / max(bytes_per_cycle, 1e-9)
+        profile.stall_cycles = max(latency_cycles, profile.dram_bandwidth_cycles)
+
+        if profile.stall_cycles > 0:
+            profile.dram_occupancy = min(
+                1.0, occupancy_weight / profile.stall_cycles
+            )
+        return profile
+
+    def congested_cycles(self, profile: MemoryProfile, op_cycles: float) -> float:
+        """Cycles chargeable to DRAM-bandwidth congestion (Fig 14).
+
+        Intel's rule: occupancy beyond 70 % of the offcore queue means
+        bandwidth-congested; below, latency-bound. We charge the op's
+        memory-stall share scaled by how far past the threshold its
+        occupancy sits.
+        """
+        threshold = self.constants.dram_congestion_threshold
+        if profile.dram_occupancy <= threshold:
+            return 0.0
+        overshoot = (profile.dram_occupancy - threshold) / (1.0 - threshold)
+        return min(op_cycles, profile.stall_cycles) * overshoot

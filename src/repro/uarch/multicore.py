@@ -1,0 +1,97 @@
+"""Multi-core throughput scaling (extension beyond the paper's scope).
+
+The paper characterizes single-threaded inference (its Section III
+methodology). Production serving runs one inference stream per core;
+the first-order departure from linear scaling is contention for the
+shared resources: DRAM bandwidth and the last-level cache. This module
+models both:
+
+* per-core DRAM demand beyond ``bandwidth / cores`` serializes,
+* the LLC capacity visible to each core shrinks as ``L3 / cores``,
+  pushing formerly-LLC-resident working sets (DIN/NCF tables, RM3's
+  weight stacks) out to DRAM.
+
+This quantifies the "embedding models stop scaling first" intuition
+that motivates near-memory processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.graph.graph import Graph
+from repro.hw.platform import CpuSpec
+from repro.uarch.constants import DEFAULT_CONSTANTS, UarchConstants
+from repro.uarch.pipeline import CpuModel
+
+__all__ = ["CoreScalingPoint", "MulticoreModel"]
+
+
+@dataclass(frozen=True)
+class CoreScalingPoint:
+    cores: int
+    #: Inferences/second aggregated over all cores.
+    throughput: float
+    #: Parallel efficiency vs. perfect linear scaling.
+    efficiency: float
+    #: Whether the socket's DRAM bandwidth is saturated at this count.
+    bandwidth_saturated: bool
+
+
+class MulticoreModel:
+    """Throughput scaling of one model graph across a socket's cores."""
+
+    def __init__(
+        self, spec: CpuSpec, constants: Optional[UarchConstants] = None
+    ) -> None:
+        self.spec = spec
+        self.constants = constants if constants is not None else DEFAULT_CONSTANTS
+
+    def _single_core_profile(self, graph: Graph, cores: int):
+        """Profile with the per-core LLC share at this occupancy."""
+        shared_l3 = self.spec.l3_mb / cores
+        spec = self.spec.with_overrides(l3_mb=max(shared_l3, 1.0))
+        return CpuModel(spec, self.constants).profile_graph(graph)
+
+    def scaling_curve(
+        self, graph: Graph, core_counts: Optional[List[int]] = None
+    ) -> List[CoreScalingPoint]:
+        if core_counts is None:
+            core_counts = [1, 2, 4, 8, self.spec.cores]
+        points = []
+        for cores in core_counts:
+            if cores < 1 or cores > self.spec.cores:
+                raise ValueError(f"core count {cores} outside socket (1..{self.spec.cores})")
+            profile = self._single_core_profile(graph, cores)
+            per_core_seconds = profile.compute_seconds
+            # Aggregate DRAM demand across cores vs the socket's pins.
+            dram_bytes = profile.events.dram_bytes
+            demand_gbps = cores * dram_bytes / max(per_core_seconds, 1e-12) / 1e9
+            capacity_gbps = self.spec.dram_bandwidth_gbps
+            saturated = demand_gbps > capacity_gbps
+            if saturated:
+                # Memory phases serialize: stretch each inference by the
+                # oversubscription factor applied to its DRAM time.
+                dram_seconds = dram_bytes / (capacity_gbps / cores * 1e9)
+                baseline_dram_seconds = dram_bytes / (capacity_gbps * 1e9)
+                per_core_seconds += dram_seconds - baseline_dram_seconds
+            throughput = cores / per_core_seconds
+            points.append(
+                CoreScalingPoint(
+                    cores=cores,
+                    throughput=throughput,
+                    efficiency=1.0,  # filled below
+                    bandwidth_saturated=saturated,
+                )
+            )
+        base = points[0].throughput / points[0].cores
+        return [
+            CoreScalingPoint(
+                cores=p.cores,
+                throughput=p.throughput,
+                efficiency=p.throughput / (p.cores * base),
+                bandwidth_saturated=p.bandwidth_saturated,
+            )
+            for p in points
+        ]

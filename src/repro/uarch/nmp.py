@@ -1,0 +1,141 @@
+"""Near-memory processing (NMP) what-if model.
+
+The paper's Fig 14 finding — RM2 is DRAM-bandwidth congested — is the
+motivation it cites for TensorDimm/RecNMP-style designs: execute the
+gather-and-pool *inside* the memory system, so the host sees one pooled
+vector per (sample, table) instead of every embedding row. This module
+models that design point on top of the existing CPU pipeline:
+
+* each random gather stream is executed rank-locally with
+  ``rank_parallelism``-way concurrency at the DIMM's internal bandwidth
+  advantage (``internal_bandwidth_factor`` — rank-level bandwidth is
+  not serialized over the channel pins);
+* the channel then carries only the pooled output,
+  ``pooling_factor = lookups`` fewer bytes;
+* everything else (FC stacks, frontend, branches) is unchanged.
+
+``NmpSystem.speedup`` reproduces the 1.5-4x gains the NMP papers
+report for embedding-dominated models, and ~1x for FC-dominated ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Optional
+
+
+from repro.graph.graph import Graph
+from repro.hw.platform import CpuSpec
+from repro.ops.workload import OpWorkload, RANDOM
+from repro.uarch.constants import DEFAULT_CONSTANTS, UarchConstants
+from repro.uarch.memory import MemoryModel, MemoryProfile
+from repro.uarch.pipeline import CpuGraphProfile, CpuModel
+
+__all__ = ["NmpConfig", "NmpSystem"]
+
+
+@dataclass(frozen=True)
+class NmpConfig:
+    """A TensorDimm/RecNMP-style memory system."""
+
+    #: Concurrent rank-local gather engines across the DIMM population.
+    rank_parallelism: int = 4
+    #: Rank-internal bandwidth relative to the channel's pin bandwidth.
+    internal_bandwidth_factor: float = 2.0
+    #: Fixed NMP command/launch latency per pooled output, ns.
+    command_latency_ns: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.rank_parallelism < 1:
+            raise ValueError("rank_parallelism must be >= 1")
+        if self.internal_bandwidth_factor < 1.0:
+            raise ValueError("internal bandwidth factor must be >= 1")
+
+
+class _NmpMemoryModel(MemoryModel):
+    """Memory model with gather-and-pool executed near memory."""
+
+    def __init__(
+        self, spec: CpuSpec, constants: UarchConstants, nmp: NmpConfig
+    ) -> None:
+        super().__init__(spec, constants)
+        self.nmp = nmp
+
+    def profile(self, workload: OpWorkload) -> MemoryProfile:
+        gathers = [
+            s
+            for s in workload.streams
+            if s.pattern == RANDOM and not s.is_write and s.parallelism > 1
+        ]
+        if not gathers:
+            return super().profile(workload)
+
+        # Host-visible traffic: pooled outputs only.
+        host_streams = []
+        for stream in workload.streams:
+            if stream in gathers:
+                pooled_accesses = max(1, stream.accesses // stream.parallelism)
+                host_streams.append(
+                    dc_replace(
+                        stream,
+                        accesses=pooled_accesses,
+                        pattern=RANDOM,
+                        parallelism=1,
+                    )
+                )
+            else:
+                host_streams.append(stream)
+        host_profile = super().profile(
+            dc_replace(workload, streams=tuple(host_streams))
+        )
+
+        # Near-memory execution time of the gathers themselves.
+        spec, nmp = self.spec, self.nmp
+        dram_latency_cycles = spec.dram_latency_ns * spec.frequency_ghz
+        nmp_cycles = 0.0
+        for stream in gathers:
+            per_engine = stream.accesses / nmp.rank_parallelism
+            mlp = self.gather_mlp(stream)
+            latency_cycles = (
+                per_engine * dram_latency_cycles / mlp
+                / nmp.internal_bandwidth_factor
+            )
+            pooled = max(1, stream.accesses // stream.parallelism)
+            command_cycles = (
+                pooled * nmp.command_latency_ns * spec.frequency_ghz
+            )
+            nmp_cycles += latency_cycles + command_cycles
+        # Host-side stalls and NMP execution overlap; the slower wins.
+        host_profile.stall_cycles = max(host_profile.stall_cycles, nmp_cycles)
+        # The channel no longer carries row traffic: congestion clears.
+        host_profile.dram_occupancy = min(
+            host_profile.dram_occupancy,
+            nmp_cycles / max(host_profile.stall_cycles, 1e-9) * 0.5,
+        )
+        return host_profile
+
+
+class NmpSystem:
+    """A CPU whose memory system executes embedding pooling near memory."""
+
+    def __init__(
+        self,
+        spec: CpuSpec,
+        nmp: Optional[NmpConfig] = None,
+        constants: Optional[UarchConstants] = None,
+    ) -> None:
+        self.spec = spec
+        self.nmp = nmp if nmp is not None else NmpConfig()
+        self.constants = constants if constants is not None else DEFAULT_CONSTANTS
+        self.baseline = CpuModel(spec, self.constants)
+        self.cpu = CpuModel(spec, self.constants)
+        self.cpu.memory_model = _NmpMemoryModel(spec, self.constants, self.nmp)
+
+    def profile_graph(self, graph: Graph, input_bytes: int = 0) -> CpuGraphProfile:
+        return self.cpu.profile_graph(graph, input_bytes=input_bytes)
+
+    def speedup(self, graph: Graph) -> float:
+        """End-to-end model-computation speedup over the plain CPU."""
+        base = self.baseline.profile_graph(graph).compute_seconds
+        nmp = self.profile_graph(graph).compute_seconds
+        return base / nmp if nmp > 0 else float("inf")

@@ -1,0 +1,117 @@
+"""TopDown pipeline-slot accounting (Yasin 2014), from PMU events.
+
+Level 1 splits every issue slot into **retiring**, **bad speculation**,
+**frontend bound**, and **backend bound** (Fig 8). Level 2 splits
+frontend into latency vs bandwidth (Figs 12-13), and backend into core
+vs memory bound (Fig 10). The fractions always form a simplex —
+enforced here and property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.uarch.events import PmuEvents
+
+__all__ = ["TopDownBreakdown", "topdown_from_events"]
+
+
+@dataclass(frozen=True)
+class TopDownBreakdown:
+    """Slot fractions; level-1 sums to 1, each level-2 pair sums to its parent."""
+
+    retiring: float
+    bad_speculation: float
+    frontend_bound: float
+    backend_bound: float
+
+    frontend_latency: float
+    frontend_bandwidth: float
+    core_bound: float
+    memory_bound: float
+
+    @property
+    def level1(self) -> Dict[str, float]:
+        return {
+            "retiring": self.retiring,
+            "bad_speculation": self.bad_speculation,
+            "frontend_bound": self.frontend_bound,
+            "backend_bound": self.backend_bound,
+        }
+
+    @property
+    def core_to_memory_ratio(self) -> float:
+        """Core:Memory backend-bound ratio (Fig 10 top)."""
+        if self.memory_bound <= 0:
+            return float("inf") if self.core_bound > 0 else 0.0
+        return self.core_bound / self.memory_bound
+
+    def validate(self) -> None:
+        level1_sum = (
+            self.retiring
+            + self.bad_speculation
+            + self.frontend_bound
+            + self.backend_bound
+        )
+        if abs(level1_sum - 1.0) > 1e-6:
+            raise ValueError(f"TopDown level 1 does not sum to 1: {level1_sum}")
+        for value in self.level1.values():
+            if value < -1e-9:
+                raise ValueError("negative TopDown fraction")
+
+
+def topdown_from_events(events: PmuEvents, issue_width: int = 4) -> TopDownBreakdown:
+    """Assemble the TopDown hierarchy from synthesized PMU counters.
+
+    Total slots are ``issue_width * cycles``. Retiring slots are the
+    retired uops; bad-speculation, frontend, and backend slots follow
+    from their respective stall-cycle counters. Any residual (from
+    rounding in the additive model) is charged to backend, matching
+    how real TopDown treats unattributed stalls.
+    """
+    if events.cycles <= 0:
+        raise ValueError("cannot compute TopDown over zero cycles")
+    total_slots = issue_width * events.cycles
+
+    retiring = min(events.uops_retired, total_slots)
+    bad_spec = events.bad_speculation_cycles * issue_width
+    frontend = (
+        events.frontend_latency_cycles + events.frontend_bandwidth_cycles
+    ) * issue_width
+    backend = (events.core_bound_cycles + events.memory_bound_cycles) * issue_width
+
+    total = retiring + bad_spec + frontend + backend
+    if total > total_slots:
+        # Components over-subscribe (overlap in the additive model);
+        # normalize proportionally.
+        scale = total_slots / total
+        retiring *= scale
+        bad_spec *= scale
+        frontend *= scale
+        backend *= scale
+    else:
+        # Residual slots are unattributed backend stalls.
+        backend += total_slots - total
+
+    frontend_total = events.frontend_latency_cycles + events.frontend_bandwidth_cycles
+    latency_share = (
+        events.frontend_latency_cycles / frontend_total if frontend_total else 0.0
+    )
+    backend_split_total = events.core_bound_cycles + events.memory_bound_cycles
+    core_share = (
+        events.core_bound_cycles / backend_split_total if backend_split_total else 0.0
+    )
+
+    breakdown = TopDownBreakdown(
+        retiring=retiring / total_slots,
+        bad_speculation=bad_spec / total_slots,
+        frontend_bound=frontend / total_slots,
+        backend_bound=backend / total_slots,
+        frontend_latency=(frontend / total_slots) * latency_share,
+        frontend_bandwidth=(frontend / total_slots) * (1.0 - latency_share),
+        core_bound=(backend / total_slots) * core_share,
+        memory_bound=(backend / total_slots) * (1.0 - core_share),
+    )
+    breakdown.validate()
+    return breakdown

@@ -1,0 +1,153 @@
+"""Trace-driven embedding-locality studies.
+
+The fast path classifies gather streams with the closed-form
+:class:`~repro.uarch.caches.AnalyticalHierarchy`. This module is the
+ground-truth side: it drives *actual* sampled index traces (Zipf or
+uniform, straight from :mod:`repro.workloads`) through the
+set-associative :class:`~repro.uarch.caches.CacheHierarchy` and reports
+where lookups are served. Used to
+
+* validate the analytical locality parameter against simulation
+  (``tests/test_tracesim.py``),
+* regenerate the embedding-locality bench
+  (``benchmarks/bench_embedding_locality.py``) supporting the Fig 14
+  analysis, and
+* let users measure the cache behaviour of their own table/traffic
+  configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hw.platform import CpuSpec
+from repro.ops.workload import MemoryStream, RANDOM
+from repro.uarch.caches import AnalyticalHierarchy, CacheHierarchy
+from repro.workloads.distributions import IndexDistribution, ZipfIndices
+
+__all__ = ["TraceStudyResult", "EmbeddingTraceStudy"]
+
+
+@dataclass(frozen=True)
+class TraceStudyResult:
+    """Where one trace's lookups were served."""
+
+    rows: int
+    row_bytes: int
+    lookups: int
+    served: Dict[str, int]  # level -> lookup count
+
+    @property
+    def dram_rate(self) -> float:
+        return self.served["dram"] / max(self.lookups, 1)
+
+    @property
+    def cache_rate(self) -> float:
+        return 1.0 - self.dram_rate
+
+    def fraction(self, level: str) -> float:
+        return self.served[level] / max(self.lookups, 1)
+
+
+class EmbeddingTraceStudy:
+    """Simulate embedding-lookup traces against a CPU's cache hierarchy.
+
+    Table capacity can be scaled (``capacity_scale``) so that studies of
+    GB-sized production tables stay tractable: scaling the table and the
+    LLC by the same factor preserves the capacity *ratio* that governs
+    hit rates.
+    """
+
+    def __init__(
+        self,
+        spec: CpuSpec,
+        distribution: Optional[IndexDistribution] = None,
+        capacity_scale: float = 1.0,
+        seed: int = 2020,
+    ) -> None:
+        if capacity_scale <= 0 or capacity_scale > 1:
+            raise ValueError("capacity_scale must be in (0, 1]")
+        self.spec = spec
+        self.distribution = distribution if distribution is not None else ZipfIndices()
+        self.capacity_scale = capacity_scale
+        self._rng = np.random.default_rng(seed)
+
+    def _hierarchy(self) -> CacheHierarchy:
+        scale = self.capacity_scale
+        return CacheHierarchy(
+            l1_bytes=max(4096, int(self.spec.l1d_kb * 1024 * scale)),
+            l2_bytes=max(8192, int(self.spec.l2_kb * 1024 * scale)),
+            l3_bytes=max(16384, int(self.spec.l3_mb * 1024 * 1024 * scale)),
+            inclusive=self.spec.cache_inclusive,
+        )
+
+    def run(
+        self,
+        rows: int,
+        row_bytes: int,
+        lookups: int,
+        warmup_lookups: int = 0,
+    ) -> TraceStudyResult:
+        """Drive ``lookups`` sampled row accesses through the hierarchy."""
+        if rows <= 0 or row_bytes <= 0 or lookups <= 0:
+            raise ValueError("rows, row_bytes, lookups must be positive")
+        effective_rows = max(1, int(rows * self.capacity_scale))
+        hierarchy = self._hierarchy()
+        lines_per_row = max(1, row_bytes // 64)
+
+        def drive(n: int, count: bool) -> Dict[str, int]:
+            counts = {"l1": 0, "l2": 0, "l3": 0, "dram": 0}
+            indices = self.distribution.sample(self._rng, effective_rows, (n,))
+            for idx in indices:
+                base = int(idx) * row_bytes
+                # A row occupies several lines; its first touch decides
+                # the serving level, trailing lines ride the same fill.
+                level = hierarchy.access(base)
+                for line in range(1, lines_per_row):
+                    hierarchy.access(base + line * 64)
+                if count:
+                    counts[level] += 1
+            return counts
+
+        if warmup_lookups:
+            drive(warmup_lookups, count=False)
+        served = drive(lookups, count=True)
+        return TraceStudyResult(
+            rows=rows, row_bytes=row_bytes, lookups=lookups, served=served
+        )
+
+    def analytical_prediction(
+        self, rows: int, row_bytes: int, lookups: int
+    ) -> Dict[str, float]:
+        """Closed-form counterpart of :meth:`run` for cross-validation."""
+        stream = MemoryStream(
+            footprint_bytes=rows * row_bytes,
+            accesses=lookups,
+            granule_bytes=row_bytes,
+            pattern=RANDOM,
+            locality=self.distribution.expected_locality(rows),
+            parallelism=lookups,
+        )
+        levels = AnalyticalHierarchy(self.spec).classify(stream)
+        return {
+            "l1": levels.l1 / lookups,
+            "l2": levels.l2 / lookups,
+            "l3": levels.l3 / lookups,
+            "dram": levels.dram / lookups,
+        }
+
+    def sweep_table_sizes(
+        self,
+        row_counts: Sequence[int],
+        row_bytes: int = 128,
+        lookups: int = 4000,
+        warmup_lookups: int = 4000,
+    ) -> List[TraceStudyResult]:
+        """DRAM-rate curve across table sizes (the Fig 14 driver)."""
+        return [
+            self.run(rows, row_bytes, lookups, warmup_lookups)
+            for rows in row_counts
+        ]

@@ -1,0 +1,26 @@
+"""Synthetic query workloads (batch grids, index distributions)."""
+
+from repro.workloads.distributions import (
+    IndexDistribution,
+    UniformIndices,
+    ZipfIndices,
+)
+from repro.workloads.generator import (
+    QueryGenerator,
+    operator_breakdown_batch_sizes,
+    paper_batch_sizes,
+)
+from repro.workloads.traces import DiurnalTrace, TraceInterval, TraceReplay, replay
+
+__all__ = [
+    "DiurnalTrace",
+    "TraceInterval",
+    "TraceReplay",
+    "replay",
+    "IndexDistribution",
+    "UniformIndices",
+    "ZipfIndices",
+    "QueryGenerator",
+    "paper_batch_sizes",
+    "operator_breakdown_batch_sizes",
+]

@@ -1,0 +1,83 @@
+"""Categorical-index distributions for synthetic query generation.
+
+Production recommendation traffic is heavily skewed: a small set of
+popular items absorbs most lookups (this is what gives embedding
+gathers their residual cache locality). Following DeepRecSys, we model
+index popularity as a Zipf distribution with configurable exponent,
+with a uniform distribution available as the no-locality baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["IndexDistribution", "UniformIndices", "ZipfIndices"]
+
+
+class IndexDistribution:
+    """Samples embedding-table indices in ``[0, rows)``."""
+
+    def sample(
+        self, rng: np.random.Generator, rows: int, shape: "tuple[int, ...]"
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def expected_locality(self, rows: int) -> float:
+        """Rough [0, 1] temporal-locality score for the memory model."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformIndices(IndexDistribution):
+    """Every row equally likely — worst-case locality."""
+
+    def sample(self, rng, rows, shape):
+        return rng.integers(0, rows, size=shape, dtype=np.int64)
+
+    def expected_locality(self, rows: int) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ZipfIndices(IndexDistribution):
+    """Zipf-ranked popularity with exponent ``alpha``.
+
+    ``alpha`` around 0.6-1.0 matches published production embedding
+    access skews; larger alpha means hotter hot rows.
+    """
+
+    alpha: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("Zipf alpha must be positive")
+
+    def sample(self, rng, rows, shape):
+        # Inverse-CDF sampling over a truncated Zipf. Computing the full
+        # rank CDF is O(rows); cache nothing and cap the support used
+        # for sampling at 2^20 ranks, mapping ranks onto the row space.
+        support = min(rows, 1 << 20)
+        ranks = np.arange(1, support + 1, dtype=np.float64)
+        weights = ranks ** (-self.alpha)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        u = rng.random(size=int(np.prod(shape)))
+        sampled_ranks = np.searchsorted(cdf, u)
+        if rows > support:
+            # Spread ranks across the full row space deterministically
+            # so indices still cover [0, rows).
+            stride = rows // support
+            sampled = sampled_ranks * stride + rng.integers(
+                0, stride, size=sampled_ranks.shape
+            )
+        else:
+            sampled = sampled_ranks
+        return sampled.astype(np.int64).reshape(shape) % rows
+
+    def expected_locality(self, rows: int) -> float:
+        # Heavier skew -> more re-touches of hot rows. Saturating map
+        # calibrated so alpha=0.8 over 1M rows gives ~0.2 (DeepRecSys'
+        # observed reuse for production-like traces).
+        return float(min(0.6, 0.25 * self.alpha / 0.8 * (1.0 - 1.0 / np.log2(max(rows, 4)))))

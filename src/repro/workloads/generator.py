@@ -1,0 +1,72 @@
+"""Synthetic inference-query generation for the model suite.
+
+Builds feed dictionaries matching a model's
+:meth:`~repro.models.base.RecommendationModel.input_descriptions`:
+continuous features from a standard normal, categorical indices from a
+configurable popularity distribution. Also provides the batch-size
+grids the paper sweeps (1 .. 16384).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.models.base import InputDescription, RecommendationModel
+from repro.workloads.distributions import IndexDistribution, ZipfIndices
+
+__all__ = ["QueryGenerator", "paper_batch_sizes", "operator_breakdown_batch_sizes"]
+
+
+def paper_batch_sizes() -> List[int]:
+    """The Fig 3/5 sweep: powers of four from 1 to 16384."""
+    return [4**i for i in range(8)]  # 1 .. 16384
+
+
+def operator_breakdown_batch_sizes() -> List[int]:
+    """The four batch sizes of the Fig 6 operator-breakdown panels."""
+    return [4, 64, 1024, 16384]
+
+
+class QueryGenerator:
+    """Deterministic synthetic query source for one model."""
+
+    def __init__(
+        self,
+        model: RecommendationModel,
+        distribution: Optional[IndexDistribution] = None,
+        seed: int = 2020,
+    ) -> None:
+        self.model = model
+        self.distribution = distribution if distribution is not None else ZipfIndices()
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, batch_size: int) -> Dict[str, np.ndarray]:
+        """One feed dict for ``model.build_graph(batch_size)``."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        feeds: Dict[str, np.ndarray] = {}
+        for desc in self.model.input_descriptions(batch_size):
+            if desc.kind == InputDescription.DENSE:
+                feeds[desc.name] = self._rng.standard_normal(
+                    desc.spec.shape
+                ).astype(np.float32)
+            elif desc.kind == InputDescription.INDICES:
+                feeds[desc.name] = self.distribution.sample(
+                    self._rng, desc.rows, desc.spec.shape
+                )
+            else:  # pragma: no cover - InputDescription owns the vocabulary
+                raise ValueError(f"unknown input kind {desc.kind!r}")
+        return feeds
+
+    def stream(self, batch_size: int, num_batches: int):
+        """Yield ``num_batches`` successive feed dicts."""
+        for _ in range(num_batches):
+            yield self.generate(batch_size)
+
+    def input_bytes(self, batch_size: int) -> int:
+        """Total bytes a query batch occupies (the PCIe payload)."""
+        return sum(
+            desc.spec.nbytes for desc in self.model.input_descriptions(batch_size)
+        )

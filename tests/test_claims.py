@@ -1,0 +1,49 @@
+"""Tests for the paper-claim ledger."""
+
+import pytest
+
+from repro.core import PAPER_CLAIMS, Claim, ClaimContext, evaluate_claims
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ClaimContext()
+
+
+class TestLedger:
+    def test_ledger_covers_every_figure(self):
+        figures = {c.figure for c in PAPER_CLAIMS}
+        for fig in ("Fig 3", "Fig 4", "Fig 6", "Fig 8", "Fig 9", "Fig 10",
+                    "Fig 11", "Fig 12", "Fig 13", "Fig 14", "Fig 15", "Fig 16"):
+            assert fig in figures
+
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for c in PAPER_CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_all_claims_hold(self, context):
+        results = evaluate_claims(context)
+        failures = [r for r in results if not r.passed]
+        assert not failures, "\n".join(
+            f"{r.claim.claim_id}: {r.measured}" for r in failures
+        )
+
+    def test_results_carry_measurements(self, context):
+        results = evaluate_claims(context, claims=PAPER_CLAIMS[:2])
+        for r in results:
+            assert r.measured  # human-readable evidence, never empty
+
+    def test_context_lazy_and_cached(self, context):
+        assert context.sweep is context.sweep
+        assert context.suite is context.suite
+
+    def test_failing_claim_reported(self, context):
+        impossible = Claim(
+            claim_id="impossible",
+            figure="Fig 0",
+            text="nothing is ever this fast",
+            check=lambda ctx: (False, "by construction"),
+        )
+        (result,) = evaluate_claims(context, claims=[impossible])
+        assert not result.passed
+        assert result.measured == "by construction"

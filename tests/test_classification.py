@@ -1,0 +1,93 @@
+"""Tests for the model taxonomy and shifting-bottleneck analysis."""
+
+import pytest
+
+from repro.core import (
+    ModelClass,
+    SpeedupStudy,
+    classify_breakdown,
+    classify_profile,
+    find_bottleneck_shifts,
+    reference_classification,
+)
+from repro.models import build_all_models, build_model
+from repro.runtime import InferenceSession
+
+
+@pytest.fixture(scope="module")
+def models():
+    return build_all_models()
+
+
+class TestClassifier:
+    def test_pure_fc_is_mlp_dominated(self):
+        assert classify_breakdown({"FC": 0.9, "Relu": 0.1}) == ModelClass.MLP_DOMINATED
+
+    def test_sls_is_embedding_dominated(self):
+        assert (
+            classify_breakdown({"SparseLengthsSum": 0.7, "FC": 0.3})
+            == ModelClass.EMBEDDING_DOMINATED
+        )
+
+    def test_attention_family(self):
+        assert (
+            classify_breakdown({"LocalActivation": 0.5, "Concat": 0.2, "FC": 0.3})
+            == ModelClass.ATTENTION_DOMINATED
+        )
+
+    def test_no_dominant_mass_is_other(self):
+        assert (
+            classify_breakdown({"Relu": 0.5, "Sigmoid": 0.5}) == ModelClass.OTHER
+        )
+
+
+class TestReferenceClassification:
+    """The prior-work fixed-use-case taxonomy (Broadwell, batch 64)."""
+
+    def test_matches_deeprecsys_labels(self, models):
+        labels = reference_classification(models)
+        assert labels["ncf"] == ModelClass.MLP_DOMINATED
+        assert labels["rm3"] == ModelClass.MLP_DOMINATED
+        assert labels["wnd"] == ModelClass.MLP_DOMINATED
+        assert labels["mtwnd"] == ModelClass.MLP_DOMINATED
+        assert labels["rm1"] == ModelClass.EMBEDDING_DOMINATED
+        assert labels["rm2"] == ModelClass.EMBEDDING_DOMINATED
+        assert labels["din"] == ModelClass.ATTENTION_DOMINATED
+        assert labels["dien"] == ModelClass.ATTENTION_DOMINATED
+
+
+class TestShiftingBottlenecks:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        models = {n: build_model(n) for n in ("rm1", "rm3", "wnd")}
+        return SpeedupStudy(
+            models=models, batch_sizes=[4, 64, 1024]
+        ).run()
+
+    def test_rm1_shifts_mlp_to_embedding_on_cpu(self, sweep):
+        """The paper's example: RM1 flips between batch 4 and 64."""
+        shifts = find_bottleneck_shifts(sweep, models=["rm1"], platforms=["broadwell"])
+        assert any(
+            s.from_class == ModelClass.MLP_DOMINATED
+            and s.to_class == ModelClass.EMBEDDING_DOMINATED
+            for s in shifts
+        )
+
+    def test_rm3_never_shifts(self, sweep):
+        shifts = find_bottleneck_shifts(sweep, models=["rm3"])
+        assert shifts == []
+
+    def test_wnd_shifts_on_gpu(self, sweep):
+        """WnD: embedding-dominated at small GPU batch, MLP at large."""
+        shifts = find_bottleneck_shifts(
+            sweep, models=["wnd"], platforms=["gtx1080ti"]
+        )
+        assert any(
+            s.from_class == ModelClass.EMBEDDING_DOMINATED
+            and s.to_class == ModelClass.MLP_DOMINATED
+            for s in shifts
+        )
+
+    def test_classify_profile_end_to_end(self):
+        profile = InferenceSession(build_model("rm2"), "broadwell").profile(1024)
+        assert classify_profile(profile) == ModelClass.EMBEDDING_DOMINATED

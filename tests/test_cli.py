@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "bert"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["characterize", "rm2"])
+        assert args.platform == "broadwell"
+        assert args.batch == 16
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "RM2" in out and "DIEN" in out
+
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "Broadwell" in out and "Turing" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "rm2", "--platform", "clx"]) == 0
+        out = capsys.readouterr().out
+        assert "topdown" in out
+        assert "SparseLengthsSum" in out
+
+    def test_characterize_gpu(self, capsys):
+        assert main(["characterize", "wnd", "--platform", "t4", "--batch", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant operator" in out
+        assert "topdown" not in out  # no PMU events on GPU platforms
+
+    def test_sweep_subset(self, capsys):
+        assert main(["sweep", "--models", "ncf", "--batches", "16", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "ncf" in out and "t4" in out
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "din", "--platform", "t4", "--batch", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "Concat" in out
+
+    def test_optimal(self, capsys):
+        assert main(["optimal", "--batches", "16", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "cascade_lake" in out or "t4" in out
+
+    def test_topdown(self, capsys):
+        assert main(["topdown", "--batch", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "retiring" in out and "i-MPKI" in out

@@ -1,0 +1,75 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Each example is executed in-process (imported as a module and driven
+through its ``main``) so the suite catches API drift immediately.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, argv):
+    old_argv = sys.argv
+    sys.argv = [script] + argv
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "heterogeneous_scheduling.py",
+            "bottleneck_analysis.py",
+            "custom_model.py",
+            "capacity_planning.py",
+        } <= scripts
+
+    def test_quickstart(self, capsys):
+        _run("quickstart.py", ["ncf", "broadwell", "8"])
+        out = capsys.readouterr().out
+        assert "cross-stack characterization" in out
+        assert "operator breakdown" in out
+
+    def test_quickstart_gpu(self, capsys):
+        _run("quickstart.py", ["wnd", "t4", "64"])
+        out = capsys.readouterr().out
+        assert "dominant operator" in out
+
+    def test_bottleneck_analysis(self, capsys):
+        _run("bottleneck_analysis.py", ["rm2", "16"])
+        out = capsys.readouterr().out
+        assert "TopDown characterization" in out
+        assert "verdict" in out
+
+    def test_custom_model(self, capsys):
+        _run("custom_model.py", [])
+        out = capsys.readouterr().out
+        assert "twotower" in out
+        assert "speedup over Broadwell" in out
+
+    def test_heterogeneous_scheduling(self, capsys):
+        _run("heterogeneous_scheduling.py", [])
+        out = capsys.readouterr().out
+        assert "cross-stack routing" in out
+        assert "No single platform wins" in out
+
+    def test_capacity_planning(self, capsys):
+        _run("capacity_planning.py", ["rm3", "20"])
+        out = capsys.readouterr().out
+        assert "Capacity planning" in out
+        assert "verdict" in out
+
+    def test_optimize_and_offload(self, capsys):
+        _run("optimize_and_offload.py", ["rm2", "64"])
+        out = capsys.readouterr().out
+        assert "What-if interventions" in out
+        assert "near-memory" in out

@@ -1,0 +1,110 @@
+"""Tests for framework lowering (Caffe2 / TensorFlow vocabularies)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import breakdown_for, framework_comparison
+from repro.frameworks import (
+    CAFFE2,
+    CAFFE2_TO_TF_EQUIVALENTS,
+    TENSORFLOW,
+    FrameworkLowering,
+)
+from repro.frameworks.lowering import _validate
+from repro.models import build_model
+from repro.runtime import InferenceSession
+
+
+class TestLoweringMechanics:
+    def test_unknown_kind_passes_through(self):
+        out = CAFFE2.lower({"Exotic": 2.0}, "cpu")
+        assert out == {"Exotic": 2.0}
+
+    def test_caffe2_conserves_time(self):
+        times = {"FC": 1.0, "SparseLengthsSum": 2.0, "LocalActivation": 3.0}
+        for platform_kind in ("cpu", "gpu"):
+            lowered = CAFFE2.lower(times, platform_kind)
+            assert sum(lowered.values()) == pytest.approx(sum(times.values()))
+
+    def test_tf_overhead_scales_total(self):
+        times = {"FC": 1.0}
+        lowered = TENSORFLOW.lower(times, "cpu")
+        assert sum(lowered.values()) == pytest.approx(1.06)
+
+    def test_sls_splits_into_gather_and_sum(self):
+        lowered = TENSORFLOW.lower({"SparseLengthsSum": 1.0}, "cpu")
+        assert set(lowered) == {"ResourceGather", "Sum"}
+        assert lowered["ResourceGather"] > lowered["Sum"]
+
+    def test_fc_becomes_fusedmatmul(self):
+        lowered = TENSORFLOW.lower({"FC": 1.0}, "cpu")
+        assert set(lowered) == {"FusedMatMul"}
+
+    def test_local_activation_concat_heavier_on_gpu(self):
+        cpu = CAFFE2.lower({"LocalActivation": 1.0}, "cpu")
+        gpu = CAFFE2.lower({"LocalActivation": 1.0}, "gpu")
+        assert gpu["Concat"] > cpu["Concat"]
+        assert gpu["FC"] < cpu["FC"]
+
+    def test_invalid_split_rejected(self):
+        bad = FrameworkLowering(
+            name="bad",
+            cpu_map={"FC": (("A", 0.5), ("B", 0.4))},
+            gpu_map={},
+        )
+        with pytest.raises(ValueError):
+            _validate(bad)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(
+                ["FC", "SparseLengthsSum", "Concat", "RecurrentNetwork",
+                 "LocalActivation", "Relu", "DotInteraction"]
+            ),
+            st.floats(min_value=0.0, max_value=100.0),
+            max_size=7,
+        ),
+        st.sampled_from(["cpu", "gpu"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_caffe2_conservation_property(self, times, platform_kind):
+        lowered = CAFFE2.lower(times, platform_kind)
+        assert sum(lowered.values()) == pytest.approx(sum(times.values()))
+
+
+class TestFig7:
+    """Dominant operators agree across frameworks for DLRM models."""
+
+    @pytest.mark.parametrize("name", ["rm1", "rm2", "rm3"])
+    def test_dominant_operator_equivalent(self, name):
+        comparison = framework_comparison(build_model(name), "broadwell", 64)
+        c2_dom = comparison["caffe2"].dominant
+        tf_dom = comparison["tensorflow"].dominant
+        assert tf_dom in CAFFE2_TO_TF_EQUIVALENTS[c2_dom]
+
+    def test_shares_normalized(self):
+        comparison = framework_comparison(build_model("rm2"), "broadwell", 64)
+        for breakdown in comparison.values():
+            assert sum(breakdown.shares.values()) == pytest.approx(1.0)
+
+    def test_gpu_comparison_works_too(self):
+        comparison = framework_comparison(build_model("rm2"), "t4", 1024)
+        assert comparison["caffe2"].platform == "T4"
+        assert "ResourceGather" in comparison["tensorflow"].shares
+
+
+class TestBreakdownFor:
+    def test_fig6_shares_from_profile(self):
+        session = InferenceSession(build_model("rm2"), "broadwell")
+        breakdown = breakdown_for(session.profile(1024))
+        assert breakdown.dominant == "SparseLengthsSum"
+        assert breakdown.share("SparseLengthsSum") > 0.5
+        assert sum(breakdown.shares.values()) == pytest.approx(1.0)
+
+    def test_top_returns_sorted(self):
+        session = InferenceSession(build_model("wnd"), "broadwell")
+        breakdown = breakdown_for(session.profile(1024))
+        top = breakdown.top(3)
+        shares = [s for _, s in top]
+        assert shares == sorted(shares, reverse=True)

@@ -1,0 +1,76 @@
+"""Golden-value regression guards for the calibrated operating point.
+
+`tests/test_paper_shapes.py` pins the *qualitative* claims; this module
+pins selected *numbers* (with generous tolerance) so an accidental
+constant change that still satisfies the inequalities — but silently
+moves the whole landscape — gets flagged. Values were recorded from the
+calibrated build documented in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import SpeedupStudy, collect_report
+from repro.models import build_model
+
+REL = 0.25  # +-25% guard band
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    models = {n: build_model(n) for n in ("rm2", "rm3", "din", "dien")}
+    return SpeedupStudy(models=models, batch_sizes=[16, 1024, 16384]).run()
+
+
+class TestGoldenLatencies:
+    """Broadwell model-computation latencies at batch 16 (ms)."""
+
+    EXPECTED_MS = {
+        "rm2": 1.17,
+        "rm3": 2.88,
+        "din": 8.6,
+        "dien": 2.1,
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_MS))
+    def test_batch16_latency(self, sweep, name):
+        measured = sweep.total_seconds(name, "broadwell", 16) * 1e3
+        assert measured == pytest.approx(self.EXPECTED_MS[name], rel=REL)
+
+
+class TestGoldenSpeedups:
+    EXPECTED = {
+        ("rm3", "t4", 16384): 14.2,
+        ("rm3", "gtx1080ti", 16384): 12.8,
+        ("rm2", "gtx1080ti", 16384): 3.0,
+        ("din", "gtx1080ti", 16384): 4.2,
+        ("dien", "t4", 16384): 6.4,
+        ("rm3", "cascade_lake", 16): 1.83,
+        ("rm2", "cascade_lake", 16): 1.21,
+    }
+
+    @pytest.mark.parametrize("key", sorted(EXPECTED))
+    def test_speedup_cell(self, sweep, key):
+        model, platform, batch = key
+        assert sweep.speedup(model, platform, batch) == pytest.approx(
+            self.EXPECTED[key], rel=REL
+        )
+
+
+class TestGoldenMicroarch:
+    def test_rm2_broadwell_fingerprint(self):
+        report = collect_report(build_model("rm2"), "broadwell", 16)
+        assert report.topdown.retiring == pytest.approx(0.37, abs=0.08)
+        assert report.topdown.bad_speculation == pytest.approx(0.07, abs=0.04)
+        assert report.branch_mpki == pytest.approx(5.4, rel=REL)
+        assert report.dram_congested_fraction == pytest.approx(0.20, abs=0.08)
+        assert report.dsb_limited_fraction == pytest.approx(0.089, rel=REL)
+
+    def test_din_broadwell_fingerprint(self):
+        report = collect_report(build_model("din"), "broadwell", 16)
+        assert report.i_mpki == pytest.approx(10.2, rel=REL)
+        assert report.topdown.frontend_bound == pytest.approx(0.31, abs=0.10)
+
+    def test_rm3_cascade_lake_fingerprint(self):
+        report = collect_report(build_model("rm3"), "cascade_lake", 16)
+        assert report.core_to_memory_ratio == pytest.approx(0.97, rel=REL)
+        assert report.avx_fraction == pytest.approx(0.51, abs=0.08)

@@ -1,0 +1,181 @@
+"""Tests for the graph-optimization passes and fused operators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    GraphBuilder,
+    execute,
+    fuse_fc_activations,
+    group_sls_into_concat,
+    optimize,
+)
+from repro.hw import BROADWELL, T4
+from repro.gpusim import GpuModel
+from repro.models import MODEL_ORDER, build_all_models
+from repro.ops import (
+    FC,
+    Concat,
+    EmbeddingTable,
+    FusedFC,
+    GroupedSparseLengthsSum,
+    OpError,
+    Relu,
+    Sigmoid,
+    SparseLengthsSum,
+)
+from repro.graph.tensor import TensorSpec
+from repro.uarch import CpuModel
+from repro.workloads import QueryGenerator
+
+
+class TestFusedOps:
+    def test_fused_fc_matches_unfused(self):
+        fc = FC(8, 4, "f")
+        fused = FusedFC(fc, Relu())
+        x = np.random.default_rng(0).standard_normal((3, 8)).astype(np.float32)
+        np.testing.assert_allclose(
+            fused.compute([x]), Relu().compute([fc.compute([x])]), rtol=1e-6
+        )
+
+    def test_fused_fc_single_kernel(self):
+        fused = FusedFC(FC(64, 64, "f"), Sigmoid())
+        w = fused.workload([TensorSpec((16, 64))])
+        assert w.kernel_launches == 1
+
+    def test_fused_fc_rejects_non_activation(self):
+        with pytest.raises(OpError):
+            FusedFC(FC(8, 4, "f"), Concat(axis=1))
+
+    def test_grouped_sls_matches_concat_of_sls(self):
+        tables = [EmbeddingTable(100, 8, ("g", i)) for i in range(3)]
+        grouped = GroupedSparseLengthsSum(tables)
+        rng = np.random.default_rng(1)
+        indices = [rng.integers(0, 100, (4, 2)) for _ in range(3)]
+        expected = np.concatenate(
+            [SparseLengthsSum(t).compute([i]) for t, i in zip(tables, indices)],
+            axis=1,
+        )
+        np.testing.assert_allclose(grouped.compute(indices), expected, rtol=1e-6)
+
+    def test_grouped_sls_single_kernel_and_region(self):
+        tables = [EmbeddingTable(100, 8, ("g", i)) for i in range(5)]
+        grouped = GroupedSparseLengthsSum(tables)
+        specs = [TensorSpec((4, 2), "int64")] * 5
+        w = grouped.workload(specs)
+        assert w.kernel_launches == 1
+        assert w.unique_code_blocks == 1
+
+    def test_grouped_sls_requires_uniform_dim(self):
+        with pytest.raises(OpError):
+            GroupedSparseLengthsSum(
+                [EmbeddingTable(10, 4, "a"), EmbeddingTable(10, 8, "b")]
+            )
+
+
+class TestPassMechanics:
+    def _fc_chain(self):
+        b = GraphBuilder("chain")
+        x = b.input("x", (4, 8))
+        h = b.apply(FC(8, 16, "a"), x)
+        h = b.apply(Relu(), h)
+        out = b.apply(FC(16, 2, "b"), h)
+        b.output(out)
+        return b.build(), x
+
+    def test_fc_fusion_reduces_nodes(self):
+        graph, _ = self._fc_chain()
+        fused = fuse_fc_activations(graph)
+        assert len(fused) == len(graph) - 1
+        assert "FusedFC" in fused.kinds()
+
+    def test_fusion_skips_multi_consumer_fc(self):
+        b = GraphBuilder("shared")
+        x = b.input("x", (4, 8))
+        h = b.apply(FC(8, 8, "a"), x, name="fc")
+        r = b.apply(Relu(), h, name="relu")
+        c = b.apply(Concat(axis=1), [h, r], name="cat")  # fc used twice
+        b.output(c)
+        graph = b.build()
+        fused = fuse_fc_activations(graph)
+        assert "FusedFC" not in fused.kinds()
+
+    def test_fusion_skips_output_fc(self):
+        b = GraphBuilder("out")
+        x = b.input("x", (4, 8))
+        h = b.apply(FC(8, 8, "a"), x, name="fc")
+        r = b.apply(Relu(), h, name="relu")
+        b.output(h, r)  # FC result is itself an output
+        graph = b.build()
+        assert "FusedFC" not in fuse_fc_activations(graph).kinds()
+
+    def test_sls_grouping_removes_concat(self):
+        b = GraphBuilder("sls")
+        tables = [EmbeddingTable(50, 4, ("t", i)) for i in range(3)]
+        idx = [b.input(f"i{k}", (2, 2), "int64") for k in range(3)]
+        pooled = [b.apply(SparseLengthsSum(t), i) for t, i in zip(tables, idx)]
+        cat = b.apply(Concat(axis=1), pooled)
+        b.output(cat)
+        graph = b.build()
+        grouped = group_sls_into_concat(graph)
+        assert "GroupedSparseLengthsSum" in grouped.kinds()
+        assert "Concat" not in grouped.kinds()
+        assert len(grouped) == 1
+
+    def test_sls_grouping_keeps_concat_with_extra_inputs(self):
+        b = GraphBuilder("mixed")
+        tables = [EmbeddingTable(50, 4, ("t", i)) for i in range(2)]
+        idx = [b.input(f"i{k}", (2, 2), "int64") for k in range(2)]
+        dense = b.input("dense", (2, 3))
+        pooled = [b.apply(SparseLengthsSum(t), i) for t, i in zip(tables, idx)]
+        cat = b.apply(Concat(axis=1), pooled + [dense])
+        b.output(cat)
+        graph = b.build()
+        grouped = group_sls_into_concat(graph)
+        assert "GroupedSparseLengthsSum" in grouped.kinds()
+        assert "Concat" in grouped.kinds()
+        # Output shape unchanged.
+        assert grouped.spec_of(grouped.output_names[0]).shape == (2, 11)
+
+    def test_no_grouping_for_single_sls(self):
+        b = GraphBuilder("single")
+        t = EmbeddingTable(50, 4, "t")
+        i = b.input("i", (2, 2), "int64")
+        p = b.apply(SparseLengthsSum(t), i)
+        d = b.input("dense", (2, 3))
+        cat = b.apply(Concat(axis=1), [p, d])
+        b.output(cat)
+        graph = b.build()
+        assert "GroupedSparseLengthsSum" not in group_sls_into_concat(graph).kinds()
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("name", MODEL_ORDER)
+    def test_optimized_graph_matches(self, name):
+        model = build_all_models()[name]
+        graph = model.build_graph(8)
+        optimized = optimize(graph)
+        feeds = QueryGenerator(model).generate(8)
+        (base,) = execute(graph, feeds).values()
+        (opt,) = execute(optimized, feeds).values()
+        np.testing.assert_allclose(base, opt, rtol=1e-5, atol=1e-6)
+
+    def test_optimization_never_slower_on_cpu(self):
+        models = build_all_models()
+        cpu = CpuModel(BROADWELL)
+        for name in MODEL_ORDER:
+            graph = models[name].build_graph(16)
+            base = cpu.profile_graph(graph).compute_seconds
+            opt = cpu.profile_graph(optimize(graph)).compute_seconds
+            assert opt <= base * 1.02
+
+    def test_wnd_gpu_small_batch_gains_most(self):
+        """Horizontal SLS fusion removes 26 kernel launches + gather
+        latencies — the exact overhead that made WnD SLS-bound at small
+        batch on GPUs (Fig 6)."""
+        model = build_all_models()["wnd"]
+        graph = model.build_graph(16)
+        gpu = GpuModel(T4)
+        base = gpu.profile_graph(graph).total_seconds
+        opt = gpu.profile_graph(optimize(graph)).total_seconds
+        assert opt < 0.7 * base

@@ -1,0 +1,191 @@
+"""Tests for the eight-model zoo: construction, execution, features."""
+
+import numpy as np
+import pytest
+
+from repro.graph import execute
+from repro.models import (
+    DIEN,
+    DIN,
+    MODEL_ORDER,
+    NCF,
+    DLRMConfig,
+    MultiTaskWideAndDeep,
+    WideAndDeep,
+    build_all_models,
+    build_model,
+    make_rm1,
+    make_rm2,
+    make_rm3,
+)
+from repro.workloads import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def models():
+    return build_all_models()
+
+
+class TestZoo:
+    def test_order_has_eight_models(self):
+        assert len(MODEL_ORDER) == 8
+        assert MODEL_ORDER == ["ncf", "rm1", "rm2", "rm3", "wnd", "mtwnd", "din", "dien"]
+
+    def test_build_model_aliases(self):
+        assert build_model("MT-WnD").name == "mtwnd"
+        assert build_model("RM2").name == "rm2"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("bert")
+
+    @pytest.mark.parametrize("name", MODEL_ORDER)
+    def test_every_model_executes(self, models, name):
+        model = models[name]
+        graph = model.build_graph(4)
+        feeds = QueryGenerator(model).generate(4)
+        out = execute(graph, feeds)
+        (result,) = out.values()
+        assert result.shape[0] == 4
+        assert np.all(np.isfinite(result))
+
+    @pytest.mark.parametrize("name", MODEL_ORDER)
+    def test_scores_are_probabilities(self, models, name):
+        model = models[name]
+        feeds = QueryGenerator(model).generate(8)
+        (result,) = execute(model.build_graph(8), feeds).values()
+        assert np.all(result >= 0) and np.all(result <= 1)
+
+    @pytest.mark.parametrize("name", MODEL_ORDER)
+    def test_deterministic_outputs(self, models, name):
+        model = models[name]
+        feeds = QueryGenerator(model, seed=5).generate(2)
+        graph = model.build_graph(2)
+        r1 = execute(graph, feeds)
+        r2 = execute(graph, feeds)
+        for k in r1:
+            np.testing.assert_array_equal(r1[k], r2[k])
+
+    @pytest.mark.parametrize("name", MODEL_ORDER)
+    def test_inputs_match_graph(self, models, name):
+        model = models[name]
+        graph = model.build_graph(4)
+        descs = model.input_descriptions(4)
+        assert {d.name for d in descs} == set(graph.input_names)
+        for d in descs:
+            assert graph.spec_of(d.name) == d.spec
+
+    @pytest.mark.parametrize("name", MODEL_ORDER)
+    def test_architecture_features_complete(self, models, name):
+        feats = models[name].architecture_features()
+        for key in (
+            "fc_to_embedding_ratio",
+            "fc_top_heaviness",
+            "num_tables",
+            "lookups_per_table",
+            "latent_dim",
+            "attention_units",
+            "recurrent_steps",
+        ):
+            assert key in feats
+            assert np.isfinite(feats[key])
+
+
+class TestTableI:
+    """Table I architecture insights must hold in the configs."""
+
+    def test_ncf_has_four_tables(self, models):
+        assert models["ncf"].total_embedding_tables() == 4
+
+    def test_rm1_rm2_lookups(self, models):
+        assert models["rm1"].lookups_per_table() == 80
+        assert models["rm2"].lookups_per_table() == 120
+
+    def test_rm2_larger_than_rm1(self, models):
+        assert (
+            models["rm2"].total_embedding_tables()
+            > models["rm1"].total_embedding_tables()
+        )
+
+    def test_rm3_fc_heavy(self, models):
+        rm3 = models["rm3"].architecture_features()
+        rm2 = models["rm2"].architecture_features()
+        assert rm3["fc_to_embedding_ratio"] > 10 * rm2["fc_to_embedding_ratio"]
+
+    def test_din_behavior_lookups(self, models):
+        assert models["din"].behavior_lookups == 750
+
+    def test_dien_uses_recurrence_not_lookups(self, models):
+        din = models["din"]
+        dien = models["dien"]
+        assert dien.recurrent_steps > 0
+        assert dien.sequence_length < din.behavior_lookups
+
+    def test_mtwnd_multiple_objectives(self, models):
+        graph = models["mtwnd"].build_graph(4)
+        (out_name,) = graph.output_names
+        assert graph.spec_of(out_name).shape == (4, models["mtwnd"].num_tasks)
+
+    def test_info_populated(self, models):
+        for model in models.values():
+            assert model.info.display_name
+            assert model.info.application_domain
+            assert model.info.architecture_insight
+
+
+class TestDLRMConfig:
+    def test_bottom_mlp_must_match_embedding_dim(self):
+        with pytest.raises(ValueError):
+            DLRMConfig(
+                name="bad",
+                num_dense_features=13,
+                num_tables=2,
+                rows_per_table=100,
+                embedding_dim=32,
+                lookups_per_table=4,
+                bottom_mlp=(64, 16),  # != 32
+                top_mlp=(16, 1),
+            )
+
+    def test_rm_variants_distinct(self):
+        assert make_rm1().config != make_rm2().config != make_rm3().config
+
+    def test_custom_dlrm_builds(self):
+        from repro.models.dlrm import DLRM
+        from repro.models.config import ModelInfo
+
+        config = DLRMConfig(
+            name="tiny",
+            num_dense_features=4,
+            num_tables=2,
+            rows_per_table=100,
+            embedding_dim=8,
+            lookups_per_table=3,
+            bottom_mlp=(16, 8),
+            top_mlp=(8, 1),
+        )
+        info = ModelInfo("tiny", "Tiny", "Test", "None", "test", "test")
+        model = DLRM(config, info)
+        feeds = QueryGenerator(model).generate(2)
+        (out,) = execute(model.build_graph(2), feeds).values()
+        assert out.shape == (2, 1)
+
+
+class TestParameterSharing:
+    def test_tables_shared_and_fc_weights_reproducible_across_builds(self):
+        model = NCF()
+        g2 = model.build_graph(2)
+        g4 = model.build_graph(4)
+        # Embedding tables are owned by the model: same objects.
+        sls2 = next(n.op for n in g2.nodes if n.kind == "SparseLengthsSum")
+        sls4 = next(n.op for n in g4.nodes if n.kind == "SparseLengthsSum")
+        assert sls2.table.data is sls4.table.data
+        # FC weights are rebuilt per graph from stable seed keys: equal values.
+        fc2 = next(n.op for n in g2.nodes if n.kind == "FC")
+        fc4 = next(n.op for n in g4.nodes if n.kind == "FC")
+        np.testing.assert_array_equal(fc2.weight, fc4.weight)
+
+    def test_wnd_and_mtwnd_have_independent_tables(self):
+        wnd = WideAndDeep()
+        mt = MultiTaskWideAndDeep()
+        assert wnd._tables[0].data is not mt._tables[0].data

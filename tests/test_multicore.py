@@ -1,0 +1,45 @@
+"""Tests for the multi-core scaling extension."""
+
+import pytest
+
+from repro.hw import BROADWELL
+from repro.models import build_model
+from repro.uarch import MulticoreModel
+
+
+@pytest.fixture(scope="module")
+def mc():
+    return MulticoreModel(BROADWELL)
+
+
+class TestMulticoreScaling:
+    def test_throughput_increases_with_cores(self, mc):
+        graph = build_model("rm3").build_graph(64)
+        points = mc.scaling_curve(graph, [1, 4, 16])
+        throughputs = [p.throughput for p in points]
+        assert throughputs == sorted(throughputs)
+
+    def test_efficiency_starts_at_one(self, mc):
+        graph = build_model("ncf").build_graph(64)
+        points = mc.scaling_curve(graph, [1, 8])
+        assert points[0].efficiency == pytest.approx(1.0)
+        assert 0 < points[1].efficiency <= 1.0 + 1e-9
+
+    def test_embedding_model_scales_worse_than_fc_model(self, mc):
+        """RM2's DRAM demand saturates the socket before RM3's does —
+        the motivation the paper cites for near-memory processing."""
+        rm2 = mc.scaling_curve(build_model("rm2").build_graph(256), [1, 16])
+        rm3 = mc.scaling_curve(build_model("rm3").build_graph(256), [1, 16])
+        assert rm2[-1].efficiency < rm3[-1].efficiency
+
+    def test_rm2_saturates_bandwidth_at_full_socket(self, mc):
+        points = mc.scaling_curve(build_model("rm2").build_graph(1024), [1, 16])
+        assert points[-1].bandwidth_saturated
+        assert not points[0].bandwidth_saturated
+
+    def test_invalid_core_count_rejected(self, mc):
+        graph = build_model("ncf").build_graph(16)
+        with pytest.raises(ValueError):
+            mc.scaling_curve(graph, [0])
+        with pytest.raises(ValueError):
+            mc.scaling_curve(graph, [64])

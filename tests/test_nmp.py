@@ -1,0 +1,62 @@
+"""Tests for the near-memory-processing what-if model."""
+
+import pytest
+
+from repro.hw import BROADWELL
+from repro.models import build_model
+from repro.uarch import NmpConfig, NmpSystem
+
+
+@pytest.fixture(scope="module")
+def nmp():
+    return NmpSystem(BROADWELL)
+
+
+class TestNmpConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NmpConfig(rank_parallelism=0)
+        with pytest.raises(ValueError):
+            NmpConfig(internal_bandwidth_factor=0.5)
+
+
+class TestNmpSystem:
+    def test_embedding_models_accelerate(self, nmp):
+        for name in ("rm1", "rm2"):
+            graph = build_model(name).build_graph(256)
+            assert nmp.speedup(graph) > 1.2
+
+    def test_fc_models_unaffected(self, nmp):
+        """NMP only touches gather-and-pool; MLP models see ~nothing
+        (the TensorDimm/Centaur observation)."""
+        for name in ("rm3", "wnd", "mtwnd"):
+            graph = build_model(name).build_graph(256)
+            assert nmp.speedup(graph) == pytest.approx(1.0, abs=0.05)
+
+    def test_congestion_clears(self, nmp):
+        graph = build_model("rm2").build_graph(16)
+        base = nmp.baseline.profile_graph(graph)
+        accelerated = nmp.profile_graph(graph)
+        base_cong = base.events.dram_congested_cycles / base.events.cycles
+        nmp_cong = (
+            accelerated.events.dram_congested_cycles / accelerated.events.cycles
+        )
+        assert nmp_cong < base_cong
+
+    def test_more_ranks_more_speedup(self):
+        graph = build_model("rm2").build_graph(256)
+        weak = NmpSystem(BROADWELL, NmpConfig(rank_parallelism=1))
+        strong = NmpSystem(BROADWELL, NmpConfig(rank_parallelism=16))
+        assert strong.speedup(graph) > weak.speedup(graph)
+
+    def test_single_lookup_tables_not_pooled(self, nmp):
+        """One-hot lookups (WnD) have no pooling to offload."""
+        graph = build_model("wnd").build_graph(64)
+        base = nmp.baseline.profile_graph(graph).compute_seconds
+        accel = nmp.profile_graph(graph).compute_seconds
+        assert accel == pytest.approx(base, rel=0.02)
+
+    def test_speedup_never_below_one(self, nmp):
+        for name in ("ncf", "din", "dien"):
+            graph = build_model(name).build_graph(64)
+            assert nmp.speedup(graph) > 0.99

@@ -1,0 +1,309 @@
+"""Functional correctness of operator math against NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import TensorSpec
+from repro.ops import (
+    AUGRU,
+    FC,
+    GRU,
+    Add,
+    AttentionScores,
+    BatchMatMul,
+    Concat,
+    DotInteraction,
+    EmbeddingTable,
+    Flatten,
+    Gather,
+    LocalActivationAttention,
+    Mul,
+    OpError,
+    Relu,
+    Reshape,
+    Sigmoid,
+    Slice,
+    Softmax,
+    SparseLengthsSum,
+    Sum,
+    Tanh,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def f32(*shape):
+    return RNG.standard_normal(shape).astype(np.float32)
+
+
+class TestFC:
+    def test_matches_manual(self):
+        op = FC(8, 3, "t")
+        x = f32(5, 8)
+        np.testing.assert_allclose(
+            op.compute([x]), x @ op.weight.T + op.bias, rtol=1e-5
+        )
+
+    def test_custom_weights(self):
+        w = np.eye(4, dtype=np.float32)
+        op = FC(4, 4, weight=w, bias=np.zeros(4, dtype=np.float32))
+        x = f32(2, 4)
+        np.testing.assert_allclose(op.compute([x]), x, rtol=1e-6)
+
+    def test_seed_key_determinism(self):
+        assert np.array_equal(FC(8, 3, "k").weight, FC(8, 3, "k").weight)
+        assert not np.array_equal(FC(8, 3, "k1").weight, FC(8, 3, "k2").weight)
+
+    def test_shape_validation(self):
+        with pytest.raises(OpError):
+            FC(8, 3, "t").infer_shape([TensorSpec((5, 9))])
+
+    def test_invalid_dims(self):
+        with pytest.raises(OpError):
+            FC(0, 3)
+
+
+class TestEmbedding:
+    def test_sls_sums_rows(self):
+        table = EmbeddingTable(100, 4, "t")
+        op = SparseLengthsSum(table)
+        idx = np.array([[1, 2], [3, 3]], dtype=np.int64)
+        expected = np.stack(
+            [table.data[1] + table.data[2], table.data[3] * 2]
+        )
+        np.testing.assert_allclose(op.compute([idx]), expected, rtol=1e-6)
+
+    def test_gather_keeps_rows(self):
+        table = EmbeddingTable(100, 4, "t")
+        op = Gather(table)
+        idx = np.array([[5, 7, 5]], dtype=np.int64)
+        out = op.compute([idx])
+        assert out.shape == (1, 3, 4)
+        np.testing.assert_array_equal(out[0, 0], out[0, 2])
+
+    def test_out_of_range_index_rejected(self):
+        table = EmbeddingTable(10, 4, "t")
+        with pytest.raises(OpError):
+            SparseLengthsSum(table).compute([np.array([[10]], dtype=np.int64)])
+
+    def test_alloc_cap_wraps_indices(self):
+        table = EmbeddingTable(1_000_000, 4, "t", alloc_rows_cap=128)
+        assert table.alloc_rows == 128
+        idx = np.array([[0, 128]], dtype=np.int64)  # same allocated row
+        out = Gather(table).compute([idx])
+        np.testing.assert_array_equal(out[0, 0], out[0, 1])
+
+    def test_nominal_bytes_uses_nominal_rows(self):
+        table = EmbeddingTable(1_000_000, 32, "t", alloc_rows_cap=128)
+        assert table.nominal_bytes == 1_000_000 * 32 * 4
+
+    def test_sls_rejects_float_indices(self):
+        table = EmbeddingTable(10, 4, "t")
+        with pytest.raises(OpError):
+            SparseLengthsSum(table).infer_shape([TensorSpec((2, 2), "float32")])
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sls_equals_gather_plus_sum(self, batch, lookups):
+        """Caffe2 SLS == TF ResourceGather + Sum (the Fig 7 identity)."""
+        table = EmbeddingTable(64, 8, "prop")
+        idx = np.random.default_rng(batch * 100 + lookups).integers(
+            0, 64, size=(batch, lookups)
+        )
+        fused = SparseLengthsSum(table).compute([idx])
+        unfused = Sum(axis=1).compute([Gather(table).compute([idx])])
+        np.testing.assert_allclose(fused, unfused, rtol=1e-5)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(
+            Relu().compute([x]), [[0.0, 0.0, 2.0]]
+        )
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = f32(10, 10) * 3  # moderate range: fp32 saturates past ~17
+        y = Sigmoid().compute([x])
+        assert np.all(y > 0) and np.all(y < 1)
+        np.testing.assert_allclose(
+            Sigmoid().compute([-x]), 1 - y, atol=1e-6
+        )
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = np.array([[-1000.0, 1000.0]], dtype=np.float32)
+        y = Sigmoid().compute([x])
+        assert np.all(np.isfinite(y))
+        np.testing.assert_allclose(y, [[0.0, 1.0]], atol=1e-12)
+
+    def test_tanh(self):
+        x = f32(3, 3)
+        np.testing.assert_allclose(Tanh().compute([x]), np.tanh(x), rtol=1e-6)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = f32(4, 9) * 20
+        y = Softmax().compute([x])
+        np.testing.assert_allclose(y.sum(axis=-1), np.ones(4), rtol=1e-5)
+        assert np.all(y >= 0)
+
+
+class TestShaping:
+    def test_concat_axis1(self):
+        a, b = f32(2, 3), f32(2, 5)
+        out = Concat(axis=1).compute([a, b])
+        assert out.shape == (2, 8)
+        np.testing.assert_array_equal(out[:, :3], a)
+
+    def test_concat_negative_axis(self):
+        spec = Concat(axis=-1).infer_shape([TensorSpec((2, 3)), TensorSpec((2, 4))])
+        assert spec.shape == (2, 7)
+
+    def test_concat_mismatch_rejected(self):
+        with pytest.raises(OpError):
+            Concat(axis=1).infer_shape([TensorSpec((2, 3)), TensorSpec((3, 3))])
+
+    def test_flatten(self):
+        out = Flatten().compute([f32(2, 3, 4)])
+        assert out.shape == (2, 12)
+
+    def test_reshape_with_minus_one(self):
+        spec = Reshape((2, -1)).infer_shape([TensorSpec((4, 3))])
+        assert spec.shape == (2, 6)
+
+    def test_reshape_invalid(self):
+        with pytest.raises(OpError):
+            Reshape((5, 5)).infer_shape([TensorSpec((4, 3))])
+
+    def test_slice(self):
+        x = f32(4, 10)
+        out = Slice(axis=1, start=2, stop=5).compute([x])
+        np.testing.assert_array_equal(out, x[:, 2:5])
+
+
+class TestElementwise:
+    def test_sum_variadic(self):
+        a, b, c = f32(3, 3), f32(3, 3), f32(3, 3)
+        np.testing.assert_allclose(
+            Sum().compute([a, b, c]), a + b + c, rtol=1e-5
+        )
+
+    def test_sum_axis_reduction(self):
+        x = f32(2, 5, 3)
+        np.testing.assert_allclose(
+            Sum(axis=1).compute([x]), x.sum(axis=1), rtol=1e-5
+        )
+
+    def test_sum_axis_with_multiple_inputs_rejected(self):
+        with pytest.raises(OpError):
+            Sum(axis=1).infer_shape([TensorSpec((2, 3)), TensorSpec((2, 3))])
+
+    def test_mul_and_add(self):
+        a, b = f32(2, 4), f32(2, 4)
+        np.testing.assert_allclose(Mul().compute([a, b]), a * b, rtol=1e-6)
+        np.testing.assert_allclose(Add().compute([a, b]), a + b, rtol=1e-6)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_sum_linearity(self, k):
+        """Sum of k copies == k * x (embedding-bag linearity)."""
+        x = f32(2, 3)
+        np.testing.assert_allclose(
+            Sum().compute([x] * k), k * x, rtol=1e-4
+        )
+
+
+class TestMatmul:
+    def test_batch_matmul(self):
+        a, b = f32(3, 2, 4), f32(3, 4, 5)
+        np.testing.assert_allclose(
+            BatchMatMul().compute([a, b]), a @ b, rtol=1e-5
+        )
+
+    def test_attention_scores(self):
+        seq, q = f32(2, 5, 8), f32(2, 8)
+        expected = np.einsum("bth,bh->bt", seq, q)
+        np.testing.assert_allclose(
+            AttentionScores().compute([seq, q]), expected, rtol=1e-5
+        )
+
+    def test_dot_interaction_shape_and_values(self):
+        feats = [f32(3, 4) for _ in range(5)]
+        out = DotInteraction().compute(feats)
+        assert out.shape == (3, 4 + 10)  # dense + C(5,2) pairs
+        # First pair (features 0,1) should be their inner product.
+        np.testing.assert_allclose(
+            out[:, 4], np.sum(feats[0] * feats[1], axis=1), rtol=1e-5
+        )
+        # Dense passthrough.
+        np.testing.assert_array_equal(out[:, :4], feats[0])
+
+
+class TestRecurrent:
+    def test_gru_shapes(self):
+        gru_seq = GRU(8, 16, return_sequence=True, seed_key="t")
+        gru_last = GRU(8, 16, return_sequence=False, seed_key="t")
+        x = f32(4, 10, 8)
+        assert gru_seq.compute([x]).shape == (4, 10, 16)
+        assert gru_last.compute([x]).shape == (4, 16)
+
+    def test_gru_last_equals_sequence_tail(self):
+        x = f32(3, 7, 8)
+        seq = GRU(8, 16, return_sequence=True, seed_key="same").compute([x])
+        last = GRU(8, 16, return_sequence=False, seed_key="same").compute([x])
+        np.testing.assert_allclose(seq[:, -1, :], last, rtol=1e-5)
+
+    def test_gru_single_step_matches_equations(self):
+        gru = GRU(4, 4, seed_key="eq")
+        x = f32(2, 1, 4)
+        cell = gru.cell
+        gates_x = x[:, 0] @ cell.w_input.T + cell.bias
+        gates_h = np.zeros((2, 12), dtype=np.float32)
+        z = 1 / (1 + np.exp(-(gates_x[:, :4])))
+        h_tilde = np.tanh(gates_x[:, 8:])
+        expected = z * h_tilde  # h0 = 0
+        np.testing.assert_allclose(gru.compute([x]), expected, rtol=1e-4)
+
+    def test_gru_output_bounded(self):
+        x = f32(2, 20, 8) * 100
+        out = GRU(8, 8, seed_key="b").compute([x])
+        assert np.all(np.abs(out) <= 1.0 + 1e-6)  # tanh-bounded state
+
+    def test_augru_zero_scores_freeze_state(self):
+        augru = AUGRU(8, 8, seed_key="z")
+        seq = f32(2, 5, 8)
+        scores = np.zeros((2, 5), dtype=np.float32)
+        out = augru.compute([seq, scores])
+        np.testing.assert_allclose(out, np.zeros((2, 8)), atol=1e-7)
+
+    def test_augru_score_shape_validated(self):
+        augru = AUGRU(8, 8, seed_key="v")
+        with pytest.raises(OpError):
+            augru.infer_shape([TensorSpec((2, 5, 8)), TensorSpec((2, 4))])
+
+
+class TestAttention:
+    def test_output_shape(self):
+        att = LocalActivationAttention(8, 6, "t")
+        behaviors, cand = f32(3, 10, 8), f32(3, 8)
+        assert att.compute([behaviors, cand]).shape == (3, 8)
+
+    def test_pooling_is_weighted_sum(self):
+        """Output must live in the span of per-behavior weights."""
+        att = LocalActivationAttention(4, 6, "w")
+        behaviors = np.zeros((1, 3, 4), dtype=np.float32)
+        behaviors[0, 1] = 1.0  # only one nonzero behavior
+        cand = f32(1, 4)
+        out = att.compute([behaviors, cand])
+        # Output is scalar multiple of the single nonzero behavior row.
+        ratio = out[0] / behaviors[0, 1]
+        assert np.allclose(ratio, ratio[0], rtol=1e-4)
+
+    def test_shape_validation(self):
+        att = LocalActivationAttention(8)
+        with pytest.raises(OpError):
+            att.infer_shape([TensorSpec((3, 10, 7)), TensorSpec((3, 8))])

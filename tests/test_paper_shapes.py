@@ -1,0 +1,388 @@
+"""Integration tests pinning the paper's figure-level claims.
+
+Each test asserts one qualitative result from the paper's evaluation
+(who wins, by roughly what factor, where crossovers fall). These are
+the reproduction's acceptance criteria: if a model change breaks one of
+these, the corresponding figure no longer tells the paper's story.
+"""
+
+import pytest
+
+from repro.core import SpeedupStudy, breakdown_for, collect_report
+from repro.models import MODEL_ORDER, build_all_models, build_model
+from repro.runtime import InferenceSession
+
+FC_HEAVY = ["ncf", "rm3", "wnd", "mtwnd"]
+EMBEDDING_HEAVY = ["rm1", "rm2"]
+
+
+@pytest.fixture(scope="module")
+def models():
+    return build_all_models()
+
+
+@pytest.fixture(scope="module")
+def sweep(models):
+    return SpeedupStudy(
+        models=models, batch_sizes=[1, 16, 64, 256, 1024, 4096, 16384]
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def bdw_reports(models):
+    return {n: collect_report(m, "broadwell", 16) for n, m in models.items()}
+
+
+@pytest.fixture(scope="module")
+def clx_reports(models):
+    return {n: collect_report(m, "cascade_lake", 16) for n, m in models.items()}
+
+
+class TestFig3Speedups:
+    @pytest.mark.parametrize("name", FC_HEAVY)
+    def test_fc_models_order_of_magnitude_on_gpu(self, sweep, name):
+        assert sweep.speedup(name, "gtx1080ti", 16384) > 8.0
+        assert sweep.speedup(name, "t4", 16384) > 8.0
+
+    def test_speedup_capped_around_fifteen(self, sweep):
+        """Abstract: 'up to 15x speedup'."""
+        best = max(
+            sweep.speedup(m, p, b)
+            for m in sweep.model_names
+            for p in sweep.platform_names
+            for b in sweep.batch_sizes
+        )
+        assert 10.0 < best < 18.0
+
+    @pytest.mark.parametrize("name", EMBEDDING_HEAVY)
+    def test_embedding_models_gpu_speedup_below_four(self, sweep, name):
+        for platform in ("gtx1080ti", "t4"):
+            for batch in sweep.batch_sizes:
+                assert sweep.speedup(name, platform, batch) < 4.0
+
+    @pytest.mark.parametrize("name", EMBEDDING_HEAVY)
+    def test_cascade_lake_beats_1080ti_at_small_batch(self, sweep, name):
+        """'Cascade Lake consistently outperforms the 1080 Ti ... by at
+        least 2x at small batch sizes' for RM1/RM2."""
+        for batch in (1, 16):
+            ratio = sweep.speedup(name, "cascade_lake", batch) / sweep.speedup(
+                name, "gtx1080ti", batch
+            )
+            assert ratio > 1.9
+
+    def test_din_broadwell_wins_at_small_batch(self, sweep):
+        for batch in (1, 16, 64):
+            assert sweep.speedup("din", "gtx1080ti", batch) < 1.0
+            assert sweep.speedup("din", "t4", batch) < 1.0
+
+    def test_din_gpu_saturates_below_five(self, sweep):
+        for batch in sweep.batch_sizes:
+            assert sweep.speedup("din", "gtx1080ti", batch) < 5.0
+
+    def test_dien_reaches_about_seven_x(self, sweep):
+        best = max(
+            sweep.speedup("dien", p, b)
+            for p in ("gtx1080ti", "t4")
+            for b in sweep.batch_sizes
+        )
+        assert 5.0 < best < 9.0
+
+    def test_cascade_lake_always_beats_broadwell(self, sweep):
+        """Observation #3: CLX improves on BDW across ALL use cases."""
+        for model in sweep.model_names:
+            for batch in sweep.batch_sizes:
+                assert sweep.speedup(model, "cascade_lake", batch) > 1.0
+
+    @pytest.mark.parametrize("name", ["ncf", "rm3", "wnd", "mtwnd", "dien"])
+    def test_t4_beats_1080ti_at_large_batch(self, sweep, name):
+        """Observation #4: T4's SM count wins at batch > ~10^3."""
+        assert sweep.speedup(name, "t4", 16384) > sweep.speedup(
+            name, "gtx1080ti", 16384
+        )
+
+    def test_gpu_speedup_grows_with_batch_for_fc_models(self, sweep):
+        for name in FC_HEAVY:
+            series = [sweep.speedup(name, "gtx1080ti", b) for b in (16, 256, 16384)]
+            assert series[0] < series[1] < series[2]
+
+
+class TestFig4DataCommunication:
+    def test_fraction_grows_with_batch_for_embedding_models(self, sweep):
+        for name in EMBEDDING_HEAVY:
+            small = sweep.data_comm_fraction(name, "gtx1080ti", 16)
+            large = sweep.data_comm_fraction(name, "gtx1080ti", 16384)
+            assert large > small
+
+    def test_embedding_models_suffer_most(self, sweep):
+        rm2 = sweep.data_comm_fraction("rm2", "gtx1080ti", 4096)
+        rm3 = sweep.data_comm_fraction("rm3", "gtx1080ti", 4096)
+        assert rm2 > 2 * rm3
+
+    def test_fraction_substantial_at_large_batch(self, sweep):
+        assert sweep.data_comm_fraction("rm2", "gtx1080ti", 16384) > 0.25
+
+
+class TestFig5OptimalPlatform:
+    def test_embedding_models_prefer_cpu_at_small_batch(self, sweep):
+        cells = {
+            (c.model, c.batch_size): c
+            for c in SpeedupStudy.optimal_platform_grid(sweep)
+        }
+        for name in EMBEDDING_HEAVY + ["din"]:
+            assert cells[(name, 16)].platform == "cascade_lake"
+
+    def test_fc_models_prefer_gpu_at_large_batch(self, sweep):
+        cells = {
+            (c.model, c.batch_size): c
+            for c in SpeedupStudy.optimal_platform_grid(sweep)
+        }
+        for name in FC_HEAVY:
+            assert cells[(name, 16384)].platform in ("gtx1080ti", "t4")
+
+
+class TestFig6OperatorBreakdowns:
+    def test_fc_dominates_fc_models_on_cpu(self, sweep):
+        for name in ("rm3", "wnd", "mtwnd"):
+            breakdown = breakdown_for(sweep.profile(name, "broadwell", 1024))
+            assert breakdown.dominant == "FC"
+
+    def test_sls_dominates_embedding_models_on_cpu(self, sweep):
+        for name in EMBEDDING_HEAVY:
+            breakdown = breakdown_for(sweep.profile(name, "broadwell", 1024))
+            assert breakdown.dominant == "SparseLengthsSum"
+
+    def test_rm1_bottleneck_flips_fc_to_sls(self, models):
+        """'on RM1, varying batch sizes from 4 to 64 will shift the
+        dominant operator bottleneck from FC to SparseLengthsSum'."""
+        session = InferenceSession(models["rm1"], "broadwell")
+        small = breakdown_for(session.profile(4))
+        large = breakdown_for(session.profile(64))
+        assert small.share("FC") > small.share("SparseLengthsSum") * 0.8
+        assert large.dominant == "SparseLengthsSum"
+
+    def test_wnd_sls_heavy_at_small_batch_on_gpu(self, sweep):
+        """'WnD, an FC-heavy model on CPUs, is dominated by the
+        SparseLengthsSum operator at small batch sizes on GPUs.'"""
+        gpu_small = breakdown_for(sweep.profile("wnd", "gtx1080ti", 16))
+        cpu_small = breakdown_for(sweep.profile("wnd", "broadwell", 16))
+        assert gpu_small.share("SparseLengthsSum") > cpu_small.share(
+            "SparseLengthsSum"
+        )
+        assert gpu_small.dominant == "SparseLengthsSum"
+
+    def test_din_concat_heavy_on_gpu(self, sweep):
+        breakdown = breakdown_for(sweep.profile("din", "gtx1080ti", 1024))
+        assert breakdown.share("Concat") > 0.3
+
+    def test_dien_recurrent_dominated(self, sweep):
+        breakdown = breakdown_for(sweep.profile("dien", "broadwell", 1024))
+        assert breakdown.dominant == "RecurrentNetwork"
+
+
+class TestFig8TopDown:
+    def test_fc_models_retire_heavy_on_bdw(self, bdw_reports):
+        for name in ("rm3", "wnd", "mtwnd"):
+            td = bdw_reports[name].topdown
+            assert td.retiring > 0.4
+            assert td.retiring == max(td.level1.values())
+
+    def test_embedding_models_not_retire_heavy_on_bdw(self, bdw_reports):
+        for name in EMBEDDING_HEAVY:
+            assert bdw_reports[name].topdown.retiring < 0.45
+            assert bdw_reports[name].topdown.backend_bound > 0.3
+
+    def test_embedding_models_most_bad_speculation(self, bdw_reports):
+        rm_bs = min(bdw_reports[n].topdown.bad_speculation for n in EMBEDDING_HEAVY)
+        other_bs = max(
+            bdw_reports[n].topdown.bad_speculation
+            for n in MODEL_ORDER
+            if n not in EMBEDDING_HEAVY
+        )
+        assert rm_bs > other_bs
+
+    def test_attention_models_frontend_heavy(self, bdw_reports):
+        for name in ("din", "dien"):
+            td = bdw_reports[name].topdown
+            assert td.frontend_bound > 0.15
+            assert td.frontend_latency > td.frontend_bandwidth
+
+    def test_clx_reduces_bad_speculation(self, bdw_reports, clx_reports):
+        for name in MODEL_ORDER:
+            assert (
+                clx_reports[name].topdown.bad_speculation
+                <= bdw_reports[name].topdown.bad_speculation + 1e-9
+            )
+
+    def test_fc_models_retiring_slightly_decreases_on_clx(
+        self, bdw_reports, clx_reports
+    ):
+        """'the fraction of cycles devoted to retiring did not increase
+        between Broadwell and Cascade Lake for RM3, WnD, and MT-WnD'."""
+        for name in ("rm3", "wnd", "mtwnd"):
+            assert (
+                clx_reports[name].topdown.retiring
+                <= bdw_reports[name].topdown.retiring + 0.02
+            )
+
+
+class TestFig9Vectorization:
+    def test_fc_models_over_60pct_avx_on_bdw(self, bdw_reports):
+        for name in ("rm3", "wnd", "mtwnd"):
+            assert bdw_reports[name].avx_fraction > 0.55
+
+    def test_embedding_models_less_vectorized(self, bdw_reports):
+        for name in EMBEDDING_HEAVY:
+            assert bdw_reports[name].avx_fraction < 0.5
+
+    def test_clx_lower_avx_share_but_faster(self, bdw_reports, clx_reports, models):
+        for name in ("rm3", "wnd", "mtwnd"):
+            assert (
+                clx_reports[name].avx_fraction < bdw_reports[name].avx_fraction
+            )
+        # ... and still faster end-to-end (checked via sessions).
+        for name in ("rm3", "wnd"):
+            bdw_t = InferenceSession(models[name], "broadwell").profile(16)
+            clx_t = InferenceSession(models[name], "cascade_lake").profile(16)
+            assert clx_t.total_seconds < bdw_t.total_seconds
+
+
+class TestFig10Backend:
+    def test_fc_models_core_bound_on_bdw(self, bdw_reports):
+        assert bdw_reports["rm3"].core_to_memory_ratio > 1.5
+        assert bdw_reports["wnd"].core_to_memory_ratio > 1.5
+        assert bdw_reports["mtwnd"].core_to_memory_ratio > 1.5
+
+    def test_fc_models_memory_bound_on_clx(self, clx_reports):
+        """'the backend bottleneck has shifted from core to memory'."""
+        for name in ("rm3", "wnd"):
+            assert clx_reports[name].core_to_memory_ratio < 1.5
+
+    def test_clx_ratio_lower_than_bdw(self, bdw_reports, clx_reports):
+        for name in ("rm3", "wnd", "mtwnd"):
+            assert (
+                clx_reports[name].core_to_memory_ratio
+                < bdw_reports[name].core_to_memory_ratio
+            )
+
+    def test_embedding_models_memory_bound_everywhere(self, bdw_reports):
+        for name in EMBEDDING_HEAVY:
+            assert bdw_reports[name].core_to_memory_ratio < 1.0
+
+    def test_fc_models_highest_fu_pressure(self, bdw_reports):
+        fc_pressure = min(
+            bdw_reports[n].fu_usage["3+"] for n in ("rm3", "wnd", "mtwnd")
+        )
+        emb_pressure = max(bdw_reports[n].fu_usage["3+"] for n in EMBEDDING_HEAVY)
+        assert fc_pressure > emb_pressure
+
+    def test_clx_reduces_fu_pressure_for_fc_models(self, bdw_reports, clx_reports):
+        for name in ("rm3", "wnd"):
+            assert (
+                clx_reports[name].fu_usage["3+"]
+                <= bdw_reports[name].fu_usage["3+"] + 0.02
+            )
+
+
+class TestFig11Instructions:
+    def test_retired_instructions_drop_on_clx(self, bdw_reports, clx_reports):
+        for name in MODEL_ORDER:
+            assert (
+                clx_reports[name].retired_instructions
+                < bdw_reports[name].retired_instructions
+            )
+
+
+class TestFig12InstructionCache:
+    def test_din_highest_impki(self, bdw_reports):
+        din = bdw_reports["din"].i_mpki
+        assert din == max(bdw_reports[n].i_mpki for n in MODEL_ORDER)
+        assert 8.0 < din < 16.0  # paper: 12.4
+
+    def test_dien_second_tier(self, bdw_reports):
+        dien = bdw_reports["dien"].i_mpki
+        assert 5.0 < dien < 11.0  # paper: 7.7
+        assert dien < bdw_reports["din"].i_mpki
+
+    def test_attention_models_far_above_all_others(self, bdw_reports):
+        attention = min(bdw_reports[n].i_mpki for n in ("din", "dien"))
+        rest = max(
+            bdw_reports[n].i_mpki
+            for n in MODEL_ORDER
+            if n not in ("din", "dien")
+        )
+        assert attention > 3 * rest
+
+    def test_ncf_elevated_versus_fc_heavy_models(self, bdw_reports):
+        """NCF's small kernels thrash i-cache more than the big-GEMM
+        models (paper groups NCF with DIN/DIEN as high-miss-rate).
+
+        Known deviation: our RM1 shows i-MPKI comparable to NCF's (the
+        paper's NCF sits clearly above the DLRM family); see
+        EXPERIMENTS.md."""
+        ncf = bdw_reports["ncf"].i_mpki
+        assert ncf > 2 * bdw_reports["rm3"].i_mpki
+        assert ncf > 2 * bdw_reports["wnd"].i_mpki
+
+
+class TestFig13Decoders:
+    def test_rm_models_dsb_limited_not_mite(self, bdw_reports):
+        for name in EMBEDDING_HEAVY:
+            r = bdw_reports[name]
+            assert r.dsb_limited_fraction > 2 * r.mite_limited_fraction
+            assert r.dsb_limited_fraction > 0.02
+
+    def test_rm_models_most_decoder_limited(self, bdw_reports):
+        rm_dsb = min(bdw_reports[n].dsb_limited_fraction for n in EMBEDDING_HEAVY)
+        fc_dsb = max(bdw_reports[n].dsb_limited_fraction for n in ("rm3", "wnd"))
+        assert rm_dsb > fc_dsb
+
+
+class TestFig14DramCongestion:
+    def test_rm2_far_above_others(self, bdw_reports):
+        rm2 = bdw_reports["rm2"].dram_congested_fraction
+        for other in ("rm1", "din", "dien"):
+            assert rm2 > 3 * bdw_reports[other].dram_congested_fraction
+        assert rm2 > 0.1
+
+    def test_attention_models_not_congested(self, bdw_reports):
+        assert bdw_reports["din"].dram_congested_fraction < 0.05
+        assert bdw_reports["dien"].dram_congested_fraction < 0.05
+
+
+class TestFig15Branches:
+    def test_mispredicts_drop_bdw_to_clx(self, bdw_reports, clx_reports):
+        for name in EMBEDDING_HEAVY:
+            assert (
+                clx_reports[name].branch_mpki < 0.7 * bdw_reports[name].branch_mpki
+            )
+
+    def test_embedding_models_most_mispredicts(self, bdw_reports):
+        rm = min(bdw_reports[n].branch_mpki for n in EMBEDDING_HEAVY)
+        rest = max(
+            bdw_reports[n].branch_mpki
+            for n in MODEL_ORDER
+            if n not in EMBEDDING_HEAVY
+        )
+        assert rm > rest
+
+
+class TestFig16Regression:
+    @pytest.fixture(scope="class")
+    def study(self):
+        from repro.core import run_fig16_study
+
+        return run_fig16_study(batch_sizes=[1, 16, 256, 4096])
+
+    def test_no_single_deciding_factor(self, study):
+        """Paper conclusion: every bottleneck is multi-factor."""
+        for result in study.values():
+            assert result.weight_concentration() < 0.75
+
+    def test_fc_ratio_reduces_bad_speculation(self, study):
+        """'a high ratio of FC to embedding weights reduces bad
+        speculation'."""
+        weight = study["bad_speculation"].weights["fc_to_embedding_ratio"]
+        assert weight < 0
+
+    def test_fits_capture_signal(self, study):
+        assert max(r.r_squared for r in study.values()) > 0.5

@@ -1,0 +1,186 @@
+"""Property-based tests over the performance models.
+
+Hypothesis generates arbitrary (but physically sensible) workloads and
+configurations; the models must respect basic physics: non-negativity,
+monotonicity in work, conservation of accounting identities.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.hw import BROADWELL, CASCADE_LAKE, GTX_1080_TI, T4
+from repro.gpusim import KernelCostModel
+from repro.ops.workload import MemoryStream, OpWorkload, RANDOM, SEQUENTIAL
+from repro.uarch import CpuModel, DEFAULT_CONSTANTS, synthesize, topdown_from_events
+from repro.uarch.backend import BackendModel
+from repro.uarch.memory import MemoryModel
+
+
+def workload_strategy():
+    stream = st.builds(
+        MemoryStream,
+        footprint_bytes=st.integers(min_value=64, max_value=1 << 30),
+        accesses=st.integers(min_value=1, max_value=1_000_000),
+        granule_bytes=st.sampled_from([32, 64, 128, 256]),
+        pattern=st.sampled_from([SEQUENTIAL, RANDOM]),
+        locality=st.floats(min_value=0.0, max_value=1.0),
+        is_write=st.booleans(),
+        parallelism=st.integers(min_value=1, max_value=512),
+    )
+    return st.builds(
+        OpWorkload,
+        op_kind=st.sampled_from(["FC", "SparseLengthsSum", "Concat", "X"]),
+        flops=st.integers(min_value=0, max_value=10**10),
+        vector_fraction=st.floats(min_value=0.0, max_value=1.0),
+        uses_fma=st.booleans(),
+        scalar_ops=st.integers(min_value=0, max_value=10**7),
+        streams=st.lists(stream, max_size=4).map(tuple),
+        code_bytes=st.integers(min_value=128, max_value=512 * 1024),
+        unique_code_blocks=st.integers(min_value=1, max_value=1000),
+        branches=st.integers(min_value=0, max_value=10**7),
+        branch_entropy=st.floats(min_value=0.0, max_value=1.0),
+        kernel_launches=st.integers(min_value=1, max_value=4000),
+        sequential_steps=st.integers(min_value=1, max_value=256),
+    )
+
+
+class TestCpuModelProperties:
+    @given(workload_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_cycles_finite_positive_and_accounted(self, workload):
+        cpu = CpuModel(BROADWELL)
+        profile = cpu.profile_workloads("g", ["n0"], [workload.op_kind], [workload])
+        (op,) = profile.op_profiles
+        assert math.isfinite(op.cycles)
+        assert op.cycles > 0
+        assert op.cycles == pytest.approx(
+            op.execution_cycles
+            + op.memory_stall_cycles
+            + op.frontend_stall_cycles
+            + op.bad_speculation_cycles
+        )
+        for value in (
+            op.execution_cycles,
+            op.memory_stall_cycles,
+            op.frontend_stall_cycles,
+            op.bad_speculation_cycles,
+        ):
+            assert value >= 0
+
+    @given(workload_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_topdown_always_valid(self, workload):
+        cpu = CpuModel(CASCADE_LAKE)
+        profile = cpu.profile_workloads("g", ["n0"], [workload.op_kind], [workload])
+        td = topdown_from_events(profile.events)
+        td.validate()
+
+    @given(
+        workload_strategy(),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_more_flops_never_faster(self, workload, factor):
+        assume(workload.flops > 1000)
+        cpu = CpuModel(BROADWELL)
+        bigger = OpWorkload(
+            op_kind=workload.op_kind,
+            flops=workload.flops * factor,
+            vector_fraction=workload.vector_fraction,
+            uses_fma=workload.uses_fma,
+            scalar_ops=workload.scalar_ops,
+            streams=workload.streams,
+            code_bytes=workload.code_bytes,
+            unique_code_blocks=workload.unique_code_blocks,
+            branches=workload.branches,
+            branch_entropy=workload.branch_entropy,
+            kernel_launches=workload.kernel_launches,
+            sequential_steps=workload.sequential_steps,
+        )
+        base = cpu.profile_workloads("g", ["n"], [workload.op_kind], [workload])
+        more = cpu.profile_workloads("g", ["n"], [workload.op_kind], [bigger])
+        assert more.op_profiles[0].cycles >= base.op_profiles[0].cycles
+
+    @given(workload_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_events_nonnegative(self, workload):
+        cpu = CpuModel(BROADWELL)
+        profile = cpu.profile_workloads("g", ["n"], [workload.op_kind], [workload])
+        for name, value in profile.events.as_dict().items():
+            assert value >= 0, name
+
+
+class TestComponentProperties:
+    @given(workload_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_instruction_mix_nonnegative(self, workload):
+        for spec in (BROADWELL, CASCADE_LAKE):
+            mix = synthesize(workload, spec, DEFAULT_CONSTANTS)
+            assert mix.total >= 0
+            assert mix.avx_instructions <= mix.total + 1e-6
+
+    @given(workload_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_memory_profile_conserves_accesses(self, workload):
+        mm = MemoryModel(BROADWELL, DEFAULT_CONSTANTS)
+        profile = mm.profile(workload)
+        total_levels = (
+            profile.l1_accesses
+            + profile.l2_accesses
+            + profile.l3_accesses
+            + profile.dram_accesses
+        )
+        total_streams = sum(s.accesses for s in workload.streams)
+        assert total_levels == pytest.approx(total_streams, rel=1e-6, abs=1e-6)
+        assert 0.0 <= profile.dram_occupancy <= 1.0
+
+    @given(workload_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_backend_histogram_simplex(self, workload):
+        bm = BackendModel(BROADWELL, DEFAULT_CONSTANTS)
+        mix = synthesize(workload, BROADWELL, DEFAULT_CONSTANTS)
+        profile = bm.profile(mix)
+        bm.port_histogram(profile, max(profile.execution_cycles, 1.0))
+        total = (
+            profile.ports_0_fraction
+            + profile.ports_1_2_fraction
+            + profile.ports_3_plus_fraction
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestGpuModelProperties:
+    @given(workload_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_time_at_least_launch_floor(self, workload):
+        for spec in (GTX_1080_TI, T4):
+            km = KernelCostModel(spec)
+            profile = km.profile(workload)
+            assert profile.seconds >= profile.launch_seconds
+            assert profile.launch_seconds == pytest.approx(
+                workload.kernel_launches * spec.kernel_launch_us * 1e-6
+            )
+
+    @given(workload_strategy(), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=25, deadline=None)
+    def test_gpu_compute_monotonic_in_flops(self, workload, factor):
+        assume(workload.flops > 1000)
+        km = KernelCostModel(T4)
+        bigger = OpWorkload(
+            op_kind=workload.op_kind,
+            flops=workload.flops * factor,
+            vector_fraction=workload.vector_fraction,
+            uses_fma=workload.uses_fma,
+            scalar_ops=workload.scalar_ops,
+            streams=workload.streams,
+            code_bytes=workload.code_bytes,
+            unique_code_blocks=workload.unique_code_blocks,
+            branches=workload.branches,
+            branch_entropy=workload.branch_entropy,
+            kernel_launches=workload.kernel_launches,
+            sequential_steps=workload.sequential_steps,
+        )
+        assert km.profile(bigger).compute_seconds >= km.profile(workload).compute_seconds

@@ -1,0 +1,110 @@
+"""Tests for hardware platform specs (Table II fidelity)."""
+
+import pytest
+
+from repro.hw import (
+    BROADWELL,
+    CASCADE_LAKE,
+    GTX_1080_TI,
+    PLATFORM_ORDER,
+    PLATFORMS,
+    T4,
+    cpu_platforms,
+    gpu_platforms,
+    platform_by_name,
+)
+
+
+class TestTableII:
+    """Pin every value the paper's Table II publishes."""
+
+    def test_broadwell(self):
+        s = BROADWELL
+        assert s.name == "Xeon E5-2697A"
+        assert s.frequency_ghz == 2.6
+        assert s.cores == 16
+        assert s.simd_width_bits == 256  # AVX-2
+        assert (s.l1d_kb, s.l2_kb, s.l3_mb) == (32, 256, 40.0)
+        assert s.cache_inclusive
+        assert s.dram_capacity_gb == 256
+        assert (s.ddr_type, s.ddr_frequency_mhz) == ("DDR4", 2400)
+        assert s.dram_bandwidth_gbps == 77.0
+        assert s.tdp_w == 145
+
+    def test_cascade_lake(self):
+        s = CASCADE_LAKE
+        assert s.name == "Xeon Gold 6242"
+        assert s.frequency_ghz == 2.8
+        assert s.simd_width_bits == 512  # AVX-512
+        assert s.has_vnni
+        assert (s.l1d_kb, s.l2_kb, s.l3_mb) == (32, 1024, 22.0)
+        assert not s.cache_inclusive  # exclusive
+        assert s.dram_capacity_gb == 384
+        assert s.ddr_frequency_mhz == 2933
+        assert s.dram_bandwidth_gbps == 131.0
+        assert s.tdp_w == 150
+
+    def test_gtx_1080_ti(self):
+        s = GTX_1080_TI
+        assert s.microarchitecture == "Pascal"
+        assert s.frequency_ghz == 1.48
+        assert s.sm_count == 28
+        assert s.cuda_capability == "6.1"
+        assert s.l2_mb == 2.75
+        assert s.dram_capacity_gb == 11
+        assert (s.ddr_type, s.dram_bandwidth_gbps) == ("GDDR5X", 484.4)
+        assert s.tdp_w == 250
+
+    def test_t4(self):
+        s = T4
+        assert s.microarchitecture == "Turing"
+        assert s.frequency_ghz == 0.58
+        assert s.sm_count == 40
+        assert s.cuda_capability == "7.5"
+        assert (s.ddr_type, s.dram_bandwidth_gbps) == ("GDDR6", 320.0)
+        assert s.tdp_w == 70
+
+
+class TestSpecDerived:
+    def test_simd_lanes(self):
+        assert BROADWELL.simd_fp32_lanes == 8
+        assert CASCADE_LAKE.simd_fp32_lanes == 16
+
+    def test_gpu_peak_flops(self):
+        # 2 * SM * cores/SM * GHz.
+        assert GTX_1080_TI.peak_fp32_tflops == pytest.approx(
+            2 * 28 * 128 * 1.48 / 1000
+        )
+        assert T4.peak_fp32_tflops == pytest.approx(2 * 40 * 128 * 0.58 / 1000)
+
+    def test_clx_predicts_better_than_bdw(self):
+        assert CASCADE_LAKE.predictor_quality > BROADWELL.predictor_quality
+        assert CASCADE_LAKE.branch_penalty <= BROADWELL.branch_penalty
+
+    def test_with_overrides(self):
+        wide = BROADWELL.with_overrides(simd_width_bits=512)
+        assert wide.simd_fp32_lanes == 16
+        assert BROADWELL.simd_width_bits == 256  # original untouched
+
+
+class TestRegistry:
+    def test_platform_order(self):
+        assert PLATFORM_ORDER == ["broadwell", "cascade_lake", "gtx1080ti", "t4"]
+        assert set(PLATFORM_ORDER) == set(PLATFORMS)
+
+    def test_aliases(self):
+        assert platform_by_name("BDW") is BROADWELL
+        assert platform_by_name("clx") is CASCADE_LAKE
+        assert platform_by_name("1080Ti") is GTX_1080_TI
+        assert platform_by_name("Cascade Lake") is CASCADE_LAKE
+        assert platform_by_name("turing") is T4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            platform_by_name("a100")
+
+    def test_kind_partition(self):
+        assert set(cpu_platforms()) == {"broadwell", "cascade_lake"}
+        assert set(gpu_platforms()) == {"gtx1080ti", "t4"}
+        assert all(s.kind == "cpu" for s in cpu_platforms().values())
+        assert all(s.kind == "gpu" for s in gpu_platforms().values())

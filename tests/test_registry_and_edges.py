@@ -1,0 +1,149 @@
+"""Registry coverage and edge-case behaviour across small modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import render_table, to_csv
+from repro.graph import Graph, GraphError, TensorSpec
+from repro.ops import (
+    OPERATOR_KINDS,
+    FC,
+    OpError,
+    Operator,
+    Slice,
+    Sum,
+    all_kinds,
+    merge_workloads,
+    operator_class,
+)
+from repro.ops.workload import OpWorkload
+from repro.runtime import InferenceProfile
+
+
+class TestRegistry:
+    def test_all_kinds_sorted_and_complete(self):
+        kinds = all_kinds()
+        assert kinds == sorted(kinds)
+        for expected in (
+            "FC",
+            "SparseLengthsSum",
+            "Gather",
+            "Concat",
+            "RecurrentNetwork",
+            "AUGRU",
+            "LocalActivation",
+            "DotInteraction",
+        ):
+            assert expected in kinds
+
+    def test_operator_class_roundtrip(self):
+        assert operator_class("FC") is FC
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            operator_class("Conv2D")
+
+    def test_registry_kinds_match_classes(self):
+        for kind, cls in OPERATOR_KINDS.items():
+            assert cls.kind == kind
+            assert issubclass(cls, Operator)
+
+
+class TestGraphEdges:
+    def test_input_can_be_output(self):
+        g = Graph("idg")
+        g.add_input("x", TensorSpec((2, 2)))
+        g.mark_output("x")
+        # Needs at least the output defined; no nodes is fine.
+        g.validate()
+
+    def test_mark_output_idempotent(self):
+        g = Graph()
+        g.add_input("x", TensorSpec((2, 2)))
+        g.mark_output("x")
+        g.mark_output("x")
+        assert g.output_names == ["x"]
+
+    def test_spec_of_unknown(self):
+        with pytest.raises(GraphError):
+            Graph().spec_of("ghost")
+
+    def test_contains_and_len(self):
+        g = Graph()
+        g.add_input("x", TensorSpec((2, 8)))
+        name = g.add_node("n", FC(8, 4, "e"), ["x"])
+        assert name in g
+        assert "x" not in g  # inputs are not nodes
+        assert len(g) == 1
+
+
+class TestOperatorEdges:
+    def test_slice_invalid_bounds(self):
+        with pytest.raises(OpError):
+            Slice(axis=0, start=3, stop=3)
+
+    def test_slice_axis_out_of_range(self):
+        with pytest.raises(OpError):
+            Slice(axis=5, start=0, stop=1).infer_shape([TensorSpec((2, 2))])
+
+    def test_slice_exceeds_extent(self):
+        with pytest.raises(OpError):
+            Slice(axis=1, start=0, stop=9).infer_shape([TensorSpec((2, 2))])
+
+    def test_sum_axis_out_of_range(self):
+        with pytest.raises(OpError):
+            Sum(axis=4).infer_shape([TensorSpec((2, 2))])
+
+    def test_sum_no_inputs(self):
+        with pytest.raises(OpError):
+            Sum().infer_shape([])
+
+    def test_merge_single_part_is_identityish(self):
+        w = OpWorkload(op_kind="X", flops=100, vector_fraction=0.5, branches=7)
+        merged = merge_workloads("Y", [w])
+        assert merged.flops == w.flops
+        assert merged.vector_fraction == pytest.approx(w.vector_fraction)
+        assert merged.branches == w.branches
+        assert merged.op_kind == "Y"
+
+    def test_fc_check_arity(self):
+        with pytest.raises(OpError):
+            FC(4, 4, "a").infer_shape([TensorSpec((2, 4)), TensorSpec((2, 4))])
+
+
+class TestReportEdges:
+    def test_render_table_no_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_to_csv_empty(self):
+        assert to_csv(["x"], []) == "x\n"
+
+    def test_render_table_mixed_types(self):
+        text = render_table(["v"], [[1], [2.5], ["s"]], float_format="{:.1f}")
+        assert "2.5" in text
+
+
+class TestInferenceProfileEdges:
+    def _profile(self, **kwargs):
+        defaults = dict(
+            model_name="m",
+            platform_name="p",
+            platform_kind="cpu",
+            batch_size=4,
+            compute_seconds=0.0,
+            data_comm_seconds=0.0,
+            op_time_by_kind={},
+        )
+        defaults.update(kwargs)
+        return InferenceProfile(**defaults)
+
+    def test_zero_time_profile(self):
+        p = self._profile()
+        assert p.throughput_qps == 0.0
+        assert p.data_comm_fraction == 0.0
+        assert p.dominant_operator() == ""
+
+    def test_dominant_operator(self):
+        p = self._profile(op_time_by_kind={"FC": 0.2, "Relu": 0.1})
+        assert p.dominant_operator() == "FC"

@@ -1,0 +1,114 @@
+"""Tests for the query-scheduling simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpeedupStudy
+from repro.models import build_model
+from repro.runtime import BatchingPolicy, QueryScheduler, ScheduleResult, ServiceTimeModel
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    models = {n: build_model(n) for n in ("rm2", "rm3")}
+    return SpeedupStudy(models=models, batch_sizes=[1, 16, 256, 4096]).run()
+
+
+class TestServiceTimeModel:
+    def test_exact_at_profiled_points(self, sweep):
+        stm = ServiceTimeModel(sweep, "rm3", "t4")
+        for batch in (1, 16, 256, 4096):
+            assert stm.seconds(batch) == pytest.approx(
+                sweep.total_seconds("rm3", "t4", batch)
+            )
+
+    def test_interpolation_monotonic(self, sweep):
+        stm = ServiceTimeModel(sweep, "rm3", "broadwell")
+        times = [stm.seconds(b) for b in (1, 3, 16, 40, 256, 1000, 4096)]
+        assert times == sorted(times)
+
+    def test_extrapolation_beyond_grid(self, sweep):
+        stm = ServiceTimeModel(sweep, "rm2", "broadwell")
+        assert stm.seconds(8192) > stm.seconds(4096)
+
+    def test_invalid_batch(self, sweep):
+        with pytest.raises(ValueError):
+            ServiceTimeModel(sweep, "rm2", "t4").seconds(0)
+
+
+class TestBatchingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(batch_timeout_s=-1)
+
+
+class TestScheduler:
+    def _scheduler(self, sweep, model="rm3", platform="t4", **policy_kwargs):
+        policy = BatchingPolicy(**policy_kwargs)
+        return QueryScheduler(ServiceTimeModel(sweep, model, platform), policy)
+
+    def test_all_queries_served(self, sweep):
+        result = self._scheduler(sweep).run(arrival_qps=5000, num_queries=500)
+        assert result.queries == 500
+        assert len(result.latencies_s) == 500
+        assert np.all(result.latencies_s > 0)
+
+    def test_percentiles_ordered(self, sweep):
+        result = self._scheduler(sweep).run(arrival_qps=5000, num_queries=800)
+        assert result.p50 <= result.p95 <= result.p99
+
+    def test_latency_grows_with_load(self, sweep):
+        scheduler = self._scheduler(sweep, max_batch=256)
+        light = scheduler.run(arrival_qps=1000, num_queries=800)
+        heavy = scheduler.run(arrival_qps=40000, num_queries=800)
+        assert heavy.p99 > light.p99
+
+    def test_batches_fill_under_load(self, sweep):
+        scheduler = self._scheduler(sweep, max_batch=256, batch_timeout_s=0.001)
+        light = scheduler.run(arrival_qps=500, num_queries=400)
+        heavy = scheduler.run(arrival_qps=100_000, num_queries=2000)
+        assert heavy.mean_batch_size > 4 * light.mean_batch_size
+        assert max(heavy.batch_sizes) <= 256
+
+    def test_batch_cap_respected(self, sweep):
+        scheduler = self._scheduler(sweep, max_batch=8)
+        result = scheduler.run(arrival_qps=50_000, num_queries=500)
+        assert max(result.batch_sizes) <= 8
+
+    def test_sla_check(self, sweep):
+        result = self._scheduler(sweep).run(arrival_qps=1000, num_queries=400)
+        assert result.meets_sla(10.0)
+        assert not result.meets_sla(1e-9)
+
+    def test_deterministic_with_seed(self, sweep):
+        stm = ServiceTimeModel(sweep, "rm3", "t4")
+        policy = BatchingPolicy()
+        r1 = QueryScheduler(stm, policy, seed=3).run(2000, 300)
+        r2 = QueryScheduler(stm, policy, seed=3).run(2000, 300)
+        np.testing.assert_array_equal(r1.latencies_s, r2.latencies_s)
+
+    def test_invalid_inputs(self, sweep):
+        scheduler = self._scheduler(sweep)
+        with pytest.raises(ValueError):
+            scheduler.run(arrival_qps=0)
+        with pytest.raises(ValueError):
+            scheduler.run(arrival_qps=100, num_queries=0)
+
+    def test_max_load_under_sla(self, sweep):
+        scheduler = self._scheduler(sweep, max_batch=256)
+        capacity = scheduler.max_load_under_sla(
+            sla_seconds=0.1, num_queries=500
+        )
+        assert capacity > 0
+
+    def test_gpu_sustains_more_load_than_cpu_for_fc_model(self, sweep):
+        """The at-scale version of Fig 3: under a loose SLA the GPU
+        server sustains far more RM3 load than a Broadwell server."""
+        gpu = self._scheduler(sweep, "rm3", "t4", max_batch=1024)
+        cpu = self._scheduler(sweep, "rm3", "broadwell", max_batch=1024)
+        sla = 0.25
+        gpu_cap = gpu.max_load_under_sla(sla, num_queries=600)
+        cpu_cap = cpu.max_load_under_sla(sla, num_queries=600)
+        assert gpu_cap > 2 * cpu_cap

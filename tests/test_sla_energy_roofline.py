@@ -1,0 +1,109 @@
+"""Tests for the SLA, energy, and roofline analysis extensions."""
+
+import pytest
+
+from repro.core import (
+    SpeedupStudy,
+    efficiency_grid,
+    energy_per_inference,
+    graph_workload,
+    max_batch_under_sla,
+    roofline_point,
+    sla_frontier,
+)
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    models = {n: build_model(n) for n in ("rm2", "rm3")}
+    return SpeedupStudy(models=models, batch_sizes=[1, 16, 256, 4096]).run()
+
+
+class TestSla:
+    def test_loose_sla_allows_larger_batches(self, sweep):
+        tight = max_batch_under_sla(sweep, "rm3", "t4", 0.002)
+        loose = max_batch_under_sla(sweep, "rm3", "t4", 0.5)
+        assert loose.batch_size >= (tight.batch_size or 0)
+        assert loose.throughput_qps >= tight.throughput_qps
+
+    def test_impossible_sla_infeasible(self, sweep):
+        point = max_batch_under_sla(sweep, "rm2", "broadwell", 1e-9)
+        assert not point.feasible
+        assert point.throughput_qps == 0.0
+
+    def test_invalid_sla_rejected(self, sweep):
+        with pytest.raises(ValueError):
+            max_batch_under_sla(sweep, "rm2", "t4", 0.0)
+
+    def test_latency_meets_sla_when_feasible(self, sweep):
+        point = max_batch_under_sla(sweep, "rm2", "cascade_lake", 0.01)
+        assert point.feasible
+        assert point.latency_seconds <= 0.01
+
+    def test_frontier_prefers_cpu_under_tight_sla_for_rm2(self, sweep):
+        frontier = sla_frontier(sweep, "rm2", sla_tiers=(0.0015, 0.5))
+        tight, loose = frontier[0.0015], frontier[0.5]
+        assert tight.platform in ("broadwell", "cascade_lake")
+        assert loose.throughput_qps > tight.throughput_qps
+
+    def test_frontier_prefers_gpu_under_loose_sla_for_rm3(self, sweep):
+        frontier = sla_frontier(sweep, "rm3", sla_tiers=(0.5,))
+        assert frontier[0.5].platform in ("gtx1080ti", "t4")
+
+
+class TestEnergy:
+    def test_energy_positive_and_scaled_by_tdp(self, sweep):
+        bdw = energy_per_inference(sweep, "rm3", "broadwell", 256)
+        t4 = energy_per_inference(sweep, "rm3", "t4", 256)
+        assert bdw.joules_per_batch > 0
+        assert bdw.watts == pytest.approx(145 * 0.45)
+        assert t4.watts == pytest.approx(70 * 0.6)
+
+    def test_t4_most_efficient_for_fc_models_at_large_batch(self, sweep):
+        grid = efficiency_grid(sweep, 4096)
+        best = min(
+            grid["rm3"].values(), key=lambda e: e.millijoules_per_query
+        )
+        assert best.platform == "t4"  # 70 W + ~13x speedup
+
+    def test_queries_per_joule_inverse_of_energy(self, sweep):
+        est = energy_per_inference(sweep, "rm2", "cascade_lake", 256)
+        assert est.queries_per_joule == pytest.approx(
+            1.0 / (est.millijoules_per_query / 1e3)
+        )
+
+
+class TestRoofline:
+    def test_graph_workload_aggregates(self):
+        model = build_model("rm3")
+        workload = graph_workload(model.build_graph(16))
+        assert workload.flops > 1e8
+        assert workload.bytes_read > 0
+
+    def test_rm3_higher_intensity_than_rm2(self):
+        rm3 = roofline_point(build_model("rm3"), "broadwell", 256)
+        rm2 = roofline_point(build_model("rm2"), "broadwell", 256)
+        assert rm3.arithmetic_intensity > 5 * rm2.arithmetic_intensity
+
+    def test_rm2_memory_bound_on_gpus(self):
+        """Classic roofline: RM2's gather traffic sits far left of the
+        GPU ridge points (bandwidth-limited), while on CPUs it lands
+        near the ridge — its CPU bottleneck is gather *latency*, which
+        the bandwidth roofline cannot see (Fig 14's occupancy analysis
+        covers that)."""
+        for platform in ("gtx1080ti", "t4"):
+            point = roofline_point(build_model("rm2"), platform, 1024)
+            assert not point.compute_bound
+            assert point.compute_fraction_of_peak < 0.5
+        cpu_point = roofline_point(build_model("rm2"), "broadwell", 1024)
+        assert 0.3 < cpu_point.arithmetic_intensity / cpu_point.ridge_point < 4.0
+
+    def test_ridge_point_sane(self):
+        point = roofline_point(build_model("rm3"), "broadwell", 16)
+        # BDW: ~166 GF peak over 77 GB/s -> ridge ~2.2 flops/byte.
+        assert 1.0 < point.ridge_point < 4.0
+
+    def test_attainable_capped_by_peak(self):
+        point = roofline_point(build_model("rm3"), "t4", 16384)
+        assert point.attainable_flops <= point.peak_flops

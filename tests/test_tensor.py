@@ -1,0 +1,64 @@
+"""Tests for repro.graph.tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import TensorSpec
+
+
+class TestTensorSpec:
+    def test_num_elements(self):
+        assert TensorSpec((4, 8, 2)).num_elements == 64
+
+    def test_scalar_shape(self):
+        spec = TensorSpec(())
+        assert spec.num_elements == 1
+        assert spec.rank == 0
+
+    def test_nbytes_float32(self):
+        assert TensorSpec((10, 10), "float32").nbytes == 400
+
+    def test_nbytes_int64(self):
+        assert TensorSpec((10,), "int64").nbytes == 80
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4, -1))
+
+    def test_zero_dimension_allowed(self):
+        assert TensorSpec((0, 5)).num_elements == 0
+
+    def test_with_shape_preserves_dtype(self):
+        spec = TensorSpec((2, 3), "int64").with_shape((6,))
+        assert spec.shape == (6,)
+        assert spec.dtype == "int64"
+
+    def test_like_array(self):
+        arr = np.zeros((3, 4), dtype=np.float32)
+        spec = TensorSpec.like(arr)
+        assert spec.shape == (3, 4)
+        assert spec.dtype == "float32"
+        assert spec.matches(arr)
+
+    def test_matches_rejects_wrong_shape(self):
+        spec = TensorSpec((3, 4))
+        assert not spec.matches(np.zeros((4, 3), dtype=np.float32))
+
+    def test_matches_rejects_wrong_dtype(self):
+        spec = TensorSpec((3,), "float32")
+        assert not spec.matches(np.zeros(3, dtype=np.float64))
+
+    def test_specs_hashable_and_equal(self):
+        assert TensorSpec((2, 2)) == TensorSpec((2, 2))
+        assert len({TensorSpec((2, 2)), TensorSpec((2, 2))}) == 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=64), max_size=4))
+    def test_num_elements_is_product(self, dims):
+        spec = TensorSpec(tuple(dims))
+        expected = 1
+        for d in dims:
+            expected *= d
+        assert spec.num_elements == expected
+        assert spec.nbytes == expected * 4

@@ -1,0 +1,64 @@
+"""Tests for execution timelines."""
+
+import pytest
+
+from repro.models import build_model
+from repro.runtime import InferenceSession, timeline_from_profile
+
+
+@pytest.fixture(scope="module")
+def cpu_timeline():
+    session = InferenceSession(build_model("rm1"), "broadwell")
+    return timeline_from_profile(session.profile(16))
+
+
+@pytest.fixture(scope="module")
+def gpu_timeline():
+    session = InferenceSession(build_model("rm1"), "t4")
+    return timeline_from_profile(session.profile(256))
+
+
+class TestTimeline:
+    def test_spans_cover_all_ops(self, cpu_timeline):
+        graph = build_model("rm1").build_graph(16)
+        assert len(cpu_timeline.spans) == len(graph)
+
+    def test_spans_contiguous_and_ordered(self, cpu_timeline):
+        spans = cpu_timeline.spans
+        assert spans[0].start_seconds == pytest.approx(
+            cpu_timeline.data_comm_seconds
+        )
+        for prev, cur in zip(spans, spans[1:]):
+            assert cur.start_seconds == pytest.approx(prev.end_seconds)
+            assert cur.duration_seconds > 0
+
+    def test_total_matches_profile(self, cpu_timeline):
+        session = InferenceSession(build_model("rm1"), "broadwell")
+        profile = session.profile(16)
+        assert cpu_timeline.total_seconds == pytest.approx(
+            profile.total_seconds, rel=1e-6
+        )
+
+    def test_gpu_timeline_works(self, gpu_timeline):
+        assert gpu_timeline.platform == "T4"
+        assert gpu_timeline.data_comm_seconds > 0
+        assert len(gpu_timeline.spans) > 0
+
+    def test_slowest_sorted(self, cpu_timeline):
+        slowest = cpu_timeline.slowest(3)
+        durations = [s.duration_seconds for s in slowest]
+        assert durations == sorted(durations, reverse=True)
+        # RM1's heavy hitters: the per-table gathers or the big FCs.
+        assert slowest[0].op_kind in ("SparseLengthsSum", "FC")
+
+    def test_render_contains_all_rows(self, cpu_timeline):
+        text = cpu_timeline.render(width=40)
+        assert "timeline: rm1" in text
+        assert text.count("\n") >= len(cpu_timeline.spans)
+        assert "#" in text
+
+    def test_render_bars_within_width(self, cpu_timeline):
+        width = 30
+        for line in cpu_timeline.render(width=width).splitlines()[1:]:
+            bar_field = line.split("|")[1]
+            assert len(bar_field) == width

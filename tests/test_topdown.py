@@ -1,0 +1,149 @@
+"""Tests for TopDown slot accounting and the integrated pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import BROADWELL, CASCADE_LAKE
+from repro.models import build_model
+from repro.uarch import CpuModel, PmuEvents, topdown_from_events
+
+
+class TestTopDownAccounting:
+    def _events(self, **kwargs):
+        defaults = dict(cycles=1000.0, uops_retired=2000.0, instructions=1900.0)
+        defaults.update(kwargs)
+        return PmuEvents(**defaults)
+
+    def test_level1_sums_to_one(self):
+        td = topdown_from_events(self._events())
+        td.validate()
+
+    def test_pure_retirement(self):
+        td = topdown_from_events(self._events(cycles=100, uops_retired=400))
+        assert td.retiring == pytest.approx(1.0)
+        assert td.backend_bound == pytest.approx(0.0)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            topdown_from_events(PmuEvents())
+
+    def test_residual_charged_to_backend(self):
+        td = topdown_from_events(self._events(cycles=1000, uops_retired=1000))
+        assert td.backend_bound > 0.5
+
+    def test_oversubscription_normalized(self):
+        events = self._events(
+            cycles=100,
+            uops_retired=400,
+            bad_speculation_cycles=100,
+            frontend_latency_cycles=100,
+            core_bound_cycles=100,
+        )
+        td = topdown_from_events(events)
+        td.validate()
+
+    def test_level2_splits_match_parents(self):
+        events = self._events(
+            frontend_latency_cycles=30,
+            frontend_bandwidth_cycles=70,
+            core_bound_cycles=40,
+            memory_bound_cycles=60,
+        )
+        td = topdown_from_events(events)
+        assert td.frontend_latency + td.frontend_bandwidth == pytest.approx(
+            td.frontend_bound
+        )
+        assert td.core_bound + td.memory_bound == pytest.approx(td.backend_bound)
+        assert td.frontend_latency / td.frontend_bound == pytest.approx(0.3)
+
+    def test_core_to_memory_ratio(self):
+        events = self._events(core_bound_cycles=100, memory_bound_cycles=50)
+        assert topdown_from_events(events).core_to_memory_ratio == pytest.approx(2.0)
+
+    def test_ratio_infinite_without_memory(self):
+        events = self._events(core_bound_cycles=100)
+        assert topdown_from_events(events).core_to_memory_ratio == float("inf")
+
+    @given(
+        cycles=st.floats(min_value=1.0, max_value=1e9),
+        uops=st.floats(min_value=0.0, max_value=1e9),
+        bs=st.floats(min_value=0.0, max_value=1e8),
+        fe=st.floats(min_value=0.0, max_value=1e8),
+        be=st.floats(min_value=0.0, max_value=1e8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_simplex_property(self, cycles, uops, bs, fe, be):
+        events = PmuEvents(
+            cycles=cycles,
+            uops_retired=uops,
+            bad_speculation_cycles=bs,
+            frontend_latency_cycles=fe,
+            core_bound_cycles=be,
+        )
+        td = topdown_from_events(events)
+        td.validate()
+        for value in td.level1.values():
+            assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestCpuModelIntegration:
+    @pytest.fixture(scope="class")
+    def rm1_profile(self):
+        return CpuModel(BROADWELL).profile_graph(build_model("rm1").build_graph(16))
+
+    def test_events_aggregate_over_ops(self, rm1_profile):
+        assert rm1_profile.events.cycles == pytest.approx(
+            sum(p.cycles for p in rm1_profile.op_profiles)
+        )
+        assert rm1_profile.events.instructions == pytest.approx(
+            sum(p.events.instructions for p in rm1_profile.op_profiles)
+        )
+
+    def test_compute_time_positive_and_finite(self, rm1_profile):
+        assert 0 < rm1_profile.compute_seconds < 10
+
+    def test_time_by_kind_sums_to_compute(self, rm1_profile):
+        assert sum(rm1_profile.time_by_kind().values()) == pytest.approx(
+            rm1_profile.compute_seconds
+        )
+
+    def test_cycles_are_additive_stall_model(self, rm1_profile):
+        for p in rm1_profile.op_profiles:
+            assert p.cycles == pytest.approx(
+                p.execution_cycles
+                + p.memory_stall_cycles
+                + p.frontend_stall_cycles
+                + p.bad_speculation_cycles
+            )
+
+    def test_batch_scaling_monotonic(self):
+        model = build_model("rm1")
+        cpu = CpuModel(BROADWELL)
+        times = [
+            cpu.profile_graph(model.build_graph(b)).compute_seconds
+            for b in (1, 16, 256)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_input_bytes_add_data_load_time(self):
+        model = build_model("rm1")
+        g = model.build_graph(16)
+        cpu = CpuModel(BROADWELL)
+        small = cpu.profile_graph(g, input_bytes=0)
+        big = cpu.profile_graph(g, input_bytes=1 << 30)
+        assert big.data_load_seconds > small.data_load_seconds
+        assert big.compute_seconds == pytest.approx(small.compute_seconds)
+
+    def test_constants_override_changes_results(self):
+        from repro.uarch import DEFAULT_CONSTANTS
+
+        model = build_model("rm3")
+        g = model.build_graph(16)
+        base = CpuModel(BROADWELL).profile_graph(g).compute_seconds
+        slow = CpuModel(
+            BROADWELL,
+            DEFAULT_CONSTANTS.with_overrides(fma_port_efficiency=0.3),
+        ).profile_graph(g).compute_seconds
+        assert slow > base

@@ -1,0 +1,97 @@
+"""Tests for the trace-driven embedding-locality substrate."""
+
+import pytest
+
+from repro.hw import BROADWELL, CASCADE_LAKE
+from repro.uarch.tracesim import EmbeddingTraceStudy
+from repro.workloads import UniformIndices, ZipfIndices
+
+
+@pytest.fixture(scope="module")
+def study():
+    # Scaled-down capacities keep traces fast while preserving ratios.
+    return EmbeddingTraceStudy(BROADWELL, capacity_scale=1 / 64, seed=1)
+
+
+class TestTraceStudy:
+    def test_counts_conserve_lookups(self, study):
+        result = study.run(rows=50_000, row_bytes=128, lookups=2000)
+        assert sum(result.served.values()) == 2000
+        assert 0.0 <= result.dram_rate <= 1.0
+
+    def test_tiny_table_cache_resident(self, study):
+        result = study.run(
+            rows=200, row_bytes=128, lookups=2000, warmup_lookups=1000
+        )
+        assert result.dram_rate < 0.05
+
+    def test_huge_table_mostly_dram(self, study):
+        result = study.run(
+            rows=5_000_000, row_bytes=128, lookups=2000, warmup_lookups=1000
+        )
+        assert result.dram_rate > 0.5
+
+    def test_dram_rate_monotonic_in_table_size(self, study):
+        results = study.sweep_table_sizes(
+            [1_000, 50_000, 5_000_000], lookups=2000, warmup_lookups=2000
+        )
+        rates = [r.dram_rate for r in results]
+        assert rates[0] < rates[-1]
+
+    def test_zipf_beats_uniform(self):
+        zipf = EmbeddingTraceStudy(
+            BROADWELL, ZipfIndices(alpha=1.2), capacity_scale=1 / 64, seed=2
+        )
+        uniform = EmbeddingTraceStudy(
+            BROADWELL, UniformIndices(), capacity_scale=1 / 64, seed=2
+        )
+        z = zipf.run(2_000_000, 128, 3000, warmup_lookups=3000)
+        u = uniform.run(2_000_000, 128, 3000, warmup_lookups=3000)
+        assert z.dram_rate < u.dram_rate
+
+    def test_invalid_args(self, study):
+        with pytest.raises(ValueError):
+            study.run(0, 128, 100)
+        with pytest.raises(ValueError):
+            EmbeddingTraceStudy(BROADWELL, capacity_scale=0)
+
+    def test_fraction_accessor(self, study):
+        result = study.run(10_000, 128, 1000)
+        total = sum(result.fraction(l) for l in ("l1", "l2", "l3", "dram"))
+        assert total == pytest.approx(1.0)
+
+
+class TestAnalyticalCrossValidation:
+    """The closed-form model must order configurations like the traces."""
+
+    def test_prediction_is_distribution(self):
+        study = EmbeddingTraceStudy(BROADWELL)
+        pred = study.analytical_prediction(1_000_000, 128, 4000)
+        assert sum(pred.values()) == pytest.approx(1.0)
+
+    def test_ordering_agreement_across_table_sizes(self):
+        study = EmbeddingTraceStudy(BROADWELL, capacity_scale=1 / 64, seed=3)
+        sizes = [2_000, 200_000, 8_000_000]
+        traced = [
+            study.run(s, 128, 2500, warmup_lookups=2500).dram_rate for s in sizes
+        ]
+        predicted = [
+            study.analytical_prediction(s, 128, 2500)["dram"] for s in sizes
+        ]
+        assert traced == sorted(traced)
+        assert predicted == sorted(predicted)
+
+    def test_magnitude_agreement_for_llc_overflow(self):
+        """For a table ~64x the LLC, trace and closed form should agree
+        DRAM serves the majority of lookups."""
+        study = EmbeddingTraceStudy(BROADWELL, capacity_scale=1 / 64, seed=4)
+        rows = 20_000_000  # 2.4 GB nominal at 128 B rows
+        traced = study.run(rows, 128, 2500, warmup_lookups=2500).dram_rate
+        predicted = study.analytical_prediction(rows, 128, 2500)["dram"]
+        assert traced > 0.5 and predicted > 0.5
+        assert abs(traced - predicted) < 0.35
+
+    def test_exclusive_hierarchy_also_works(self):
+        study = EmbeddingTraceStudy(CASCADE_LAKE, capacity_scale=1 / 64, seed=5)
+        result = study.run(1_000_000, 128, 1500, warmup_lookups=1500)
+        assert sum(result.served.values()) == 1500

@@ -1,0 +1,267 @@
+"""Tests for the CPU microarchitecture component models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import BROADWELL, CASCADE_LAKE
+from repro.ops.workload import MemoryStream, OpWorkload, RANDOM, SEQUENTIAL
+from repro.uarch import (
+    BackendModel,
+    BranchModel,
+    CodeRegion,
+    DEFAULT_CONSTANTS,
+    FrontendModel,
+    MemoryModel,
+    synthesize,
+)
+
+
+def make_workload(**kwargs):
+    defaults = dict(op_kind="X", flops=10_000, vector_fraction=0.9, uses_fma=True)
+    defaults.update(kwargs)
+    return OpWorkload(**defaults)
+
+
+class TestSynthesize:
+    def test_wider_simd_fewer_vector_instructions(self):
+        w = make_workload()
+        bdw = synthesize(w, BROADWELL, DEFAULT_CONSTANTS)
+        clx = synthesize(w, CASCADE_LAKE, DEFAULT_CONSTANTS)
+        assert clx.vector_flop_instructions < bdw.vector_flop_instructions
+        assert clx.total < bdw.total  # Fig 11
+
+    def test_vnni_reduces_fma_instructions_only(self):
+        fma = make_workload(uses_fma=True)
+        plain = make_workload(uses_fma=False)
+        c = DEFAULT_CONSTANTS
+        # Ratio of CLX/BDW vector instructions is lower for FMA ops
+        # (VNNI bonus) than for plain vector ops.
+        ratio_fma = (
+            synthesize(fma, CASCADE_LAKE, c).vector_flop_instructions
+            / synthesize(fma, BROADWELL, c).vector_flop_instructions
+        )
+        ratio_plain = (
+            synthesize(plain, CASCADE_LAKE, c).vector_flop_instructions
+            / synthesize(plain, BROADWELL, c).vector_flop_instructions
+        )
+        assert ratio_fma < ratio_plain
+
+    def test_avx_fraction_tracks_vector_fraction(self):
+        lo = synthesize(make_workload(vector_fraction=0.1), BROADWELL, DEFAULT_CONSTANTS)
+        hi = synthesize(make_workload(vector_fraction=0.97), BROADWELL, DEFAULT_CONSTANTS)
+        assert hi.avx_instructions / hi.total > lo.avx_instructions / lo.total
+
+    def test_random_streams_cost_per_access_loads(self):
+        seq = make_workload(
+            streams=(MemoryStream(1 << 20, 1024, 64, SEQUENTIAL),)
+        )
+        rand = make_workload(
+            streams=(MemoryStream(1 << 20, 1024, 64, RANDOM),)
+        )
+        c = DEFAULT_CONSTANTS
+        assert (
+            synthesize(rand, BROADWELL, c).vector_memory_instructions
+            >= synthesize(seq, BROADWELL, c).vector_memory_instructions
+        )
+
+    def test_stores_counted(self):
+        w = make_workload(
+            streams=(MemoryStream(4096, 64, 64, SEQUENTIAL, is_write=True),)
+        )
+        mix = synthesize(w, BROADWELL, DEFAULT_CONSTANTS)
+        assert mix.store_instructions > 0
+        assert mix.load_instructions == 0
+
+
+class TestBranchModel:
+    def test_zero_entropy_never_mispredicts(self):
+        bm = BranchModel(BROADWELL, DEFAULT_CONSTANTS)
+        p = bm.profile(make_workload(branches=10_000, branch_entropy=0.0))
+        assert p.mispredicts == 0
+
+    def test_cascade_lake_mispredicts_less(self):
+        w = make_workload(branches=10_000, branch_entropy=0.3)
+        bdw = BranchModel(BROADWELL, DEFAULT_CONSTANTS).profile(w)
+        clx = BranchModel(CASCADE_LAKE, DEFAULT_CONSTANTS).profile(w)
+        assert clx.mispredicts < bdw.mispredicts  # Fig 15
+        assert clx.bad_speculation_cycles < bdw.bad_speculation_cycles
+
+    def test_rate_scales_with_entropy(self):
+        bm = BranchModel(BROADWELL, DEFAULT_CONSTANTS)
+        assert bm.mispredict_rate(0.4) == pytest.approx(2 * bm.mispredict_rate(0.2))
+
+    def test_invalid_entropy_rejected(self):
+        bm = BranchModel(BROADWELL, DEFAULT_CONSTANTS)
+        with pytest.raises(ValueError):
+            bm.mispredict_rate(1.5)
+
+
+class TestBackendModel:
+    def test_execution_at_least_issue_limited(self):
+        bm = BackendModel(BROADWELL, DEFAULT_CONSTANTS)
+        mix = synthesize(make_workload(), BROADWELL, DEFAULT_CONSTANTS)
+        p = bm.profile(mix)
+        assert p.execution_cycles >= p.issue_cycles
+        assert p.core_bound_cycles >= 0
+
+    def test_port_histogram_is_distribution(self):
+        bm = BackendModel(BROADWELL, DEFAULT_CONSTANTS)
+        mix = synthesize(make_workload(flops=1_000_000), BROADWELL, DEFAULT_CONSTANTS)
+        p = bm.profile(mix)
+        bm.port_histogram(p, p.execution_cycles)
+        total = p.ports_0_fraction + p.ports_1_2_fraction + p.ports_3_plus_fraction
+        assert total == pytest.approx(1.0)
+        assert 0 <= p.avg_ports_busy <= 8
+
+    def test_stall_cycles_dilute_port_usage(self):
+        bm = BackendModel(BROADWELL, DEFAULT_CONSTANTS)
+        mix = synthesize(make_workload(flops=1_000_000), BROADWELL, DEFAULT_CONSTANTS)
+        busy = bm.profile(mix)
+        bm.port_histogram(busy, busy.execution_cycles)
+        stalled = bm.profile(mix)
+        bm.port_histogram(stalled, busy.execution_cycles * 10)
+        assert stalled.ports_3_plus_fraction < busy.ports_3_plus_fraction
+
+
+class TestMemoryModel:
+    def test_l1_resident_stream_no_stall(self):
+        mm = MemoryModel(BROADWELL, DEFAULT_CONSTANTS)
+        w = make_workload(streams=(MemoryStream(8 * 1024, 100, 64, SEQUENTIAL),))
+        p = mm.profile(w)
+        assert p.stall_cycles == 0
+        assert p.dram_accesses == 0
+
+    def test_giant_gather_hits_dram(self):
+        mm = MemoryModel(BROADWELL, DEFAULT_CONSTANTS)
+        w = make_workload(
+            streams=(MemoryStream(4 << 30, 10_000, 128, RANDOM, 0.1, parallelism=80),)
+        )
+        p = mm.profile(w)
+        assert p.dram_accesses > 5000
+        assert p.stall_cycles > 0
+
+    def test_more_parallel_lookups_higher_occupancy(self):
+        mm = MemoryModel(BROADWELL, DEFAULT_CONSTANTS)
+        def occupancy(parallelism):
+            w = make_workload(
+                streams=(
+                    MemoryStream(4 << 30, 10_000, 128, RANDOM, 0.1,
+                                 parallelism=parallelism),
+                )
+            )
+            return mm.profile(w).dram_occupancy
+        assert occupancy(120) > occupancy(80) > occupancy(1)  # Fig 14 driver
+
+    def test_congestion_rule_threshold(self):
+        mm = MemoryModel(BROADWELL, DEFAULT_CONSTANTS)
+        low = make_workload(
+            streams=(MemoryStream(4 << 30, 10_000, 128, RANDOM, 0.1, parallelism=1),)
+        )
+        high = make_workload(
+            streams=(MemoryStream(4 << 30, 10_000, 128, RANDOM, 0.1, parallelism=120),)
+        )
+        p_low, p_high = mm.profile(low), mm.profile(high)
+        assert mm.congested_cycles(p_low, 1e6) == 0.0
+        assert mm.congested_cycles(p_high, 1e9) > 0.0
+
+    def test_gather_mlp_caps_at_offcore_depth(self):
+        mm = MemoryModel(BROADWELL, DEFAULT_CONSTANTS)
+        s = MemoryStream(1 << 30, 1000, 128, RANDOM, parallelism=100_000)
+        assert mm.gather_mlp(s) == BROADWELL.max_offcore_requests
+
+    def test_sequential_dram_stream_bandwidth_bound(self):
+        mm = MemoryModel(BROADWELL, DEFAULT_CONSTANTS)
+        nbytes = 1 << 30
+        w = make_workload(
+            streams=(MemoryStream(nbytes, nbytes // 64, 64, SEQUENTIAL),)
+        )
+        p = mm.profile(w)
+        bytes_per_cycle = BROADWELL.dram_bandwidth_gbps / BROADWELL.frequency_ghz
+        assert p.stall_cycles >= nbytes / bytes_per_cycle * 0.9
+
+
+class TestFrontendModel:
+    def _region(self, name, code_bytes, instructions, entries=1, blocks=1,
+                branches=0, mispredicts=0):
+        return CodeRegion(
+            name=name,
+            code_bytes=code_bytes,
+            unique_blocks=blocks,
+            entries=entries,
+            instructions=instructions,
+            uops=instructions * 1.05,
+            branches=branches,
+            mispredicts=mispredicts,
+        )
+
+    def test_small_code_is_dsb_resident(self):
+        fm = FrontendModel(BROADWELL, DEFAULT_CONSTANTS)
+        profiles = fm.analyze([self._region("hot", 2048, 1_000_000)])
+        assert profiles["hot"].dsb_resident
+        assert profiles["hot"].icache_misses == 0
+
+    def test_huge_code_misses_icache(self):
+        fm = FrontendModel(BROADWELL, DEFAULT_CONSTANTS)
+        profiles = fm.analyze(
+            [self._region("din", 240_000, 1_000_000, entries=10_000, blocks=750)]
+        )
+        p = profiles["din"]
+        assert not p.l1i_resident
+        assert p.icache_misses > 0
+        assert p.latency_cycles > 0
+
+    def test_dsb_residency_is_per_region(self):
+        """The DSB swaps between operators: any loop that fits the uop
+        cache decodes from it, regardless of other regions; only a
+        monolithic unrolled region (DIN) exceeds it and uses MITE."""
+        fm = FrontendModel(BROADWELL, DEFAULT_CONSTANTS)
+        regions = [
+            self._region("loop_a", 4096, 10_000_000),
+            self._region("loop_b", 4096, 1_000),
+            self._region("unrolled", 240_000, 5_000_000, blocks=750),
+        ]
+        profiles = fm.analyze(regions)
+        assert profiles["loop_a"].dsb_resident
+        assert profiles["loop_b"].dsb_resident
+        assert not profiles["unrolled"].dsb_resident
+        assert profiles["unrolled"].mite_uops > 0
+
+    def test_branchy_resident_code_dsb_limited(self):
+        fm = FrontendModel(BROADWELL, DEFAULT_CONSTANTS)
+        profiles = fm.analyze(
+            [self._region("sls", 2048, 100_000, branches=20_000, mispredicts=500)]
+        )
+        p = profiles["sls"]
+        assert p.dsb_limited_cycles > 0
+        assert p.mite_limited_cycles == 0
+
+    def test_dispatch_instructions_scale_with_entries(self):
+        fm = FrontendModel(BROADWELL, DEFAULT_CONSTANTS)
+        p1 = fm.analyze([self._region("a", 2048, 1000, entries=1)])["a"]
+        p100 = fm.analyze([self._region("a", 2048, 1000, entries=100)])["a"]
+        assert p100.dispatch_instructions == pytest.approx(
+            100 * p1.dispatch_instructions
+        )
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_stall_cycles_never_negative(self, n_regions):
+        fm = FrontendModel(CASCADE_LAKE, DEFAULT_CONSTANTS)
+        rng = np.random.default_rng(n_regions)
+        regions = [
+            self._region(
+                f"r{i}",
+                int(rng.integers(128, 100_000)),
+                int(rng.integers(100, 10_000_000)),
+                entries=int(rng.integers(1, 1000)),
+                branches=int(rng.integers(0, 10_000)),
+                mispredicts=int(rng.integers(0, 100)),
+            )
+            for i in range(n_regions)
+        ]
+        for p in fm.analyze(regions).values():
+            assert p.latency_cycles >= 0
+            assert p.dsb_limited_cycles >= 0
+            assert p.mite_limited_cycles >= 0

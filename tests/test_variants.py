@@ -1,0 +1,88 @@
+"""Tests for the DLRM sensitivity-study variants."""
+
+import pytest
+
+from repro.core import collect_report
+from repro.graph import execute
+from repro.models import (
+    dlrm_variant,
+    embedding_dim_sweep,
+    fc_width_sweep,
+    lookup_sweep,
+    make_rm1,
+    table_count_sweep,
+)
+from repro.workloads import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def rm1():
+    return make_rm1()
+
+
+class TestVariantConstruction:
+    def test_override_applies(self, rm1):
+        v = dlrm_variant(rm1, "x", lookups_per_table=10)
+        assert v.config.lookups_per_table == 10
+        assert v.config.num_tables == rm1.config.num_tables
+        assert v.name == "rm1_x"
+
+    def test_base_unchanged(self, rm1):
+        dlrm_variant(rm1, "x", num_tables=2)
+        assert rm1.config.num_tables == 8
+
+    def test_variants_execute(self, rm1):
+        v = dlrm_variant(rm1, "tiny", num_tables=2, lookups_per_table=4)
+        feeds = QueryGenerator(v).generate(2)
+        (out,) = execute(v.build_graph(2), feeds).values()
+        assert out.shape == (2, 1)
+
+    def test_lookup_sweep_keys(self, rm1):
+        sweep = lookup_sweep(rm1, [1, 20, 80])
+        assert set(sweep) == {1, 20, 80}
+        for n, model in sweep.items():
+            assert model.config.lookups_per_table == n
+
+    def test_fc_width_sweep_respects_embedding_contract(self, rm1):
+        for model in fc_width_sweep(rm1, [0.5, 2.0]).values():
+            assert model.config.bottom_mlp[-1] == model.config.embedding_dim
+
+    def test_embedding_dim_sweep(self, rm1):
+        sweep = embedding_dim_sweep(rm1, [16, 64])
+        assert sweep[16].config.embedding_dim == 16
+        assert sweep[16].config.bottom_mlp[-1] == 16
+
+
+class TestSensitivityCausality:
+    """Each feature axis must *cause* its bottleneck (the Fig 16 story)."""
+
+    def test_more_lookups_more_memory_bound(self, rm1):
+        sweep = lookup_sweep(rm1, [1, 120])
+        low = collect_report(sweep[1], "broadwell", 16)
+        high = collect_report(sweep[120], "broadwell", 16)
+        assert high.topdown.memory_bound > low.topdown.memory_bound
+        assert high.branch_mpki > low.branch_mpki
+
+    def test_more_lookups_more_congestion(self, rm1):
+        sweep = lookup_sweep(rm1, [8, 160])
+        low = collect_report(sweep[8], "broadwell", 16)
+        high = collect_report(sweep[160], "broadwell", 16)
+        assert high.dram_congested_fraction > low.dram_congested_fraction
+
+    def test_wider_fc_more_core_bound(self, rm1):
+        sweep = fc_width_sweep(rm1, [0.5, 8.0])
+        narrow = collect_report(sweep[0.5], "broadwell", 16)
+        wide = collect_report(sweep[8.0], "broadwell", 16)
+        assert wide.topdown.core_bound > narrow.topdown.core_bound
+        assert wide.avx_fraction > narrow.avx_fraction
+
+    def test_more_tables_more_gather_time(self, rm1):
+        from repro.runtime import InferenceSession
+
+        sweep = table_count_sweep(rm1, [2, 32])
+        few = InferenceSession(sweep[2], "broadwell").profile(64)
+        many = InferenceSession(sweep[32], "broadwell").profile(64)
+        assert (
+            many.op_time_by_kind["SparseLengthsSum"]
+            > 4 * few.op_time_by_kind["SparseLengthsSum"]
+        )

@@ -1,0 +1,184 @@
+"""Tests for operator workload descriptors (the analytical half)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import TensorSpec
+from repro.ops import (
+    FC,
+    GRU,
+    Concat,
+    EmbeddingTable,
+    Gather,
+    LocalActivationAttention,
+    MemoryStream,
+    OpWorkload,
+    Relu,
+    SparseLengthsSum,
+    merge_workloads,
+)
+from repro.ops.workload import RANDOM, SEQUENTIAL
+
+
+class TestMemoryStream:
+    def test_total_bytes(self):
+        s = MemoryStream(1024, 10, 64)
+        assert s.total_bytes == 640
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryStream(10, 1, 4, pattern="zigzag")
+
+    def test_invalid_locality_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryStream(10, 1, 4, locality=1.5)
+
+    def test_parallelism_validated(self):
+        with pytest.raises(ValueError):
+            MemoryStream(10, 1, 4, parallelism=0)
+
+    def test_scaled(self):
+        s = MemoryStream(1024, 10, 64).scaled(2.5)
+        assert s.accesses == 25
+        assert s.footprint_bytes == 1024
+
+
+class TestOpWorkload:
+    def test_vector_scalar_split(self):
+        w = OpWorkload(op_kind="X", flops=100, vector_fraction=0.75)
+        assert w.vector_flops == 75
+        assert w.scalar_flops == 25
+
+    def test_arithmetic_intensity(self):
+        w = OpWorkload(
+            op_kind="X",
+            flops=640,
+            streams=(MemoryStream(64, 1, 64), MemoryStream(64, 1, 64, is_write=True)),
+        )
+        assert w.arithmetic_intensity == 5.0
+
+    def test_bytes_read_and_written(self):
+        w = OpWorkload(
+            op_kind="X",
+            streams=(
+                MemoryStream(100, 2, 32),
+                MemoryStream(100, 3, 32, is_write=True),
+            ),
+        )
+        assert w.bytes_read == 64
+        assert w.bytes_written == 96
+
+    def test_random_access_bytes(self):
+        w = OpWorkload(
+            op_kind="X",
+            streams=(
+                MemoryStream(100, 2, 32, pattern=RANDOM),
+                MemoryStream(100, 2, 32),
+            ),
+        )
+        assert w.random_access_bytes == 64
+
+    def test_effective_code_entries_defaults_to_kernels(self):
+        assert OpWorkload(op_kind="X", kernel_launches=7).effective_code_entries == 7
+        assert (
+            OpWorkload(op_kind="X", kernel_launches=7, code_entries=99)
+            .effective_code_entries
+            == 99
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpWorkload(op_kind="X", vector_fraction=2.0)
+        with pytest.raises(ValueError):
+            OpWorkload(op_kind="X", branch_entropy=-0.1)
+        with pytest.raises(ValueError):
+            OpWorkload(op_kind="X", code_entries=0)
+
+    def test_merge_adds_and_averages(self):
+        a = OpWorkload(op_kind="A", flops=100, vector_fraction=1.0, branches=10,
+                       branch_entropy=0.2, code_bytes=100, kernel_launches=2)
+        b = OpWorkload(op_kind="B", flops=300, vector_fraction=0.0, branches=30,
+                       branch_entropy=0.6, code_bytes=200, kernel_launches=3)
+        merged = merge_workloads("M", [a, b])
+        assert merged.flops == 400
+        assert merged.vector_fraction == pytest.approx(0.25)
+        assert merged.code_bytes == 300
+        assert merged.kernel_launches == 5
+        # Branch entropy is branch-weighted.
+        assert merged.branch_entropy == pytest.approx((10 * 0.2 + 30 * 0.6) / 40)
+
+    def test_merge_empty(self):
+        assert merge_workloads("M", []).flops == 0
+
+
+class TestOperatorDescriptors:
+    def test_fc_flops_formula(self):
+        w = FC(128, 64, "t").workload([TensorSpec((32, 128))])
+        assert w.flops == 2 * 32 * 128 * 64
+        assert w.uses_fma
+        assert w.vector_fraction > 0.9
+
+    def test_fc_flops_scale_with_batch(self):
+        op = FC(128, 64, "t")
+        w1 = op.workload([TensorSpec((1, 128))])
+        w64 = op.workload([TensorSpec((64, 128))])
+        assert w64.flops == 64 * w1.flops
+
+    def test_sls_gather_stream_is_random_and_nominal(self):
+        table = EmbeddingTable(1_000_000, 32, "t", alloc_rows_cap=64)
+        w = SparseLengthsSum(table).workload([TensorSpec((16, 80), "int64")])
+        gather = [s for s in w.streams if s.pattern == RANDOM]
+        assert len(gather) == 1
+        assert gather[0].footprint_bytes == 1_000_000 * 32 * 4  # nominal!
+        assert gather[0].accesses == 16 * 80
+        assert gather[0].parallelism == 80
+
+    def test_sls_branchier_than_fc(self):
+        table = EmbeddingTable(1000, 32, "t")
+        sls = SparseLengthsSum(table).workload([TensorSpec((16, 80), "int64")])
+        fc = FC(128, 64, "t").workload([TensorSpec((16, 128))])
+        assert sls.branch_entropy > fc.branch_entropy
+        assert sls.branches / max(sls.flops, 1) > fc.branches / max(fc.flops, 1)
+
+    def test_din_attention_unique_blocks_scale_with_lookups(self):
+        att = LocalActivationAttention(64, 36, "t")
+        w = att.workload([TensorSpec((16, 750, 64)), TensorSpec((16, 64))])
+        assert w.unique_code_blocks == 750
+        assert w.code_entries == 16 * 750
+        assert w.kernel_launches == 3 * 750
+
+    def test_gru_sequential_steps(self):
+        w = GRU(64, 64, seed_key="t").workload([TensorSpec((16, 50, 64))])
+        assert w.sequential_steps == 50
+        assert w.kernel_launches == 100
+        assert w.uses_fma
+
+    def test_concat_launches_per_input(self):
+        specs = [TensorSpec((4, 8)) for _ in range(5)]
+        w = Concat(axis=1).workload(specs)
+        assert w.kernel_launches == 5
+        assert w.flops == 0
+        assert w.bytes_written == 4 * 40 * 4
+
+    def test_relu_bandwidth_bound(self):
+        w = Relu().workload([TensorSpec((1024, 1024))])
+        assert w.arithmetic_intensity < 1.0
+
+    def test_gather_writes_unpooled_output(self):
+        table = EmbeddingTable(1000, 8, "t")
+        w = Gather(table).workload([TensorSpec((4, 10), "int64")])
+        assert w.bytes_written >= 4 * 10 * 8 * 4
+
+
+@given(
+    batch=st.integers(min_value=1, max_value=512),
+    lookups=st.integers(min_value=1, max_value=256),
+)
+@settings(max_examples=25, deadline=None)
+def test_sls_workload_scales_linearly(batch, lookups):
+    table = EmbeddingTable(10_000, 16, "prop")
+    w = SparseLengthsSum(table).workload([TensorSpec((batch, lookups), "int64")])
+    assert w.flops == batch * lookups * 16
+    assert w.branches >= batch * lookups
