@@ -8,14 +8,19 @@ Commands mirror the characterization workflow:
 * ``optimal`` — Fig 5 optimal-platform grid.
 * ``topdown`` — Fig 8-style TopDown table for both CPUs.
 * ``breakdown`` — Fig 6-style operator shares for one configuration.
+* ``trace`` — run a characterization with telemetry on and export a
+  Chrome/Perfetto trace plus a metrics report.
+* ``metrics`` — list every registered metric after an instrumented run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro import telemetry
 from repro.core import (
     SpeedupStudy,
     breakdown_for,
@@ -26,7 +31,13 @@ from repro.core import (
 )
 from repro.hw import PLATFORM_ORDER, PLATFORMS
 from repro.models import MODEL_ORDER, build_all_models, build_model
-from repro.runtime import InferenceSession
+from repro.runtime import (
+    BatchingPolicy,
+    InferenceSession,
+    QueryScheduler,
+    ScheduleResult,
+    ServiceTimeModel,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -71,7 +82,47 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "claims", help="verify every encoded paper claim against the models"
     )
+
+    p = sub.add_parser(
+        "trace",
+        help="characterize with telemetry on; export Chrome/Perfetto trace",
+    )
+    _add_telemetry_run_args(p)
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="trace path (default <model>_<platform>.trace.json)",
+    )
+    p.add_argument(
+        "--metrics-output", default=None,
+        help="metrics JSON path (default <trace stem>.metrics.json)",
+    )
+
+    p = sub.add_parser(
+        "metrics", help="list all registered metrics after an instrumented run"
+    )
+    _add_telemetry_run_args(p)
+    p.add_argument(
+        "--format", choices=["table", "json", "csv"], default="table"
+    )
     return parser
+
+
+def _add_telemetry_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--model", default="rm2", help="model name (aliases ok)")
+    p.add_argument("--platform", default="broadwell")
+    p.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    p.add_argument(
+        "--queries", type=int, default=512,
+        help="queries in the scheduler simulation (0 disables it)",
+    )
+    p.add_argument(
+        "--qps", type=float, default=None,
+        help="arrival rate (default: half the server's peak capacity)",
+    )
+    p.add_argument(
+        "--no-run", action="store_true",
+        help="skip the functional NumPy execution of one batch",
+    )
 
 
 def _cmd_models() -> str:
@@ -161,6 +212,113 @@ def _cmd_breakdown(args) -> str:
     )
 
 
+def _traced_characterization(args) -> Tuple[
+    InferenceSession,
+    Optional[ScheduleResult],
+    telemetry.Tracer,
+    telemetry.MetricsRegistry,
+]:
+    """Shared `trace` / `metrics` body: one instrumented characterization.
+
+    Profiles the requested configuration (recording spans + metrics),
+    optionally executes one batch numerically, and runs a dynamic-
+    batching scheduler simulation parameterized by profiles of the same
+    configuration. Calibration profiles for the service-time model are
+    taken with telemetry off so the exported trace carries exactly one
+    modeled timeline — the requested batch size's.
+    """
+    try:
+        model = build_model(args.model)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    try:
+        session = InferenceSession(model, args.platform)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    batch = args.batch_size
+
+    service_model = None
+    if args.queries > 0:
+        calibration = sorted({1, max(2, batch // 4), batch, 2 * batch})
+        profiles = [session.profile(b) for b in calibration]
+        service_model = ServiceTimeModel.from_profiles(profiles)
+
+    result = None
+    with telemetry.capture() as (tracer, registry):
+        session.profile(batch)
+        if not args.no_run:
+            session.run_generated(batch)
+        if service_model is not None:
+            scheduler = QueryScheduler(
+                service_model, BatchingPolicy(max_batch=batch)
+            )
+            peak = batch / service_model.seconds(batch)
+            qps = args.qps if args.qps else 0.5 * peak
+            with tracer.span(
+                "scheduler.simulate", category="scheduler",
+                arrival_qps=qps, queries=args.queries,
+            ):
+                result = scheduler.run(qps, num_queries=args.queries)
+    return session, result, tracer, registry
+
+
+def _cmd_trace(args) -> str:
+    session, result, tracer, registry = _traced_characterization(args)
+    out = args.output
+    if out is None:
+        out = f"{session.model.name}_{session.platform.name}.trace.json".replace(
+            " ", "_"
+        )
+    metrics_out = args.metrics_output
+    if metrics_out is None:
+        stem = out[: -len(".trace.json")] if out.endswith(".trace.json") else (
+            os.path.splitext(out)[0]
+        )
+        metrics_out = f"{stem}.metrics.json"
+
+    snapshot = registry.snapshot()
+    spans = tracer.sorted_spans()
+    try:
+        telemetry.write_chrome_trace(
+            out,
+            spans,
+            process_name=f"repro: {session.model.name} on "
+            f"{session.platform.name}",
+            metrics=snapshot,
+        )
+        telemetry.write_metrics_report(metrics_out, snapshot)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write trace output: {exc}")
+
+    lines = [
+        f"trace:   {out}  ({len(spans)} spans; open in chrome://tracing "
+        "or ui.perfetto.dev)",
+        f"metrics: {metrics_out}  ({len(snapshot)} metrics)",
+        "",
+        "hottest spans (by total seconds):",
+    ]
+    for entry in telemetry.summarize_spans(spans, top=8):
+        lines.append(
+            f"  {entry['name'][:28]:28s} {entry['category']:18s} "
+            f"x{entry['count']:<4d} {entry['seconds'] * 1e6:12.1f} us"
+        )
+    if result is not None:
+        lines.append("")
+        lines.append(
+            f"scheduler: {result.queries} queries, "
+            f"{result.throughput_qps:.0f} QPS, mean batch "
+            f"{result.mean_batch_size:.1f}, p50/p95/p99 = "
+            f"{result.p50 * 1e3:.3f} / {result.p95 * 1e3:.3f} / "
+            f"{result.p99 * 1e3:.3f} ms"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_metrics(args) -> str:
+    _, _, _, registry = _traced_characterization(args)
+    return telemetry.render_metrics(registry.snapshot(), args.format)
+
+
 def _cmd_claims() -> str:
     from repro.core import evaluate_claims
 
@@ -194,6 +352,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "topdown": lambda: _cmd_topdown(args),
         "breakdown": lambda: _cmd_breakdown(args),
         "claims": lambda: _cmd_claims(),
+        "trace": lambda: _cmd_trace(args),
+        "metrics": lambda: _cmd_metrics(args),
     }
     try:
         print(handlers[args.command]())

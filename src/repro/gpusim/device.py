@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.graph.graph import Graph
 from repro.hw.platform import GpuSpec
 from repro.gpusim.kernels import KernelCostModel, OpDeviceProfile
@@ -123,10 +124,21 @@ class GpuModel:
                     device=self.kernel_model.profile(workload),
                 )
             )
-        return GpuGraphProfile(
+        profile = GpuGraphProfile(
             platform=self.spec.microarchitecture,
             graph_name=graph.name,
             op_profiles=op_profiles,
             transfer=transfer,
             sync_seconds=_SYNC_OVERHEAD_S,
         )
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            labels = dict(platform=self.spec.microarchitecture, graph=graph.name)
+            registry.counter("gpusim.graphs_profiled", **labels).inc()
+            registry.counter(
+                "gpusim.kernel_launches", **labels
+            ).inc(profile.kernel_launches)
+            registry.counter(
+                "gpusim.pcie_bytes", **labels
+            ).inc(sum(input_tensor_bytes))
+        return profile

@@ -13,6 +13,7 @@ from typing import Dict, List, Mapping
 
 import numpy as np
 
+from repro import telemetry
 from repro.graph.graph import Graph, GraphError
 
 __all__ = ["execute", "ExecutionTrace", "execute_traced"]
@@ -49,10 +50,23 @@ def execute(graph: Graph, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarr
             )
         values[name] = array
 
+    # Telemetry is resolved once; the per-node fast path stays guarded
+    # by a single boolean so disabled runs pay nothing.
+    recording = telemetry.enabled()
+    tracer = telemetry.get_tracer() if recording else None
+    bytes_freed = 0
+
     remaining = _consumer_counts(graph)
     for node in graph.nodes:
         inputs = [values[s] for s in node.inputs]
-        out = node.op.compute(inputs)
+        if recording:
+            # Category is "executor" (not the op kind) so wall-clock
+            # spans never pollute per-kind aggregations of the modeled
+            # timeline; the kind rides along as an attribute.
+            with tracer.span(node.name, category="executor", op_kind=node.kind):
+                out = node.op.compute(inputs)
+        else:
+            out = node.op.compute(inputs)
         expected = node.output_spec.shape
         if tuple(out.shape) != expected:
             raise GraphError(
@@ -63,7 +77,16 @@ def execute(graph: Graph, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarr
         for src in node.inputs:
             remaining[src] -= 1
             if remaining[src] == 0 and src not in graph.output_names:
-                values.pop(src, None)
+                freed = values.pop(src, None)
+                if recording and freed is not None:
+                    bytes_freed += freed.nbytes
+
+    if recording:
+        registry = telemetry.get_registry()
+        registry.counter("executor.nodes_executed", graph=graph.name).inc(
+            len(graph.nodes)
+        )
+        registry.gauge("executor.bytes_freed", graph=graph.name).set(bytes_freed)
 
     return {out: values[out] for out in graph.output_names}
 

@@ -31,10 +31,21 @@ MODEL_FACTORIES: Dict[str, Callable[[], RecommendationModel]] = {
 #: Figure ordering used throughout the paper.
 MODEL_ORDER: List[str] = ["ncf", "rm1", "rm2", "rm3", "wnd", "mtwnd", "din", "dien"]
 
+#: Long-form spellings accepted alongside the short keys.
+_MODEL_ALIASES: Dict[str, str] = {
+    "dlrmrm1": "rm1",
+    "dlrmrm2": "rm2",
+    "dlrmrm3": "rm3",
+    "widedeep": "wnd",
+    "wideanddeep": "wnd",
+    "mtwideanddeep": "mtwnd",
+}
+
 
 def build_model(name: str) -> RecommendationModel:
     """Instantiate one model by its short name (case-insensitive)."""
     key = name.lower().replace("-", "").replace("_", "")
+    key = _MODEL_ALIASES.get(key, key)
     if key not in MODEL_FACTORIES:
         raise KeyError(
             f"unknown model {name!r}; available: {sorted(MODEL_FACTORIES)}"

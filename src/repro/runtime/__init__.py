@@ -6,12 +6,19 @@ from repro.runtime.scheduler import (
     ScheduleResult,
     ServiceTimeModel,
 )
-from repro.runtime.session import InferenceProfile, InferenceSession
+from repro.runtime.session import (
+    InferenceProfile,
+    InferenceSession,
+    data_comm_span,
+    profile_spans,
+)
 from repro.runtime.timeline import Timeline, TimelineSpan, timeline_from_profile
 
 __all__ = [
     "InferenceSession",
     "InferenceProfile",
+    "profile_spans",
+    "data_comm_span",
     "Timeline",
     "TimelineSpan",
     "timeline_from_profile",

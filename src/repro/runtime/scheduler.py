@@ -24,8 +24,11 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
+
 if TYPE_CHECKING:  # avoid runtime circularity with repro.core
     from repro.core.speedup import SweepResult
+    from repro.runtime.session import InferenceProfile
 
 __all__ = ["ServiceTimeModel", "BatchingPolicy", "ScheduleResult", "QueryScheduler"]
 
@@ -40,6 +43,32 @@ class ServiceTimeModel:
         self._times = [
             sweep.total_seconds(model, platform, b) for b in self._batches
         ]
+
+    @classmethod
+    def from_profiles(
+        cls, profiles: Sequence["InferenceProfile"]
+    ) -> "ServiceTimeModel":
+        """Build directly from profiles of one (model, platform).
+
+        Lets callers (e.g. ``repro trace``) parameterize a scheduler
+        from a handful of targeted profiles without running a full
+        cross-platform sweep.
+        """
+        if len(profiles) < 2:
+            raise ValueError("need profiles at >= 2 batch sizes to interpolate")
+        names = {(p.model_name, p.platform_name) for p in profiles}
+        if len(names) != 1:
+            raise ValueError(
+                f"profiles span multiple (model, platform) pairs: {sorted(names)}"
+            )
+        by_batch = {p.batch_size: p.total_seconds for p in profiles}
+        if len(by_batch) < 2:
+            raise ValueError("profiles must cover >= 2 distinct batch sizes")
+        model = cls.__new__(cls)
+        model.model, model.platform = next(iter(names))
+        model._batches = sorted(by_batch)
+        model._times = [by_batch[b] for b in model._batches]
+        return model
 
     def seconds(self, batch_size: int) -> float:
         """Latency of one batch, log-linearly interpolated."""
@@ -91,6 +120,11 @@ class ScheduleResult:
         return self.queries / self.duration_s if self.duration_s > 0 else 0.0
 
     def percentile(self, p: float) -> float:
+        if len(self.latencies_s) == 0:
+            raise ValueError(
+                "no latencies recorded: the simulation completed zero "
+                "queries, so percentiles are undefined"
+            )
         return float(np.percentile(self.latencies_s, p))
 
     @property
@@ -135,6 +169,28 @@ class QueryScheduler:
         inter_arrivals = self._rng.exponential(1.0 / arrival_qps, size=num_queries)
         arrivals = np.cumsum(inter_arrivals)
 
+        # Telemetry handles are resolved once per run; the simulation
+        # loop then updates them per dispatched batch / query.
+        queue_gauge = occupancy_hist = latency_hist = None
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            labels = dict(
+                model=self.service_model.model,
+                platform=self.service_model.platform,
+            )
+            queue_gauge = registry.gauge("scheduler.queue_depth", **labels)
+            occupancy_hist = registry.histogram(
+                "scheduler.batch_occupancy",
+                min_value=1.0,
+                max_value=float(max(self.policy.max_batch, 2)),
+                exact_cap=0,
+                **labels,
+            )
+            latency_hist = registry.histogram(
+                "scheduler.query_latency_s", exact_cap=0, **labels
+            )
+            registry.counter("scheduler.runs", **labels).inc()
+
         policy = self.policy
         latencies = np.empty(num_queries)
         batch_sizes: List[int] = []
@@ -162,10 +218,26 @@ class QueryScheduler:
             finish = start + service
             latencies[i:j] = finish - arrivals[i:j]
             batch_sizes.append(batch)
+            if queue_gauge is not None:
+                # Queue depth at dispatch: everything that has arrived
+                # by `start` but not yet left with an earlier batch.
+                waiting = int(np.searchsorted(arrivals, start, side="right")) - i
+                queue_gauge.set(max(waiting, batch))
+                occupancy_hist.observe(batch)
+                for latency in latencies[i:j]:
+                    latency_hist.observe(float(latency))
             server_free_at = finish
             i = j
 
         duration = float(server_free_at - arrivals[0] + inter_arrivals[0])
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            labels = dict(
+                model=self.service_model.model,
+                platform=self.service_model.platform,
+            )
+            registry.counter("scheduler.queries", **labels).inc(num_queries)
+            registry.counter("scheduler.batches", **labels).inc(len(batch_sizes))
         return ScheduleResult(
             queries=num_queries,
             duration_s=duration,

@@ -12,18 +12,25 @@ for Section VI.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.graph import Graph, execute
 from repro.gpusim import GpuGraphProfile, GpuModel
 from repro.hw import PlatformSpec, platform_by_name
 from repro.models import RecommendationModel
+from repro.telemetry import MODELED_TID, Span
 from repro.uarch import CpuGraphProfile, CpuModel, PmuEvents, UarchConstants
 from repro.workloads import QueryGenerator
 
-__all__ = ["InferenceProfile", "InferenceSession"]
+__all__ = [
+    "InferenceProfile",
+    "InferenceSession",
+    "profile_spans",
+    "data_comm_span",
+]
 
 
 @dataclass
@@ -67,6 +74,57 @@ class InferenceProfile:
         return max(self.op_time_by_kind.items(), key=lambda kv: kv[1])[0]
 
 
+def data_comm_span(profile: InferenceProfile, t0: float = 0.0) -> Optional[Span]:
+    """The leading data-load / transfer phase as a tracer span."""
+    if profile.data_comm_seconds <= 0:
+        return None
+    return Span(
+        name="<data comm>",
+        category="DataComm",
+        start_s=t0,
+        end_s=t0 + profile.data_comm_seconds,
+        tid=MODELED_TID,
+        attrs={
+            "seconds": profile.data_comm_seconds,
+            "model": profile.model_name,
+            "platform": profile.platform_name,
+        },
+    )
+
+
+def profile_spans(profile: InferenceProfile, t0: float = 0.0) -> List[Span]:
+    """Per-operator modeled-time spans for a profiled inference.
+
+    Operators execute in topological order on a single stream (the
+    paper's single-threaded CPU / single-GPU setting), so spans are
+    laid out serially after the data-communication phase. Span
+    ``category`` is the operator kind and ``attrs["seconds"]`` keeps
+    the exact modeled duration, so per-kind sums reproduce
+    :attr:`InferenceProfile.op_time_by_kind` bit-for-bit.
+    """
+    raw = profile.raw
+    if raw is None:
+        raise ValueError("profile carries no per-op data")
+    cursor = t0 + profile.data_comm_seconds
+    spans: List[Span] = []
+    for op in raw.op_profiles:
+        seconds = (
+            op._time_seconds if hasattr(op, "_time_seconds") else op.seconds
+        )
+        spans.append(
+            Span(
+                name=op.node_name,
+                category=op.op_kind,
+                start_s=cursor,
+                end_s=cursor + seconds,
+                tid=MODELED_TID,
+                attrs={"seconds": seconds, "op_kind": op.op_kind},
+            )
+        )
+        cursor += seconds
+    return spans
+
+
 class InferenceSession:
     """A model bound to one platform, with graph caching per batch size."""
 
@@ -100,7 +158,21 @@ class InferenceSession:
     def run(self, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Numerically execute one batch (platform-independent math)."""
         batch_size = next(iter(feeds.values())).shape[0]
-        return execute(self.graph(batch_size), feeds)
+        with telemetry.get_tracer().span(
+            "session.run",
+            category="session",
+            model=self.model.name,
+            platform=self.platform.name,
+            batch_size=batch_size,
+        ):
+            outputs = execute(self.graph(batch_size), feeds)
+        if telemetry.enabled():
+            telemetry.get_registry().counter(
+                "session.runs",
+                model=self.model.name,
+                platform=self.platform.name,
+            ).inc()
+        return outputs
 
     def run_generated(self, batch_size: int, seed: int = 2020) -> Dict[str, np.ndarray]:
         feeds = QueryGenerator(self.model, seed=seed).generate(batch_size)
@@ -109,32 +181,70 @@ class InferenceSession:
     # -- performance modeling --------------------------------------------------
 
     def profile(self, batch_size: int) -> InferenceProfile:
-        graph = self.graph(batch_size)
-        input_bytes = [
-            desc.spec.nbytes for desc in self.model.input_descriptions(batch_size)
-        ]
-        if self._cpu_model is not None:
-            raw = self._cpu_model.profile_graph(graph, input_bytes=sum(input_bytes))
-            return InferenceProfile(
-                model_name=self.model.name,
-                platform_name=self.platform.name,
-                platform_kind="cpu",
-                batch_size=batch_size,
-                compute_seconds=raw.compute_seconds,
-                data_comm_seconds=raw.data_load_seconds,
-                op_time_by_kind=raw.time_by_kind(),
-                events=raw.events,
-                raw=raw,
-            )
-        raw = self._gpu_model.profile_graph(graph, input_tensor_bytes=input_bytes)
-        return InferenceProfile(
-            model_name=self.model.name,
-            platform_name=self.platform.name,
-            platform_kind="gpu",
+        with telemetry.get_tracer().span(
+            "session.profile",
+            category="session",
+            model=self.model.name,
+            platform=self.platform.name,
             batch_size=batch_size,
-            compute_seconds=raw.compute_seconds,
-            data_comm_seconds=raw.data_comm_seconds,
-            op_time_by_kind=raw.time_by_kind(),
-            events=None,
-            raw=raw,
-        )
+        ):
+            graph = self.graph(batch_size)
+            input_bytes = [
+                desc.spec.nbytes
+                for desc in self.model.input_descriptions(batch_size)
+            ]
+            if self._cpu_model is not None:
+                raw = self._cpu_model.profile_graph(
+                    graph, input_bytes=sum(input_bytes)
+                )
+                profile = InferenceProfile(
+                    model_name=self.model.name,
+                    platform_name=self.platform.name,
+                    platform_kind="cpu",
+                    batch_size=batch_size,
+                    compute_seconds=raw.compute_seconds,
+                    data_comm_seconds=raw.data_load_seconds,
+                    op_time_by_kind=raw.time_by_kind(),
+                    events=raw.events,
+                    raw=raw,
+                )
+            else:
+                raw = self._gpu_model.profile_graph(
+                    graph, input_tensor_bytes=input_bytes
+                )
+                profile = InferenceProfile(
+                    model_name=self.model.name,
+                    platform_name=self.platform.name,
+                    platform_kind="gpu",
+                    batch_size=batch_size,
+                    compute_seconds=raw.compute_seconds,
+                    data_comm_seconds=raw.data_comm_seconds,
+                    op_time_by_kind=raw.time_by_kind(),
+                    events=None,
+                    raw=raw,
+                )
+        if telemetry.enabled():
+            self._record_profile_telemetry(profile)
+        return profile
+
+    def _record_profile_telemetry(self, profile: InferenceProfile) -> None:
+        """Emit modeled-time spans, per-kind histograms, and PMU counters."""
+        tracer = telemetry.get_tracer()
+        lead = data_comm_span(profile)
+        if lead is not None:
+            tracer.add_spans([lead])
+        tracer.add_spans(profile_spans(profile))
+
+        registry = telemetry.get_registry()
+        labels = dict(model=profile.model_name, platform=profile.platform_name)
+        registry.counter("session.profiles", **labels).inc()
+        registry.histogram(
+            "session.data_comm_seconds", **labels
+        ).observe(profile.data_comm_seconds)
+        for kind, seconds in profile.op_time_by_kind.items():
+            registry.histogram(
+                "session.op_seconds", kind=kind, **labels
+            ).observe(seconds)
+        if profile.events is not None:
+            for event, value in profile.events.as_dict().items():
+                registry.counter(f"pmu.{event}", **labels).inc(value)

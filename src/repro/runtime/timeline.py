@@ -1,10 +1,13 @@
 """Per-operator execution timelines.
 
-Turns a profiled inference into an ordered list of (operator, start,
-end) spans — the single-stream equivalent of a profiler's trace view —
-and renders it as a text Gantt chart. Useful for eyeballing *where* a
-configuration spends its time (the Fig 6 breakdown, but in execution
-order instead of aggregated).
+A :class:`Timeline` is a *view* over the telemetry tracer's
+modeled-time spans (see
+:func:`repro.runtime.session.profile_spans`) — the single-stream
+equivalent of a profiler's trace view — rendered as a text Gantt
+chart. Useful for eyeballing *where* a configuration spends its time
+(the Fig 6 breakdown, but in execution order instead of aggregated).
+For an interactive view of the same spans, export with
+``repro trace`` and open the JSON in ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -12,21 +15,49 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.runtime.session import InferenceProfile
+from repro.runtime.session import InferenceProfile, profile_spans
+from repro.telemetry import Span
 
 __all__ = ["TimelineSpan", "Timeline", "timeline_from_profile"]
 
 
-@dataclass(frozen=True)
 class TimelineSpan:
-    name: str
-    op_kind: str
-    start_seconds: float
-    end_seconds: float
+    """Thin read-only view over one tracer :class:`~repro.telemetry.Span`."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    @property
+    def name(self) -> str:
+        return self._span.name
+
+    @property
+    def op_kind(self) -> str:
+        return self._span.category
+
+    @property
+    def start_seconds(self) -> float:
+        return self._span.start_s
+
+    @property
+    def end_seconds(self) -> float:
+        return self._span.end_s
 
     @property
     def duration_seconds(self) -> float:
-        return self.end_seconds - self.start_seconds
+        return self._span.duration_s
+
+    def __repr__(self) -> str:
+        return (
+            f"TimelineSpan({self.name!r}, {self.op_kind!r}, "
+            f"{self.start_seconds:.3e}..{self.end_seconds:.3e})"
+        )
 
 
 @dataclass
@@ -61,9 +92,11 @@ class Timeline:
                 f"{self.data_comm_seconds * 1e6:9.1f} us"
             )
         for span in self.spans:
-            offset = round(span.start_seconds / total * width)
+            # Clamp so every span draws at least one cell inside the
+            # track, even sub-pixel spans ending at the timeline tail.
+            offset = min(round(span.start_seconds / total * width), width - 1)
             bar = max(1, round(span.duration_seconds / total * width))
-            bar = min(bar, width - offset)
+            bar = max(1, min(bar, width - offset))
             track = " " * offset + "#" * bar
             lines.append(
                 f"{span.name[:24]:24s} |{track:{width}s}| "
@@ -75,32 +108,14 @@ class Timeline:
 def timeline_from_profile(profile: InferenceProfile) -> Timeline:
     """Build the serial execution timeline from a profiled inference.
 
-    Operators execute in topological order on a single stream (the
-    paper's single-threaded CPU / single-GPU setting); data
-    communication leads the compute phase.
+    The spans are exactly the tracer spans ``session.profile`` records
+    when telemetry is enabled; the timeline just wraps them (it does
+    not require telemetry to be on).
     """
-    raw = profile.raw
-    if raw is None:
-        raise ValueError("profile carries no per-op data")
-    cursor = profile.data_comm_seconds
-    spans: List[TimelineSpan] = []
-    for op in raw.op_profiles:
-        seconds = (
-            op._time_seconds if hasattr(op, "_time_seconds") else op.seconds
-        )
-        spans.append(
-            TimelineSpan(
-                name=op.node_name,
-                op_kind=op.op_kind,
-                start_seconds=cursor,
-                end_seconds=cursor + seconds,
-            )
-        )
-        cursor += seconds
     return Timeline(
         model=profile.model_name,
         platform=profile.platform_name,
         batch_size=profile.batch_size,
-        spans=spans,
+        spans=[TimelineSpan(s) for s in profile_spans(profile)],
         data_comm_seconds=profile.data_comm_seconds,
     )

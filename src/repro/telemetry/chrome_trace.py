@@ -1,0 +1,135 @@
+"""Chrome / Perfetto trace-event export.
+
+Serializes tracer spans to the Trace Event Format (the JSON that
+``chrome://tracing`` and https://ui.perfetto.dev load directly):
+complete events (``ph: "X"``) with microsecond ``ts``/``dur``, plus
+process/thread metadata events so tracks get readable names.
+
+Every event keeps the span's exact duration in seconds under
+``args.seconds`` — the microsecond fields are for the viewer; analysis
+code should prefer the seconds field (no unit round-trip).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.telemetry.tracer import MODELED_TID, Span
+
+__all__ = [
+    "spans_to_trace_events",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "load_chrome_trace",
+]
+
+#: Single-process trace; pid is constant by construction.
+TRACE_PID = 1
+
+_THREAD_NAMES = {
+    0: "wall-clock",
+    MODELED_TID: "modeled-timeline",
+}
+
+
+def spans_to_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Spans -> complete events (``ph: "X"``), microsecond clock."""
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        args = {"seconds": span.duration_s, "depth": span.depth}
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "default",
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": TRACE_PID,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def _metadata_events(spans: Sequence[Span], process_name: str) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid in sorted({s.tid for s in spans}):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": _THREAD_NAMES.get(tid, f"thread-{tid}")},
+            }
+        )
+    return events
+
+
+def chrome_trace_document(
+    spans: Sequence[Span],
+    process_name: str = "repro",
+    metrics: Optional[List[Mapping[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Build the full JSON-object trace document.
+
+    ``metrics`` (a registry snapshot) rides along under ``otherData``
+    so one file carries both the timeline and the counters.
+    """
+    doc: Dict[str, Any] = {
+        "traceEvents": _metadata_events(spans, process_name)
+        + spans_to_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.telemetry"},
+    }
+    if metrics is not None:
+        doc["otherData"]["metrics"] = [dict(m) for m in metrics]
+    return doc
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span],
+    process_name: str = "repro",
+    metrics: Optional[List[Mapping[str, Any]]] = None,
+) -> str:
+    """Write the trace document to ``path``; returns the path."""
+    doc = chrome_trace_document(spans, process_name=process_name, metrics=metrics)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    return path
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    """Load and structurally validate a trace document.
+
+    Checks the invariants consumers rely on: a ``traceEvents`` list
+    whose complete events all carry ``ph``/``ts``/``dur``/``pid``/
+    ``tid``/``name``.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: missing traceEvents list")
+    required = ("ph", "ts", "dur", "pid", "tid", "name")
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        missing = [k for k in required if k not in event]
+        if missing:
+            raise ValueError(
+                f"{path}: complete event {event.get('name')!r} missing {missing}"
+            )
+    return doc

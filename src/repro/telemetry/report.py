@@ -1,0 +1,130 @@
+"""Human- and machine-readable views of a metrics snapshot.
+
+Consumes the plain-dict record list :meth:`MetricsRegistry.snapshot`
+produces and renders it as an aligned text table, JSON, or CSV —
+the three formats ``repro metrics`` exposes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+__all__ = [
+    "format_labels",
+    "metrics_table",
+    "metrics_json",
+    "metrics_csv",
+    "render_metrics",
+]
+
+#: Value columns shown for each metric type, in table/CSV order.
+_VALUE_FIELDS = ["value", "count", "sum", "mean", "min", "max", "p50", "p95", "p99"]
+
+
+def format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def metrics_table(snapshot: Sequence[Mapping[str, Any]]) -> str:
+    """Aligned fixed-width table over all snapshot records."""
+    headers = ["metric", "type", "labels"] + _VALUE_FIELDS
+    rows: List[List[str]] = []
+    for record in snapshot:
+        rows.append(
+            [record["name"], record["type"], format_labels(record["labels"])]
+            + [_format_value(record.get(f)) for f in _VALUE_FIELDS]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = io.StringIO()
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.write(header_line + "\n")
+    out.write("-" * len(header_line) + "\n")
+    for row in rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def metrics_json(snapshot: Sequence[Mapping[str, Any]]) -> str:
+    return json.dumps([dict(r) for r in snapshot], indent=2, sort_keys=True)
+
+
+def metrics_csv(snapshot: Sequence[Mapping[str, Any]]) -> str:
+    """Flat CSV: one row per metric, blank cells where a field doesn't apply."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["metric", "type", "labels"] + _VALUE_FIELDS)
+    for record in snapshot:
+        writer.writerow(
+            [record["name"], record["type"], format_labels(record["labels"])]
+            + [record.get(f, "") for f in _VALUE_FIELDS]
+        )
+    return out.getvalue().rstrip("\n")
+
+
+_RENDERERS = {
+    "table": metrics_table,
+    "json": metrics_json,
+    "csv": metrics_csv,
+}
+
+
+def render_metrics(
+    snapshot: Sequence[Mapping[str, Any]], fmt: str = "table"
+) -> str:
+    """Render a snapshot in one of ``table`` / ``json`` / ``csv``."""
+    try:
+        renderer = _RENDERERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown metrics format {fmt!r}; choose from {sorted(_RENDERERS)}"
+        ) from None
+    return renderer(snapshot)
+
+
+def write_metrics_report(path: str, snapshot: Sequence[Mapping[str, Any]]) -> str:
+    """Write the snapshot as JSON (the machine-readable dump)."""
+    with open(path, "w") as fh:
+        fh.write(metrics_json(snapshot))
+        fh.write("\n")
+    return path
+
+
+__all__.append("write_metrics_report")
+
+
+def summarize_spans(spans: Sequence[Any], top: int = 8) -> List[Dict[str, Any]]:
+    """Aggregate spans per (category, name): count and total seconds."""
+    totals: Dict[Any, Dict[str, Any]] = {}
+    for span in spans:
+        key = (span.category, span.name)
+        entry = totals.setdefault(
+            key, {"category": span.category, "name": span.name,
+                  "count": 0, "seconds": 0.0}
+        )
+        entry["count"] += 1
+        entry["seconds"] += span.duration_s
+    ordered = sorted(totals.values(), key=lambda e: -e["seconds"])
+    return ordered[:top] if top else ordered
+
+
+__all__.append("summarize_spans")

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.graph.graph import Graph
 from repro.hw.platform import CpuSpec
 from repro.ops.workload import OpWorkload
@@ -221,6 +222,15 @@ class CpuModel:
             input_bytes / (c.host_staging_gbps * 1e9)
             + c.host_staging_latency_us * 1e-6
         )
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            labels = dict(platform=spec.microarchitecture, graph=graph_name)
+            registry.counter("uarch.graphs_profiled", **labels).inc()
+            registry.counter("uarch.ops_profiled", **labels).inc(len(op_profiles))
+            registry.counter("uarch.cycles", **labels).inc(total_events.cycles)
+            registry.counter(
+                "uarch.instructions", **labels
+            ).inc(total_events.instructions)
         return CpuGraphProfile(
             platform=spec.microarchitecture,
             graph_name=graph_name,

@@ -62,3 +62,77 @@ class TestCommands:
         assert main(["topdown", "--batch", "16"]) == 0
         out = capsys.readouterr().out
         assert "retiring" in out and "i-MPKI" in out
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        """The acceptance-criterion invocation, end to end."""
+        import collections
+        import json
+
+        from repro.models import build_model
+        from repro.runtime import InferenceSession
+
+        out = str(tmp_path / "out.trace.json")
+        assert main([
+            "trace", "--model", "dlrm_rm2", "--platform", "cascade-lake",
+            "--batch-size", "64", "-o", out, "--queries", "128", "--no-run",
+        ]) == 0
+        doc = json.loads(open(out).read())
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert events
+        for event in events:
+            for key in ("ph", "ts", "dur", "pid", "tid", "name"):
+                assert key in event
+
+        # Per-kind span durations reproduce op_time_by_kind exactly.
+        sums = collections.defaultdict(float)
+        for event in events:
+            sums[event["cat"]] += event["args"]["seconds"]
+        profile = InferenceSession(
+            build_model("dlrm_rm2"), "cascade-lake"
+        ).profile(64)
+        for kind, expected in profile.op_time_by_kind.items():
+            assert abs(sums[kind] - expected) < 1e-9
+
+        # Scheduler metrics rode along in the metrics report.
+        metrics = json.loads(open(str(tmp_path / "out.metrics.json")).read())
+        names = {r["name"] for r in metrics}
+        assert {"scheduler.queue_depth", "scheduler.batch_occupancy",
+                "scheduler.query_latency_s"} <= names
+        stdout = capsys.readouterr().out
+        assert "trace:" in stdout and "scheduler:" in stdout
+
+    def test_trace_unknown_model_exits_cleanly(self, tmp_path):
+        import pytest
+
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["trace", "--model", "bert", "-o", str(tmp_path / "x.json")])
+
+    def test_metrics_table(self, capsys):
+        assert main([
+            "metrics", "--model", "rm1", "--platform", "broadwell",
+            "--batch-size", "8", "--queries", "64", "--no-run",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler.query_latency_s" in out
+        assert "pmu.cycles" in out
+
+    def test_metrics_json_and_csv(self, capsys):
+        import json
+
+        assert main([
+            "metrics", "--model", "rm1", "--platform", "t4",
+            "--batch-size", "8", "--queries", "0", "--no-run",
+            "--format", "json",
+        ]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert any(r["name"] == "gpusim.kernel_launches" for r in records)
+
+        assert main([
+            "metrics", "--model", "rm1", "--platform", "t4",
+            "--batch-size", "8", "--queries", "0", "--no-run",
+            "--format", "csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("metric,type,labels")
