@@ -1,0 +1,148 @@
+"""Self-speed benchmark: wall-clock of the repo's own hot path.
+
+Measures the full (model x platform x batch) sweep four ways —
+
+* ``eager_serial``   — eager parameter materialization, no shared graph
+  cache, one core: the pre-fast-path behavior.
+* ``lazy_serial``    — lazy parameters + process-level graph cache.
+* ``lazy_thread``    — fast path fanned out over a thread pool.
+* ``lazy_process``   — fast path fanned out over a process pool.
+
+and writes the results (plus derived speedups) to ``BENCH_sweep.json``
+at the repo root, seeding the performance trajectory across PRs.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_selfspeed.py [--smoke] [--workers N]
+
+or as a pytest bench target (smoke mode)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_selfspeed.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+from repro.core import SpeedupStudy
+from repro.models import build_model
+from repro.ops import eager_params, materialization_count
+from repro.runtime import bypass_graph_cache, clear_graph_cache
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sweep.json"
+
+SMOKE_MODELS = ["rm1", "dien"]
+SMOKE_BATCHES = [1, 64]
+
+
+def _study(model_names: List[str], batches: List[int]) -> SpeedupStudy:
+    models = {name: build_model(name) for name in model_names}
+    return SpeedupStudy(models=models, batch_sizes=batches)
+
+
+def _time_arm(fn) -> float:
+    clear_graph_cache()
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def run_bench(
+    smoke: bool = False,
+    workers: Optional[int] = None,
+    output: Optional[pathlib.Path] = DEFAULT_OUTPUT,
+) -> Dict:
+    from repro.models import MODEL_ORDER
+    from repro.workloads import paper_batch_sizes
+
+    model_names = SMOKE_MODELS if smoke else list(MODEL_ORDER)
+    batches = SMOKE_BATCHES if smoke else paper_batch_sizes()
+    if workers is None:
+        workers = min(8, os.cpu_count() or 1)
+
+    arms: Dict[str, float] = {}
+
+    def eager_serial():
+        with eager_params(), bypass_graph_cache():
+            _study(model_names, batches).run()
+
+    arms["eager_serial_s"] = _time_arm(eager_serial)
+
+    before = materialization_count()
+    arms["lazy_serial_s"] = _time_arm(lambda: _study(model_names, batches).run())
+    lazy_materializations = materialization_count() - before
+
+    # Pool arms always fan out (>= 2 workers) so the executor path is
+    # exercised even on single-core machines.
+    pool_workers = max(2, workers)
+    arms["lazy_thread_s"] = _time_arm(
+        lambda: _study(model_names, batches).run(workers=pool_workers, mode="thread")
+    )
+    arms["lazy_process_s"] = _time_arm(
+        lambda: _study(model_names, batches).run(workers=pool_workers, mode="process")
+    )
+
+    result = {
+        "benchmark": "full_sweep_selfspeed",
+        "smoke": smoke,
+        "models": model_names,
+        "batch_sizes": batches,
+        "workers": workers,
+        "pool_workers": pool_workers,
+        "cells": len(model_names) * 4 * len(batches),
+        "lazy_materializations": lazy_materializations,
+        "arms": {k: round(v, 4) for k, v in arms.items()},
+        "speedups": {
+            "lazy_serial_vs_eager": round(
+                arms["eager_serial_s"] / arms["lazy_serial_s"], 2
+            ),
+            "lazy_thread_vs_eager": round(
+                arms["eager_serial_s"] / arms["lazy_thread_s"], 2
+            ),
+            "lazy_process_vs_eager": round(
+                arms["eager_serial_s"] / arms["lazy_process_s"], 2
+            ),
+        },
+    }
+    if output is not None:
+        output.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_selfspeed_smoke(write_output):
+    """Smoke bench: the lazy fast path profiles without materializing."""
+    result = run_bench(smoke=True, workers=2, output=None)
+    assert result["lazy_materializations"] == 0
+    assert result["arms"]["lazy_serial_s"] > 0
+    write_output(
+        "selfspeed_smoke",
+        json.dumps(result, indent=2),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny config for CI")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "-o", "--output", default=str(DEFAULT_OUTPUT),
+        help="result JSON path (default BENCH_sweep.json at repo root)",
+    )
+    args = parser.parse_args()
+    result = run_bench(
+        smoke=args.smoke,
+        workers=args.workers,
+        output=pathlib.Path(args.output),
+    )
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

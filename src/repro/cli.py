@@ -65,11 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--batches", nargs="*", type=int, default=[1, 16, 256, 4096, 16384]
     )
+    _add_workers_arg(p)
 
     p = sub.add_parser("optimal", help="optimal-platform grid (Fig 5)")
     p.add_argument(
         "--batches", nargs="*", type=int, default=[1, 16, 256, 4096, 16384]
     )
+    _add_workers_arg(p)
 
     p = sub.add_parser("topdown", help="TopDown table on both CPUs (Fig 8)")
     p.add_argument("--batch", type=int, default=16)
@@ -105,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["table", "json", "csv"], default="table"
     )
     return parser
+
+
+def _add_workers_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel sweep workers (1 = serial; results are identical)",
+    )
 
 
 def _add_telemetry_run_args(p: argparse.ArgumentParser) -> None:
@@ -157,7 +166,9 @@ def _cmd_characterize(args) -> str:
 def _cmd_sweep(args) -> str:
     names = args.models if args.models else MODEL_ORDER
     models = {n: build_model(n) for n in names}
-    sweep = SpeedupStudy(models=models, batch_sizes=args.batches).run()
+    sweep = SpeedupStudy(models=models, batch_sizes=args.batches).run(
+        workers=args.workers
+    )
     rows = []
     for model in names:
         for batch in args.batches:
@@ -171,7 +182,7 @@ def _cmd_sweep(args) -> str:
 
 
 def _cmd_optimal(args) -> str:
-    sweep = SpeedupStudy(batch_sizes=args.batches).run()
+    sweep = SpeedupStudy(batch_sizes=args.batches).run(workers=args.workers)
     cells = {}
     for cell in SpeedupStudy.optimal_platform_grid(sweep):
         cells[(cell.model, cell.batch_size)] = f"{cell.platform} {cell.speedup:.1f}x"

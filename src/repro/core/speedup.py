@@ -3,15 +3,24 @@
 Sweeps (model x batch size x platform), computes speedups over the
 Broadwell baseline, the optimal-platform grid, and the GPU
 data-communication overhead decomposition.
+
+The sweep is the hot path of the whole reproduction (every figure
+starts from it), so :meth:`SpeedupStudy.run` can fan the
+(model, platform) cells out over a thread or process pool. Profiles
+are pure deterministic computation — lazy parameters mean nothing is
+materialized, and ``rng_for`` seeds are content digests — so parallel
+and serial sweeps produce identical results; the merge inserts
+profiles in the canonical serial order.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.hw import PLATFORM_ORDER
-from repro.models import RecommendationModel, build_all_models
+from repro.models import MODEL_FACTORIES, RecommendationModel, build_all_models
 from repro.runtime import InferenceProfile, InferenceSession
 from repro.workloads import paper_batch_sizes
 
@@ -81,19 +90,83 @@ class SpeedupStudy:
             list(batch_sizes) if batch_sizes is not None else paper_batch_sizes()
         )
 
-    def run(self) -> SweepResult:
+    def run(self, workers: int = 1, mode: str = "auto") -> SweepResult:
+        """Profile every (model, platform, batch) cell.
+
+        ``workers > 1`` fans the (model, platform) cells out over a
+        ``concurrent.futures`` pool. ``mode`` selects the pool:
+
+        * ``"thread"`` — shares model objects and the process-level
+          graph cache; always available.
+        * ``"process"`` — true CPU parallelism; requires every model to
+          be rebuildable by name (``repro.models.build_model``), since
+          workers reconstruct their models. Stable content-digest seeds
+          guarantee identical parameters in every process.
+        * ``"auto"`` — ``"process"`` when all models are canonical zoo
+          builds, else ``"thread"``.
+
+        Results are merged in the canonical serial order, so parallel
+        and serial sweeps are profile-for-profile identical.
+        """
+        cells = [(m, p) for m in self.models for p in self.platform_names]
+        if workers <= 1 or len(cells) <= 1:
+            cell_profiles = [self._profile_cell(m, p) for m, p in cells]
+        else:
+            cell_profiles = self._run_parallel(cells, workers, mode)
         profiles: Dict[Tuple[str, str, int], InferenceProfile] = {}
-        for model_name, model in self.models.items():
-            for platform in self.platform_names:
-                session = InferenceSession(model, platform)
-                for batch in self.batch_sizes:
-                    profiles[(model_name, platform, batch)] = session.profile(batch)
+        for (model_name, platform), by_batch in zip(cells, cell_profiles):
+            for batch, profile in by_batch:
+                profiles[(model_name, platform, batch)] = profile
         return SweepResult(
             profiles=profiles,
             model_names=list(self.models),
             platform_names=list(self.platform_names),
             batch_sizes=list(self.batch_sizes),
         )
+
+    def _profile_cell(
+        self, model_name: str, platform: str
+    ) -> List[Tuple[int, InferenceProfile]]:
+        session = InferenceSession(self.models[model_name], platform)
+        return [(batch, session.profile(batch)) for batch in self.batch_sizes]
+
+    def _process_safe(self) -> bool:
+        """Whether every model can be rebuilt by name in a worker process."""
+        for name, model in self.models.items():
+            if name not in MODEL_FACTORIES:
+                return False
+            if MODEL_FACTORIES[name]().graph_signature() != model.graph_signature():
+                return False
+        return True
+
+    def _run_parallel(
+        self,
+        cells: Sequence[Tuple[str, str]],
+        workers: int,
+        mode: str,
+    ) -> List[List[Tuple[int, InferenceProfile]]]:
+        if mode not in ("auto", "thread", "process"):
+            raise ValueError(f"unknown sweep mode {mode!r}")
+        if mode == "auto":
+            mode = "process" if self._process_safe() else "thread"
+        elif mode == "process" and not self._process_safe():
+            raise ValueError(
+                "process-mode sweeps require canonical zoo models "
+                "(rebuildable by name); use mode='thread' for custom models"
+            )
+        workers = min(workers, len(cells))
+        if mode == "thread":
+            with concurrent.futures.ThreadPoolExecutor(workers) as pool:
+                futures = [
+                    pool.submit(self._profile_cell, m, p) for m, p in cells
+                ]
+                return [f.result() for f in futures]
+        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+            futures = [
+                pool.submit(_profile_cell_by_name, m, p, tuple(self.batch_sizes))
+                for m, p in cells
+            ]
+            return [f.result() for f in futures]
 
     @staticmethod
     def optimal_platform_grid(sweep: SweepResult) -> List[OptimalCell]:
@@ -114,3 +187,13 @@ class SpeedupStudy:
                     )
                 )
         return cells
+
+
+def _profile_cell_by_name(
+    model_name: str, platform: str, batch_sizes: Tuple[int, ...]
+) -> List[Tuple[int, InferenceProfile]]:
+    """Process-pool worker: rebuild the model by name and profile it."""
+    from repro.models import build_model
+
+    session = InferenceSession(build_model(model_name), platform)
+    return [(batch, session.profile(batch)) for batch in batch_sizes]

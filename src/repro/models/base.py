@@ -13,14 +13,57 @@ A model knows how to
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from typing import Dict, List, Tuple
 
 from repro.graph import Graph, GraphBuilder, TensorSpec
 from repro.models.config import EmbeddingGroupConfig, MlpConfig, ModelInfo
-from repro.ops import FC, Relu, Sigmoid, Tanh
+from repro.ops import FC, EmbeddingTable, LazyParam, Relu, Sigmoid, Tanh
 
 __all__ = ["RecommendationModel", "InputDescription"]
+
+
+def _canonical(value) -> object:
+    """Hashable, order-stable view of a model attribute tree.
+
+    Used by :meth:`RecommendationModel.graph_signature` to decide when
+    two model instances are structurally identical (and may therefore
+    share cached graphs). Raises ``TypeError`` for values it cannot
+    canonicalize — callers fall back to identity-keying.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
+    if isinstance(value, EmbeddingTable):
+        # Tables are parameters: identity is the initializer recipe
+        # plus the workload-relevant knobs, not the array contents.
+        return (
+            "EmbeddingTable",
+            value.rows,
+            value.dim,
+            value.alloc_rows,
+            value.lookup_locality,
+            value._data.signature,
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__qualname__,
+            tuple(
+                (f.name, _canonical(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, LazyParam):
+        return ("LazyParam", value.signature)
+    # Other repro objects held by models (operators, GRU cells, ...)
+    # are structural: canonicalize their attribute dicts recursively.
+    if type(value).__module__.startswith("repro.") and hasattr(value, "__dict__"):
+        return (type(value).__qualname__, _canonical(vars(value)))
+    raise TypeError(f"cannot canonicalize {type(value).__name__}")
 
 
 class InputDescription:
@@ -61,6 +104,21 @@ class RecommendationModel(ABC):
     @abstractmethod
     def embedding_groups(self) -> List[EmbeddingGroupConfig]:
         """All embedding-table groups in the model."""
+
+    def graph_signature(self) -> Tuple:
+        """Hashable structural identity for the process-level graph cache.
+
+        Two instances with equal signatures build interchangeable graphs
+        (same topology, shapes, and parameter recipes), so a sweep can
+        serve every platform from one ``build_graph`` per batch size.
+        Subclasses whose attributes defeat canonicalization fall back to
+        identity-keying, which disables sharing but never aliases
+        structurally different models.
+        """
+        try:
+            return (type(self).__qualname__, _canonical(vars(self)))
+        except TypeError:
+            return (type(self).__qualname__, "id", id(self))
 
     # -- derived quantities --------------------------------------------------
 

@@ -7,6 +7,12 @@ from repro.ops.elementwise import Add, Mul, Sum
 from repro.ops.embedding import EmbeddingTable, Gather, SparseLengthsSum
 from repro.ops.fc import FC
 from repro.ops.fused import FusedFC, GroupedSparseLengthsSum
+from repro.ops.lazy import (
+    LazyParam,
+    eager_params,
+    materialization_count,
+    reset_materialization_count,
+)
 from repro.ops.matmul import AttentionScores, BatchMatMul, DotInteraction
 from repro.ops.recurrent import AUGRU, GRU
 from repro.ops.registry import OPERATOR_KINDS, all_kinds, operator_class
@@ -45,4 +51,8 @@ __all__ = [
     "OPERATOR_KINDS",
     "operator_class",
     "all_kinds",
+    "LazyParam",
+    "eager_params",
+    "materialization_count",
+    "reset_materialization_count",
 ]

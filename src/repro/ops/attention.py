@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.graph.tensor import TensorSpec
 from repro.ops.base import Operator, OpError
-from repro.ops.initializers import rng_for, xavier_uniform
+from repro.ops.lazy import LazyParam
 from repro.ops.workload import MemoryStream, OpWorkload, SEQUENTIAL
 
 __all__ = ["LocalActivationAttention"]
@@ -49,14 +49,36 @@ class LocalActivationAttention(Operator):
             raise OpError("attention dimensions must be positive")
         self.dim = dim
         self.hidden_dim = hidden_dim
-        rng = rng_for(seed_key, dim, hidden_dim)
-        self.w1 = xavier_uniform((hidden_dim, 4 * dim), rng)
-        self.b1 = np.zeros(hidden_dim, dtype=np.float32)
-        self.w2 = xavier_uniform((1, hidden_dim), rng)
-        self.b2 = np.zeros(1, dtype=np.float32)
+        self._w1 = LazyParam(
+            (hidden_dim, 4 * dim), "xavier_uniform", (seed_key, "w1", dim, hidden_dim)
+        )
+        self._b1 = LazyParam((hidden_dim,), "zeros")
+        self._w2 = LazyParam(
+            (1, hidden_dim), "xavier_uniform", (seed_key, "w2", dim, hidden_dim)
+        )
+        self._b2 = LazyParam((1,), "zeros")
+
+    @property
+    def w1(self) -> np.ndarray:
+        return self._w1.materialize()
+
+    @property
+    def b1(self) -> np.ndarray:
+        return self._b1.materialize()
+
+    @property
+    def w2(self) -> np.ndarray:
+        return self._w2.materialize()
+
+    @property
+    def b2(self) -> np.ndarray:
+        return self._b2.materialize()
 
     def parameters(self):
         return [self.w1, self.b1, self.w2, self.b2]
+
+    def parameter_specs(self):
+        return [self._w1.spec, self._b1.spec, self._w2.spec, self._b2.spec]
 
     def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
         self.check_arity(input_specs)
@@ -109,8 +131,8 @@ class LocalActivationAttention(Operator):
             ),
             MemoryStream(feature_bytes, max(1, feature_bytes // 64), 64, SEQUENTIAL, 0.3),
             MemoryStream(
-                int(self.w1.nbytes + self.w2.nbytes),
-                max(1, lookups * (self.w1.nbytes + self.w2.nbytes) // 64),
+                int(self._w1.nbytes + self._w2.nbytes),
+                max(1, lookups * (self._w1.nbytes + self._w2.nbytes) // 64),
                 64,
                 SEQUENTIAL,
                 locality=0.95,

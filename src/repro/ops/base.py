@@ -66,12 +66,25 @@ class Operator(ABC):
     # -- parameters --------------------------------------------------------
 
     def parameters(self) -> List[np.ndarray]:
-        """Learnable/constant parameter arrays owned by this operator."""
+        """Learnable/constant parameter arrays owned by this operator.
+
+        Materializes lazy parameters; performance models should prefer
+        :meth:`parameter_specs`, which never allocates.
+        """
         return []
+
+    def parameter_specs(self) -> List[TensorSpec]:
+        """Shape/dtype of every parameter, without materializing arrays.
+
+        Operators with lazy parameters override this to read the stored
+        initializer specs; the default derives specs from
+        :meth:`parameters` (and therefore allocates for eager operators).
+        """
+        return [TensorSpec.like(p) for p in self.parameters()]
 
     @property
     def parameter_bytes(self) -> int:
-        return sum(p.nbytes for p in self.parameters())
+        return sum(s.nbytes for s in self.parameter_specs())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} kind={self.kind}>"

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.graph.tensor import TensorSpec
 from repro.ops.base import Operator, OpError
-from repro.ops.initializers import rng_for, scaled_normal
+from repro.ops.lazy import LazyParam
 from repro.ops.workload import MemoryStream, OpWorkload, RANDOM, SEQUENTIAL
 
 __all__ = ["EmbeddingTable", "SparseLengthsSum", "Gather"]
@@ -58,8 +58,18 @@ class EmbeddingTable:
         self.dim = dim
         self.alloc_rows = min(rows, alloc_rows_cap)
         self.lookup_locality = lookup_locality
-        rng = rng_for(seed_key, rows, dim)
-        self.data = scaled_normal((self.alloc_rows, dim), rng)
+        self._data = LazyParam(
+            (self.alloc_rows, dim), "scaled_normal", (seed_key, rows, dim)
+        )
+
+    @property
+    def data(self) -> np.ndarray:
+        """The allocated table rows, materialized on first access."""
+        return self._data.materialize()
+
+    @property
+    def data_spec(self) -> TensorSpec:
+        return self._data.spec
 
     @property
     def nominal_bytes(self) -> int:
@@ -91,6 +101,9 @@ class SparseLengthsSum(Operator):
 
     def parameters(self):
         return [self.table.data]
+
+    def parameter_specs(self):
+        return [self.table.data_spec]
 
     def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
         self.check_arity(input_specs)
@@ -170,6 +183,9 @@ class Gather(Operator):
 
     def parameters(self):
         return [self.table.data]
+
+    def parameter_specs(self):
+        return [self.table.data_spec]
 
     def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
         self.check_arity(input_specs)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.graph.tensor import TensorSpec
 from repro.ops.base import Operator, OpError
-from repro.ops.initializers import rng_for, xavier_uniform
+from repro.ops.lazy import LazyParam
 from repro.ops.workload import MemoryStream, OpWorkload, SEQUENTIAL
 
 __all__ = ["FC"]
@@ -43,24 +43,36 @@ class FC(Operator):
             raise OpError("FC dimensions must be positive")
         self.in_features = in_features
         self.out_features = out_features
-        rng = rng_for(seed_key, in_features, out_features)
-        self.weight = (
-            weight.astype(np.float32)
-            if weight is not None
-            else xavier_uniform((out_features, in_features), rng)
-        )
-        self.bias = (
-            bias.astype(np.float32)
-            if bias is not None
-            else np.zeros(out_features, dtype=np.float32)
-        )
-        if self.weight.shape != (out_features, in_features):
-            raise OpError("FC weight shape mismatch")
-        if self.bias.shape != (out_features,):
-            raise OpError("FC bias shape mismatch")
+        if weight is not None:
+            if weight.shape != (out_features, in_features):
+                raise OpError("FC weight shape mismatch")
+            self._weight = LazyParam.from_array(weight.astype(np.float32))
+        else:
+            self._weight = LazyParam(
+                (out_features, in_features),
+                "xavier_uniform",
+                (seed_key, in_features, out_features),
+            )
+        if bias is not None:
+            if bias.shape != (out_features,):
+                raise OpError("FC bias shape mismatch")
+            self._bias = LazyParam.from_array(bias.astype(np.float32))
+        else:
+            self._bias = LazyParam((out_features,), "zeros")
+
+    @property
+    def weight(self) -> np.ndarray:
+        return self._weight.materialize()
+
+    @property
+    def bias(self) -> np.ndarray:
+        return self._bias.materialize()
 
     def parameters(self):
         return [self.weight, self.bias]
+
+    def parameter_specs(self):
+        return [self._weight.spec, self._bias.spec]
 
     def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
         self.check_arity(input_specs)

@@ -47,6 +47,9 @@ class FusedFC(Operator):
     def parameters(self):
         return self.fc.parameters()
 
+    def parameter_specs(self):
+        return self.fc.parameter_specs()
+
     def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
         return self.fc.infer_shape(input_specs)
 
@@ -99,6 +102,9 @@ class GroupedSparseLengthsSum(Operator):
 
     def parameters(self):
         return [t.data for t in self.tables]
+
+    def parameter_specs(self):
+        return [t.data_spec for t in self.tables]
 
     def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
         if len(input_specs) != len(self.tables):

@@ -2,23 +2,35 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["rng_for", "xavier_uniform", "scaled_normal"]
+__all__ = ["rng_for", "seed_for", "xavier_uniform", "scaled_normal"]
+
+
+def seed_for(*key_parts: object) -> int:
+    """Stable 64-bit seed digest of a structural key.
+
+    Uses BLAKE2b rather than Python's builtin ``hash``: the builtin is
+    salted per process (``PYTHONHASHSEED``), which would materialize
+    *different* weights in every worker of a parallel sweep. A content
+    digest keeps the seed a pure function of the key text.
+    """
+    key = "\x1f".join(str(p) for p in key_parts).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
 
 
 def rng_for(*key_parts: object) -> np.random.Generator:
     """Deterministic generator derived from a structural key.
 
     Two operators built with the same key (e.g. ``("rm2", "table", 3)``)
-    always receive identical parameters, which keeps model outputs
-    reproducible across processes without threading a generator through
-    every constructor.
+    always receive identical parameters — across processes, threads, and
+    materialization orders — without threading a generator through every
+    constructor.
     """
-    seed = abs(hash(tuple(str(p) for p in key_parts))) % (2**32)
-    return np.random.default_rng(seed)
+    return np.random.default_rng(seed_for(*key_parts))
 
 
 def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.graph.tensor import TensorSpec
 from repro.ops.base import Operator, OpError
-from repro.ops.initializers import rng_for, xavier_uniform
+from repro.ops.lazy import LazyParam
 from repro.ops.workload import MemoryStream, OpWorkload, SEQUENTIAL
 
 __all__ = ["GRU", "AUGRU"]
@@ -41,14 +41,38 @@ class _GruCell:
             raise OpError("GRU dimensions must be positive")
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
-        rng = rng_for(seed_key, input_dim, hidden_dim)
-        # Gate order: update (z), reset (r), candidate (h).
-        self.w_input = xavier_uniform((3 * hidden_dim, input_dim), rng)
-        self.w_hidden = xavier_uniform((3 * hidden_dim, hidden_dim), rng)
-        self.bias = np.zeros(3 * hidden_dim, dtype=np.float32)
+        # Gate order: update (z), reset (r), candidate (h). Each weight
+        # matrix draws from its own keyed stream so materialization
+        # order (or process) cannot change the values.
+        self._w_input = LazyParam(
+            (3 * hidden_dim, input_dim),
+            "xavier_uniform",
+            (seed_key, "w_input", input_dim, hidden_dim),
+        )
+        self._w_hidden = LazyParam(
+            (3 * hidden_dim, hidden_dim),
+            "xavier_uniform",
+            (seed_key, "w_hidden", input_dim, hidden_dim),
+        )
+        self._bias = LazyParam((3 * hidden_dim,), "zeros")
+
+    @property
+    def w_input(self) -> np.ndarray:
+        return self._w_input.materialize()
+
+    @property
+    def w_hidden(self) -> np.ndarray:
+        return self._w_hidden.materialize()
+
+    @property
+    def bias(self) -> np.ndarray:
+        return self._bias.materialize()
 
     def parameters(self):
         return [self.w_input, self.w_hidden, self.bias]
+
+    def parameter_specs(self):
+        return [self._w_input.spec, self._w_hidden.spec, self._bias.spec]
 
     def step(self, x_t: np.ndarray, h: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
         """One timestep; returns ``(h_next, update_gate)``."""
@@ -70,7 +94,10 @@ class _GruCell:
 
     @property
     def weight_bytes(self) -> int:
-        return int(self.w_input.nbytes + self.w_hidden.nbytes + self.bias.nbytes)
+        # Spec-derived so the performance models never materialize.
+        return int(
+            self._w_input.nbytes + self._w_hidden.nbytes + self._bias.nbytes
+        )
 
 
 def _recurrent_workload(
@@ -154,6 +181,9 @@ class GRU(Operator):
     def parameters(self):
         return self.cell.parameters()
 
+    def parameter_specs(self):
+        return self.cell.parameter_specs()
+
     def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
         self.check_arity(input_specs)
         (x,) = input_specs
@@ -206,6 +236,9 @@ class AUGRU(Operator):
 
     def parameters(self):
         return self.cell.parameters()
+
+    def parameter_specs(self):
+        return self.cell.parameter_specs()
 
     def infer_shape(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
         self.check_arity(input_specs)

@@ -1,5 +1,13 @@
 """Execution runtime: sessions, plus at-scale query scheduling."""
 
+from repro.runtime.graph_cache import (
+    GraphCache,
+    GraphCacheStats,
+    bypass_graph_cache,
+    clear_graph_cache,
+    get_graph,
+    graph_cache_stats,
+)
 from repro.runtime.scheduler import (
     BatchingPolicy,
     QueryScheduler,
@@ -26,4 +34,10 @@ __all__ = [
     "BatchingPolicy",
     "QueryScheduler",
     "ScheduleResult",
+    "GraphCache",
+    "GraphCacheStats",
+    "get_graph",
+    "clear_graph_cache",
+    "graph_cache_stats",
+    "bypass_graph_cache",
 ]

@@ -18,6 +18,7 @@ Service-time lookup interpolates between profiled batch sizes, so one
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence
@@ -39,10 +40,17 @@ class ServiceTimeModel:
     def __init__(self, sweep: "SweepResult", model: str, platform: str) -> None:
         self.model = model
         self.platform = platform
-        self._batches = sorted(sweep.batch_sizes)
-        self._times = [
-            sweep.total_seconds(model, platform, b) for b in self._batches
-        ]
+        self._set_knots(
+            sorted(sweep.batch_sizes),
+            [sweep.total_seconds(model, platform, b) for b in sorted(sweep.batch_sizes)],
+        )
+
+    def _set_knots(self, batches: List[int], times: List[float]) -> None:
+        self._batches = batches
+        self._times = times
+        # Interpolation runs per dispatched batch; precompute the
+        # log-batch knots so `seconds()` does no log of the knots.
+        self._log_batches = [math.log(b) for b in batches]
 
     @classmethod
     def from_profiles(
@@ -66,8 +74,7 @@ class ServiceTimeModel:
             raise ValueError("profiles must cover >= 2 distinct batch sizes")
         model = cls.__new__(cls)
         model.model, model.platform = next(iter(names))
-        model._batches = sorted(by_batch)
-        model._times = [by_batch[b] for b in model._batches]
+        model._set_knots(sorted(by_batch), [by_batch[b] for b in sorted(by_batch)])
         return model
 
     def seconds(self, batch_size: int) -> float:
@@ -86,9 +93,8 @@ class ServiceTimeModel:
         hi = bisect_left(batches, batch_size)
         lo = hi - 1
         # Interpolate in log-batch space (latency curves are smooth there).
-        t = (np.log(batch_size) - np.log(batches[lo])) / (
-            np.log(batches[hi]) - np.log(batches[lo])
-        )
+        logs = self._log_batches
+        t = (math.log(batch_size) - logs[lo]) / (logs[hi] - logs[lo])
         return float(self._times[lo] * (1 - t) + self._times[hi] * t)
 
 
@@ -224,8 +230,7 @@ class QueryScheduler:
                 waiting = int(np.searchsorted(arrivals, start, side="right")) - i
                 queue_gauge.set(max(waiting, batch))
                 occupancy_hist.observe(batch)
-                for latency in latencies[i:j]:
-                    latency_hist.observe(float(latency))
+                latency_hist.observe_many(latencies[i:j])
             server_free_at = finish
             i = j
 

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.graph import Graph, execute
+from repro.runtime import graph_cache
 from repro.gpusim import GpuGraphProfile, GpuModel
 from repro.hw import PlatformSpec, platform_by_name
 from repro.models import RecommendationModel
@@ -126,7 +127,12 @@ def profile_spans(profile: InferenceProfile, t0: float = 0.0) -> List[Span]:
 
 
 class InferenceSession:
-    """A model bound to one platform, with graph caching per batch size."""
+    """A model bound to one platform.
+
+    Graphs are platform-independent, so sessions share them through the
+    process-level :mod:`~repro.runtime.graph_cache`: in a four-platform
+    sweep each ``(model, batch)`` graph is built once, not four times.
+    """
 
     def __init__(
         self,
@@ -138,7 +144,6 @@ class InferenceSession:
         self.platform = (
             platform_by_name(platform) if isinstance(platform, str) else platform
         )
-        self._graphs: Dict[int, Graph] = {}
         if self.platform.kind == "cpu":
             self._cpu_model: Optional[CpuModel] = CpuModel(self.platform, constants)
             self._gpu_model: Optional[GpuModel] = None
@@ -149,9 +154,7 @@ class InferenceSession:
             self._gpu_model = GpuModel(self.platform)
 
     def graph(self, batch_size: int) -> Graph:
-        if batch_size not in self._graphs:
-            self._graphs[batch_size] = self.model.build_graph(batch_size)
-        return self._graphs[batch_size]
+        return graph_cache.get_graph(self.model, batch_size)
 
     # -- functional execution ------------------------------------------------
 

@@ -21,6 +21,8 @@ import math
 import threading
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 __all__ = ["HistogramSnapshot", "StreamingHistogram"]
 
 
@@ -136,8 +138,40 @@ class StreamingHistogram:
                     self._exact = None  # fall back to bucket interpolation
 
     def observe_many(self, values: Sequence[float]) -> None:
-        for v in values:
-            self.observe(v)
+        """Record a batch of observations in one vectorized pass.
+
+        Equivalent to calling :meth:`observe` per value, but bucket
+        indices are computed with NumPy and the lock is taken once —
+        the scheduler records whole dispatched batches this way instead
+        of looping per query.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        if arr.size == 0:
+            return
+        if np.isnan(arr).any() or (arr < 0).any():
+            raise ValueError("histogram observations must be >= 0 and not NaN")
+        # Vectorized _bucket_index: 0 under range, last bucket at/over
+        # max, else 1 + floor(log(v / min) / log(growth)).
+        indices = np.zeros(arr.shape, dtype=np.intp)
+        in_range = arr >= self.min_value
+        indices[in_range] = 1 + (
+            np.log(arr[in_range] / self.min_value) / self._log_growth
+        ).astype(np.intp)
+        indices[arr >= self.max_value] = self._num_buckets - 1
+        bucket_counts = np.bincount(indices, minlength=self._num_buckets)
+        with self._lock:
+            for i in np.nonzero(bucket_counts)[0]:
+                self._counts[i] += int(bucket_counts[i])
+            self._count += arr.size
+            self._total += float(arr.sum())
+            self._min = min(self._min, float(arr.min()))
+            self._max = max(self._max, float(arr.max()))
+            if self._exact is not None:
+                self._exact.extend(arr.tolist())
+                if len(self._exact) > self.exact_cap:
+                    self._exact = None  # fall back to bucket interpolation
 
     # -- reading ------------------------------------------------------------
 
