@@ -1,0 +1,144 @@
+"""Resilient serving: surviving a GPU slowdown without blowing the SLA.
+
+The paper frames recommendation inference as a datacenter service under
+tail-latency SLAs; real fleets hit those SLAs *through* faults —
+thermal throttling, noisy neighbors, stragglers, crashes — with the
+standard resilience playbook. This example injects a deterministic
+thermal-throttle window into a T4 serving RM2 (with a Broadwell standby
+and a cheaper RM2 variant kept warm) and measures what each policy buys:
+
+* **hedging** — duplicate slow batches to the standby, first response
+  wins;
+* **degrade + shed** — serve the cheap variant once queueing breaches
+  the SLA's queue budget, refuse queries that can no longer make it;
+* **all policies** — plus deadline retries and circuit-breaker failover.
+
+Every number is reproducible: one seed drives arrivals and faults, and
+faults land identically whether policies are on or off.
+
+Usage::
+
+    PYTHONPATH=src python examples/resilient_serving.py [queries] [seed]
+"""
+
+import sys
+
+from repro.core import SlaBudget, SpeedupStudy
+from repro.models import build_model
+from repro.models.variants import degraded_variant
+from repro.resilience import (
+    CircuitBreakerPolicy,
+    DegradationPolicy,
+    FaultPlan,
+    HedgePolicy,
+    Replica,
+    ResiliencePolicy,
+    ResilientScheduler,
+    RetryPolicy,
+    ServerFaults,
+    SheddingPolicy,
+    SlowdownWindow,
+)
+from repro.runtime import BatchingPolicy, ServiceTimeModel
+
+BATCH = 64
+
+
+def main():
+    queries = int(sys.argv[1]) if len(sys.argv) > 1 else 1200
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    rm2 = build_model("rm2")
+    rm2_lite = degraded_variant(rm2)  # cheaper variant kept warm
+    sweep = SpeedupStudy(
+        models={"rm2": rm2, rm2_lite.name: rm2_lite},
+        platform_names=["broadwell", "t4"],
+        batch_sizes=[1, 16, BATCH, 256],
+    ).run()
+    gpu = ServiceTimeModel(sweep, "rm2", "t4")
+    cpu = ServiceTimeModel(sweep, "rm2", "broadwell")
+    lite = ServiceTimeModel(sweep, rm2_lite.name, "t4")
+
+    # Load the GPU handles comfortably when healthy: 60% of peak.
+    peak = BATCH / gpu.seconds(BATCH)
+    qps = 0.6 * peak
+    horizon = queries / qps
+    budget = SlaBudget(deadline_s=8.0 * gpu.seconds(BATCH), queue_fraction=0.5)
+
+    # The fault: the T4 thermally throttles to 1/5th speed for the
+    # middle 40% of the run. The Broadwell standby stays healthy.
+    plan = FaultPlan(
+        seed=seed,
+        servers={
+            "t4": ServerFaults(
+                slowdowns=(
+                    SlowdownWindow(0.3 * horizon, 0.7 * horizon,
+                                   multiplier=5.0),
+                ),
+            )
+        },
+    )
+
+    fleet = [
+        Replica("t4", gpu, degraded_model=lite),
+        Replica("broadwell", cpu),
+    ]
+    hedge = HedgePolicy(delay_s=budget.queue_budget_s)
+    degrade_shed = ResiliencePolicy(
+        shed=SheddingPolicy(deadline_s=4.0 * budget.deadline_s),
+        degrade=DegradationPolicy(queue_budget_s=budget.queue_budget_s),
+    )
+    everything = ResiliencePolicy(
+        retry=RetryPolicy(deadline_s=4.0 * budget.deadline_s, max_retries=2),
+        hedge=hedge,
+        breaker=CircuitBreakerPolicy(failure_threshold=3,
+                                     cooldown_s=budget.deadline_s),
+        shed=degrade_shed.shed,
+        degrade=degrade_shed.degrade,
+    )
+    scenarios = [
+        ("healthy fleet", None, ResiliencePolicy.none()),
+        ("faults, no policy", plan, ResiliencePolicy.none()),
+        ("faults + hedging", plan, ResiliencePolicy(hedge=hedge)),
+        ("faults + degrade/shed", plan, degrade_shed),
+        ("faults + all policies", plan, everything),
+    ]
+
+    print("Resilient serving under a GPU slowdown (rm2, T4 primary, "
+          "Broadwell standby)")
+    print(f"  {queries} queries at {qps:.0f} QPS, seed {seed}; "
+          f"throttle x5 over [{0.3 * horizon * 1e3:.0f}, "
+          f"{0.7 * horizon * 1e3:.0f}] ms")
+    print()
+    header = (f"{'scenario':24s} {'ok':>5s} {'shed':>5s} {'drop':>5s} "
+              f"{'p50 ms':>8s} {'p99 ms':>8s} {'hedged':>7s} {'degr':>6s}")
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for label, fault_plan, policy in scenarios:
+        scheduler = ResilientScheduler(
+            fleet, BatchingPolicy(max_batch=BATCH),
+            resilience=policy, fault_plan=fault_plan, seed=seed,
+        )
+        r = scheduler.run(qps, num_queries=queries)
+        assert r.accounting_ok(), "query conservation violated"
+        results[label] = r
+        print(f"{label:24s} {r.completed:5d} {r.shed:5d} {r.dropped:5d} "
+              f"{r.p50 * 1e3:8.2f} {r.p99 * 1e3:8.2f} "
+              f"{r.hedges:7d} {r.degraded_queries:6d}")
+
+    print()
+    base = results["faults, no policy"].p99
+    for label in ("faults + hedging", "faults + degrade/shed",
+                  "faults + all policies"):
+        p99 = results[label].p99
+        if p99 < base:
+            print(f"verdict: {label[9:]} cut p99 by "
+                  f"{(1 - p99 / base) * 100:.0f}% "
+                  f"({base * 1e3:.2f} -> {p99 * 1e3:.2f} ms)")
+    print("Same seed, same faults — only the policy changed. "
+          "That is the point of deterministic injection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,9 @@ Commands mirror the characterization workflow:
 * ``trace`` — run a characterization with telemetry on and export a
   Chrome/Perfetto trace plus a metrics report.
 * ``metrics`` — list every registered metric after an instrumented run.
+* ``resilience`` — inject a fault scenario into the scheduler
+  simulation and compare tail latency with each resilience policy
+  on/off.
 """
 
 from __future__ import annotations
@@ -105,6 +108,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_run_args(p)
     p.add_argument(
         "--format", choices=["table", "json", "csv"], default="table"
+    )
+
+    p = sub.add_parser(
+        "resilience",
+        help="policy matrix under injected faults: p99 with each policy on/off",
+    )
+    p.add_argument("--model", default="rm2", help="model name (aliases ok)")
+    p.add_argument("--platform", default="t4", help="primary platform")
+    p.add_argument(
+        "--fallback", default="broadwell",
+        help="standby platform for failover/hedging ('none' disables)",
+    )
+    p.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    p.add_argument("--queries", type=int, default=800)
+    p.add_argument(
+        "--qps", type=float, default=None,
+        help="arrival rate (default: 40%% of the primary's peak capacity)",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument(
+        "--scenario", default="slowdown",
+        choices=["slowdown", "crash", "drops", "stragglers", "pcie", "mixed"],
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None, dest="deadline_ms",
+        help="SLA deadline (default: 10x the batch service time)",
+    )
+    p.add_argument(
+        "--trace", default=None,
+        help="write a Perfetto trace of the all-policies run to this path",
     )
     return parser
 
@@ -330,6 +363,159 @@ def _cmd_metrics(args) -> str:
     return telemetry.render_metrics(registry.snapshot(), args.format)
 
 
+def _service_model_for(model, platform: str, batch: int):
+    """Calibrate a ServiceTimeModel from a handful of targeted profiles."""
+    session = InferenceSession(model, platform)
+    calibration = sorted({1, max(2, batch // 4), batch, 2 * batch})
+    return ServiceTimeModel.from_profiles(
+        [session.profile(b) for b in calibration]
+    )
+
+
+def _cmd_resilience(args) -> str:
+    from repro.core import SlaBudget
+    from repro.models.dlrm import DLRM
+    from repro.models.variants import degraded_variant
+    from repro.resilience import (
+        CircuitBreakerPolicy,
+        DegradationPolicy,
+        FaultPlan,
+        HedgePolicy,
+        Replica,
+        ResiliencePolicy,
+        ResilientScheduler,
+        RetryPolicy,
+        SheddingPolicy,
+    )
+
+    try:
+        model = build_model(args.model)
+        primary_stm = _service_model_for(model, args.platform, args.batch_size)
+        fallback_stm = None
+        if args.fallback and args.fallback.lower() != "none":
+            fallback_stm = _service_model_for(
+                model, args.fallback, args.batch_size
+            )
+        degraded_stm = None
+        if isinstance(model, DLRM):
+            degraded_stm = _service_model_for(
+                degraded_variant(model), args.platform, args.batch_size
+            )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+    batch = args.batch_size
+    peak = batch / primary_stm.seconds(batch)
+    qps = args.qps if args.qps else 0.4 * peak
+    deadline = (
+        args.deadline_ms * 1e-3
+        if args.deadline_ms
+        else max(10.0 * primary_stm.seconds(batch), 0.02)
+    )
+    budget = SlaBudget(deadline, queue_fraction=0.5)
+    horizon = args.queries / qps
+
+    names = [args.platform] + ([args.fallback] if fallback_stm else [])
+    scenario_kwargs = {
+        "slowdown": dict(slowdown_windows=1, slowdown_multiplier=4.0),
+        "crash": dict(slowdown_windows=0, crash_windows=1,
+                      crash_duration_frac=0.15),
+        "drops": dict(slowdown_windows=0, drop_probability=0.05),
+        "stragglers": dict(slowdown_windows=0, straggler_probability=0.08),
+        "pcie": dict(slowdown_windows=0, pcie_windows=1, pcie_scale=0.2),
+        "mixed": dict(slowdown_windows=1, slowdown_multiplier=3.0,
+                      crash_windows=1, crash_duration_frac=0.08,
+                      drop_probability=0.02, straggler_probability=0.04),
+    }[args.scenario]
+    plan = FaultPlan.synthesize(args.seed, names, horizon, **scenario_kwargs)
+
+    retry = RetryPolicy(deadline_s=deadline, max_retries=2)
+    hedge = HedgePolicy(delay_s=0.5 * budget.queue_budget_s)
+    breaker = CircuitBreakerPolicy(failure_threshold=2, cooldown_s=deadline)
+    shed = SheddingPolicy(deadline_s=deadline)
+    degrade = DegradationPolicy(queue_budget_s=budget.queue_budget_s)
+
+    matrix = [("no faults", None, ResiliencePolicy.none())]
+    matrix.append(("faults, no policy", plan, ResiliencePolicy.none()))
+    matrix.append(("faults + retry", plan, ResiliencePolicy(retry=retry)))
+    if fallback_stm is not None:
+        matrix.append(("faults + hedge", plan, ResiliencePolicy(hedge=hedge)))
+        matrix.append(
+            ("faults + failover", plan,
+             ResiliencePolicy(retry=retry, breaker=breaker))
+        )
+    if degraded_stm is not None:
+        matrix.append(
+            ("faults + degrade/shed", plan,
+             ResiliencePolicy(shed=shed, degrade=degrade))
+        )
+    matrix.append(
+        ("faults + all", plan,
+         ResiliencePolicy(retry=retry,
+                          hedge=hedge if fallback_stm is not None else None,
+                          breaker=breaker if fallback_stm is not None else None,
+                          shed=shed, degrade=degrade))
+    )
+
+    replicas = [Replica(args.platform, primary_stm, degraded_model=degraded_stm)]
+    if fallback_stm is not None:
+        replicas.append(Replica(args.fallback, fallback_stm))
+
+    rows = []
+    last_result = None
+    for label, row_plan, policy in matrix:
+        fleet = replicas if row_plan is not None else replicas[:1]
+        scheduler = ResilientScheduler(
+            fleet, BatchingPolicy(max_batch=batch),
+            resilience=policy, fault_plan=row_plan, seed=args.seed,
+        )
+        if label == "faults + all" and args.trace:
+            with telemetry.capture() as (tracer, registry):
+                result = scheduler.run(qps, num_queries=args.queries)
+            try:
+                telemetry.write_chrome_trace(
+                    args.trace, tracer.sorted_spans(),
+                    process_name=f"repro resilience: {args.model} on "
+                    f"{'+'.join(names)}",
+                    metrics=registry.snapshot(),
+                )
+            except OSError as exc:
+                raise SystemExit(f"error: cannot write trace output: {exc}")
+        else:
+            result = scheduler.run(qps, num_queries=args.queries)
+        last_result = result
+        p99 = result.p99 * 1e3 if result.completed else float("nan")
+        p50 = result.p50 * 1e3 if result.completed else float("nan")
+        rows.append(
+            [label, result.completed, result.shed, result.dropped,
+             f"{p50:.2f}", f"{p99:.2f}",
+             result.retries, result.hedges, result.failovers,
+             result.degraded_queries]
+        )
+
+    lines = [
+        f"scenario '{args.scenario}' on {args.model}/{'+'.join(names)}: "
+        f"{args.queries} queries at {qps:.0f} QPS "
+        f"(deadline {deadline * 1e3:.1f} ms, seed {args.seed})",
+        render_table(
+            ["policy", "ok", "shed", "drop", "p50 ms", "p99 ms",
+             "retries", "hedges", "failover", "degraded"],
+            rows,
+        ),
+    ]
+    if last_result is not None and last_result.fault_counts:
+        injected = ", ".join(
+            f"{k}={v}" for k, v in last_result.fault_counts.items() if v
+        )
+        lines.append(f"injected (all-policies run): {injected or 'none'}")
+    if args.trace:
+        lines.append(
+            f"trace: {args.trace}  (open in chrome://tracing or "
+            "ui.perfetto.dev)"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_claims() -> str:
     from repro.core import evaluate_claims
 
@@ -365,6 +551,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "claims": lambda: _cmd_claims(),
         "trace": lambda: _cmd_trace(args),
         "metrics": lambda: _cmd_metrics(args),
+        "resilience": lambda: _cmd_resilience(args),
     }
     try:
         print(handlers[args.command]())

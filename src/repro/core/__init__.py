@@ -30,7 +30,12 @@ from repro.core.scaling import (
     crossover_table,
     fit_scaling,
 )
-from repro.core.sla import SlaOperatingPoint, max_batch_under_sla, sla_frontier
+from repro.core.sla import (
+    SlaBudget,
+    SlaOperatingPoint,
+    max_batch_under_sla,
+    sla_frontier,
+)
 from repro.core.features import FEATURE_NAMES, FeatureMatrix, build_feature_matrix
 from repro.core.operator_breakdown import (
     OperatorBreakdown,
@@ -73,6 +78,7 @@ __all__ = [
     "BottleneckShift",
     "find_bottleneck_shifts",
     "SlaOperatingPoint",
+    "SlaBudget",
     "max_batch_under_sla",
     "sla_frontier",
     "ScalingFit",

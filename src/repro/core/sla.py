@@ -15,10 +15,48 @@ from typing import Dict, Optional, Sequence
 
 from repro.core.speedup import SweepResult
 
-__all__ = ["SlaOperatingPoint", "max_batch_under_sla", "sla_frontier"]
+__all__ = [
+    "SlaBudget",
+    "SlaOperatingPoint",
+    "max_batch_under_sla",
+    "sla_frontier",
+]
 
 #: Representative datacenter latency tiers (seconds).
 DEFAULT_SLA_TIERS = (0.001, 0.005, 0.02, 0.1)
+
+
+@dataclass(frozen=True)
+class SlaBudget:
+    """An end-to-end latency SLA split into queueing and service budgets.
+
+    At-scale serving spends a query's deadline twice: waiting (batching
+    window + queue behind the server) and being served. Resilience
+    policies key off the split — graceful degradation triggers when
+    queueing alone has consumed :attr:`queue_budget_s`
+    (:class:`repro.resilience.DegradationPolicy`), and the service
+    budget bounds which batch sizes stay feasible
+    (:func:`max_batch_under_sla`).
+    """
+
+    deadline_s: float
+    queue_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("SLA deadline must be positive")
+        if not (0.0 < self.queue_fraction < 1.0):
+            raise ValueError("queue_fraction must be in (0, 1)")
+
+    @property
+    def queue_budget_s(self) -> float:
+        """Deadline share a query may spend queued before degradation."""
+        return self.deadline_s * self.queue_fraction
+
+    @property
+    def service_budget_s(self) -> float:
+        """Deadline share left for the inference itself."""
+        return self.deadline_s * (1.0 - self.queue_fraction)
 
 
 @dataclass(frozen=True)

@@ -40,19 +40,33 @@ class PcieModel:
     #: Fig 4 that is neither kernel time nor raw PCIe wire time.
     HOST_STAGING_GBPS = 6.0
 
-    def transfer_seconds(self, nbytes: int) -> float:
-        """One host-to-device copy of ``nbytes`` (staging + DMA)."""
+    def transfer_seconds(self, nbytes: int, bandwidth_scale: float = 1.0) -> float:
+        """One host-to-device copy of ``nbytes`` (staging + DMA).
+
+        ``bandwidth_scale`` models link degradation — lane retraining,
+        congestion, a faulty riser — as an effective-bandwidth scale in
+        (0, 1]: the DMA wire term is divided by it (fault injection's
+        :class:`repro.resilience.PcieDegradationWindow` drives this).
+        """
         if nbytes < 0:
             raise ValueError("transfer size must be non-negative")
+        if not (0.0 < bandwidth_scale <= 1.0):
+            raise ValueError(
+                f"bandwidth_scale must be in (0, 1], got {bandwidth_scale}"
+            )
         return (
             self.spec.pcie_latency_us * 1e-6
             + nbytes / (self.HOST_STAGING_GBPS * 1e9)
-            + nbytes / (self.spec.pcie_bandwidth_gbps * 1e9)
+            + nbytes / (self.spec.pcie_bandwidth_gbps * bandwidth_scale * 1e9)
         )
 
-    def batch_transfer(self, tensor_bytes: Sequence[int]) -> TransferProfile:
+    def batch_transfer(
+        self, tensor_bytes: Sequence[int], bandwidth_scale: float = 1.0
+    ) -> TransferProfile:
         """Copies for one inference batch: one transfer per input tensor."""
-        seconds = sum(self.transfer_seconds(b) for b in tensor_bytes)
+        seconds = sum(
+            self.transfer_seconds(b, bandwidth_scale) for b in tensor_bytes
+        )
         return TransferProfile(
             num_transfers=len(tensor_bytes),
             total_bytes=int(sum(tensor_bytes)),

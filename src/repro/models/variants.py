@@ -18,6 +18,7 @@ from repro.models.dlrm import DLRM
 
 __all__ = [
     "dlrm_variant",
+    "degraded_variant",
     "lookup_sweep",
     "table_count_sweep",
     "fc_width_sweep",
@@ -42,6 +43,40 @@ def dlrm_variant(base: DLRM, suffix: str, **config_overrides) -> DLRM:
     config = replace(base.config, name=name, **config_overrides)
     description = ", ".join(f"{k}={v}" for k, v in config_overrides.items())
     return DLRM(config, _variant_info(name, description or "baseline"))
+
+
+def degraded_variant(
+    base: DLRM,
+    fc_scale: float = 0.5,
+    lookup_scale: float = 0.5,
+    suffix: str = "lite",
+) -> DLRM:
+    """A cheaper stand-in for ``base``, for SLA-aware graceful degradation.
+
+    Shrinks both cost drivers at once — hidden FC widths by
+    ``fc_scale`` and lookups per table by ``lookup_scale`` — preserving
+    the embedding-dim contract and output head, the way production
+    fleets keep a light ranking model warm to serve when the heavy
+    model's queue breaches its deadline budget (see
+    :class:`repro.resilience.DegradationPolicy`).
+    """
+    if not (0.0 < fc_scale <= 1.0) or not (0.0 < lookup_scale <= 1.0):
+        raise ValueError("degradation scales must be in (0, 1]")
+    config = base.config
+    bottom = tuple(
+        max(8, int(d * fc_scale)) for d in config.bottom_mlp[:-1]
+    ) + (config.embedding_dim,)
+    top = tuple(
+        max(8, int(d * fc_scale)) for d in config.top_mlp[:-1]
+    ) + (config.top_mlp[-1],)
+    lookups = max(1, int(config.lookups_per_table * lookup_scale))
+    return dlrm_variant(
+        base,
+        suffix,
+        bottom_mlp=bottom,
+        top_mlp=top,
+        lookups_per_table=lookups,
+    )
 
 
 def lookup_sweep(base: DLRM, lookups: Sequence[int]) -> Dict[int, DLRM]:

@@ -1,0 +1,452 @@
+"""Resilient serving engine: the fault-aware discrete-event scheduler.
+
+Generalizes :class:`~repro.runtime.scheduler.QueryScheduler` from one
+perfect server to a fleet of fault-prone replicas with the standard
+resilience policies (retries, hedging, circuit-breaker failover,
+SLA-aware shedding, graceful degradation) layered on the same dynamic
+batching discipline.
+
+**Equivalence contract:** with one replica, a null
+:class:`~repro.resilience.faults.FaultPlan`, and an empty
+:class:`~repro.resilience.policies.ResiliencePolicy`, the engine's
+batch formation, float arithmetic, and arrival generation replicate the
+plain scheduler's loop operation-for-operation, so results are
+*bit-identical* (a tier-1 golden test pins this).
+
+Accounting invariant (property-tested): every issued query ends in
+exactly one of completed / shed / dropped, and each completed query
+contributes exactly one latency sample — no matter how many times it
+was retried or hedged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policies import ResiliencePolicy
+from repro.resilience.server import Replica, ServerState
+from repro.runtime.scheduler import BatchingPolicy, ScheduleResult
+
+__all__ = ["ResilientScheduler", "ResilientScheduleResult"]
+
+#: Virtual trace thread-id base for per-replica server tracks.
+_REPLICA_TID_BASE = 2000
+
+
+@dataclass
+class ResilientScheduleResult(ScheduleResult):
+    """Outcome of one resilient simulation.
+
+    Extends :class:`~repro.runtime.scheduler.ScheduleResult`:
+    ``latencies_s`` holds only *completed* queries (one sample each, in
+    query order); ``queries`` remains the number issued.
+    """
+
+    completed: int = 0
+    shed: int = 0
+    dropped: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    failovers: int = 0
+    degraded_queries: int = 0
+    breaker_trips: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    replica_batches: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def goodput_qps(self) -> float:
+        """Completed (not merely issued) queries per second."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def accounting_ok(self) -> bool:
+        """The conservation law every policy combination must obey."""
+        return (
+            self.completed + self.shed + self.dropped == self.queries
+            and len(self.latencies_s) == self.completed
+        )
+
+
+class _Outcome:
+    COMPLETED = 0
+    SHED = 1
+    DROPPED = 2
+
+
+class ResilientScheduler:
+    """Discrete-event simulation of a replicated, fault-prone fleet.
+
+    ``replicas`` are tried in order: the first is the primary, later
+    entries are failover / hedge targets (heterogeneous platforms are
+    the interesting case — e.g. a T4 primary with a Broadwell standby).
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        policy: BatchingPolicy,
+        resilience: Optional[ResiliencePolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        seed: int = 2020,
+    ) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        names = [r.name for r in replicas]
+        if len(set(names)) != len(names):
+            raise ValueError(f"replica names must be unique, got {names}")
+        self.replicas = list(replicas)
+        self.policy = policy
+        self.resilience = resilience or ResiliencePolicy.none()
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.seed = seed
+
+    # -- simulation ----------------------------------------------------------
+
+    def run(
+        self, arrival_qps: float, num_queries: int = 2000
+    ) -> ResilientScheduleResult:
+        """Simulate ``num_queries`` Poisson arrivals at ``arrival_qps``."""
+        if not math.isfinite(arrival_qps) or arrival_qps <= 0:
+            raise ValueError(
+                f"arrival rate must be a positive finite QPS, got {arrival_qps}"
+            )
+        if num_queries < 1:
+            raise ValueError(f"need at least one query, got {num_queries}")
+
+        rng = np.random.default_rng(self.seed)
+        inter_arrivals = rng.exponential(1.0 / arrival_qps, size=num_queries)
+        arrivals = np.cumsum(inter_arrivals)
+
+        servers = [
+            ServerState(spec, idx, self.fault_plan)
+            for idx, spec in enumerate(self.replicas)
+        ]
+        res = self.resilience
+        policy = self.policy
+        tracer = telemetry.get_tracer()
+        tracing = telemetry.enabled()
+        if tracing:
+            self._trace_fault_windows(tracer, servers)
+
+        latencies = np.full(num_queries, np.nan)
+        outcome = np.full(num_queries, -1, dtype=np.int8)
+        batch_sizes: List[int] = []
+        counters = {
+            "retries": 0, "timeouts": 0, "hedges": 0, "hedge_wins": 0,
+            "failovers": 0, "degraded": 0, "shed": 0, "dropped": 0,
+            "completed": 0,
+            "slowdown_batches": 0, "straggler_batches": 0,
+            "pcie_batches": 0, "crashed_batches": 0, "dropped_responses": 0,
+        }
+
+        # Work heap: (ready time, query id, attempt). Attempt 0 entries
+        # are the arrivals themselves; retries re-enter with a later
+        # ready time. Ties resolve in query order, matching the plain
+        # scheduler's scan.
+        heap: List[Tuple[float, int, int]] = [
+            (float(arrivals[i]), i, 0) for i in range(num_queries)
+        ]
+        heapq.heapify(heap)
+
+        while heap:
+            head_ready, head_qid, head_attempt = heapq.heappop(heap)
+
+            server = self._route(servers, head_ready)
+            if server is None:
+                # Whole fleet is down/tripped: park the query until the
+                # earliest recovery and try again.
+                resume = min(s.next_available(head_ready) for s in servers)
+                if resume <= head_ready:
+                    resume = head_ready + 1e-9
+                heapq.heappush(heap, (resume, head_qid, head_attempt))
+                continue
+
+            # -- batch formation (identical to QueryScheduler.run) ----------
+            dispatch_at = max(head_ready + policy.batch_timeout_s,
+                              server.free_at)
+            members: List[Tuple[float, int, int]] = [
+                (head_ready, head_qid, head_attempt)
+            ]
+            while (
+                heap
+                and len(members) < policy.max_batch
+                and heap[0][0] <= dispatch_at
+            ):
+                ready, qid, attempt = heapq.heappop(heap)
+                members.append((ready, qid, attempt))
+            start = max(dispatch_at, server.free_at)
+            if len(members) == policy.max_batch:
+                start = max(members[-1][0], server.free_at)
+
+            if server.index != 0:
+                counters["failovers"] += len(members)
+
+            # -- SLA-aware load shedding ------------------------------------
+            if res.shed is not None:
+                floor_s = server.spec.service_model.seconds(1)
+                kept = []
+                for m in members:
+                    if start + floor_s > arrivals[m[1]] + res.shed.deadline_s:
+                        outcome[m[1]] = _Outcome.SHED
+                        counters["shed"] += 1
+                    else:
+                        kept.append(m)
+                members = kept
+                if not members:
+                    continue
+
+            batch = len(members)
+
+            # -- graceful degradation ---------------------------------------
+            degraded = (
+                res.degrade is not None
+                and server.spec.degraded_model is not None
+                and start - head_ready > res.degrade.queue_budget_s
+            )
+            if degraded:
+                counters["degraded"] += batch
+
+            service, faults = server.service_seconds(batch, start, degraded)
+            server.note_dispatch()
+            finish = start + service
+            if faults.slowdown:
+                counters["slowdown_batches"] += 1
+            if faults.straggler:
+                counters["straggler_batches"] += 1
+            if faults.pcie:
+                counters["pcie_batches"] += 1
+
+            # -- crash in flight --------------------------------------------
+            crash = server.injector.crash_during(start, finish)
+            crash_at = None
+            if crash is not None:
+                crash_at = max(start, crash.start_s)
+                counters["crashed_batches"] += 1
+                server.free_at = crash.end_s
+                server.record_failure(crash_at, res.breaker)
+            else:
+                server.free_at = finish
+
+            # -- hedging ----------------------------------------------------
+            hedge_finish = math.inf
+            hedge_server = None
+            if (
+                res.hedge is not None
+                and len(servers) > 1
+                and (crash_at is not None
+                     or finish > head_ready + res.hedge.delay_s)
+            ):
+                hedge_at = head_ready + res.hedge.delay_s
+                hedge_server = self._route(
+                    servers, hedge_at, exclude=server.index
+                )
+                if hedge_server is not None:
+                    # The duplicate carries the whole batch, so it cannot
+                    # be issued before the last member exists — without
+                    # this bound a fast hedge could "complete" a query
+                    # before it arrived.
+                    h_start = max(hedge_at, members[-1][0],
+                                  hedge_server.free_at)
+                    h_service, _ = hedge_server.service_seconds(batch, h_start)
+                    hedge_server.note_dispatch()
+                    h_finish = h_start + h_service
+                    h_crash = hedge_server.injector.crash_during(
+                        h_start, h_finish
+                    )
+                    counters["hedges"] += batch
+                    if h_crash is not None:
+                        counters["crashed_batches"] += 1
+                        hedge_server.free_at = h_crash.end_s
+                        hedge_server.record_failure(
+                            max(h_start, h_crash.start_s), res.breaker
+                        )
+                        hedge_server = None
+                    else:
+                        hedge_server.free_at = h_finish
+                        hedge_finish = h_finish
+                        if tracing:
+                            tracer.add_span(
+                                f"{hedge_server.name}.hedge", h_start,
+                                h_service,
+                                category="resilience.hedge",
+                                tid=_REPLICA_TID_BASE + hedge_server.index,
+                                batch=batch,
+                            )
+
+            batch_sizes.append(batch)
+            if tracing:
+                span_end = crash_at if crash_at is not None else finish
+                tracer.add_span(
+                    f"{server.name}.batch", start, span_end - start,
+                    category="resilience.server",
+                    tid=_REPLICA_TID_BASE + server.index,
+                    batch=batch, degraded=degraded,
+                    crashed=crash_at is not None,
+                )
+
+            # -- per-query settlement ---------------------------------------
+            primary_ok = crash_at is None
+            hedge_ok = hedge_finish < math.inf
+            hedge_won = hedge_ok and (not primary_ok or hedge_finish < finish)
+            if hedge_won:
+                counters["hedge_wins"] += batch
+            winner = hedge_server if hedge_won else server
+            completion = hedge_finish if hedge_won else finish
+
+            for ready, qid, attempt in members:
+                if not primary_ok and not hedge_ok:
+                    self._fail(
+                        heap, outcome, counters, qid, attempt, crash_at, res
+                    )
+                    continue
+                if winner.injector.should_drop(qid, attempt):
+                    counters["dropped_responses"] += 1
+                    winner.record_failure(completion, res.breaker)
+                    detect = (
+                        ready + res.retry.deadline_s
+                        if res.retry is not None
+                        else completion
+                    )
+                    self._fail(
+                        heap, outcome, counters, qid, attempt,
+                        max(detect, completion), res,
+                    )
+                    continue
+                if (
+                    res.retry is not None
+                    and completion > ready + res.retry.deadline_s
+                ):
+                    counters["timeouts"] += 1
+                    self._fail(
+                        heap, outcome, counters, qid, attempt,
+                        ready + res.retry.deadline_s, res,
+                    )
+                    continue
+                latencies[qid] = completion - arrivals[qid]
+                outcome[qid] = _Outcome.COMPLETED
+                counters["completed"] += 1
+                winner.record_success()
+
+        end = max(s.free_at for s in servers)
+        duration = max(float(end - arrivals[0] + inter_arrivals[0]), 0.0)
+        done = latencies[~np.isnan(latencies)]
+        result = ResilientScheduleResult(
+            queries=num_queries,
+            duration_s=duration,
+            latencies_s=done,
+            batch_sizes=batch_sizes,
+            completed=counters["completed"],
+            shed=counters["shed"],
+            dropped=counters["dropped"],
+            retries=counters["retries"],
+            timeouts=counters["timeouts"],
+            hedges=counters["hedges"],
+            hedge_wins=counters["hedge_wins"],
+            failovers=counters["failovers"],
+            degraded_queries=counters["degraded"],
+            breaker_trips=sum(s.breaker_trips for s in servers),
+            fault_counts={
+                "slowdown_batches": counters["slowdown_batches"],
+                "straggler_batches": counters["straggler_batches"],
+                "pcie_degraded_batches": counters["pcie_batches"],
+                "crashed_batches": counters["crashed_batches"],
+                "dropped_responses": counters["dropped_responses"],
+            },
+            replica_batches={s.name: s.batches for s in servers},
+        )
+        if telemetry.enabled():
+            self._record_metrics(result)
+        return result
+
+    # -- helpers -------------------------------------------------------------
+
+    def _route(
+        self,
+        servers: List[ServerState],
+        t: float,
+        exclude: Optional[int] = None,
+    ) -> Optional[ServerState]:
+        """First replica routable at ``t``, in fleet order."""
+        for s in servers:
+            if s.index != exclude and s.available(t):
+                return s
+        return None
+
+    def _fail(
+        self,
+        heap: List[Tuple[float, int, int]],
+        outcome: np.ndarray,
+        counters: Dict[str, int],
+        qid: int,
+        attempt: int,
+        at: float,
+        res: ResiliencePolicy,
+    ) -> None:
+        """One attempt failed at ``at``: schedule a retry or drop the query."""
+        if res.retry is not None and attempt < res.retry.max_retries:
+            heapq.heappush(
+                heap, (at + res.retry.backoff_s(attempt), qid, attempt + 1)
+            )
+            counters["retries"] += 1
+        else:
+            outcome[qid] = _Outcome.DROPPED
+            counters["dropped"] += 1
+
+    def _trace_fault_windows(self, tracer, servers: List[ServerState]) -> None:
+        for s in servers:
+            tid = _REPLICA_TID_BASE + s.index
+            faults = s.injector.faults
+            for w in faults.slowdowns:
+                tracer.add_span(
+                    f"{s.name}.slowdown x{w.multiplier:g}", w.start_s,
+                    w.end_s - w.start_s, category="resilience.fault", tid=tid,
+                )
+            for w in faults.crashes:
+                tracer.add_span(
+                    f"{s.name}.crash", w.start_s, w.end_s - w.start_s,
+                    category="resilience.fault", tid=tid,
+                )
+            for w in faults.pcie:
+                tracer.add_span(
+                    f"{s.name}.pcie x{w.bandwidth_scale:g}", w.start_s,
+                    w.end_s - w.start_s, category="resilience.fault", tid=tid,
+                )
+
+    def _record_metrics(self, result: ResilientScheduleResult) -> None:
+        registry = telemetry.get_registry()
+        primary = self.replicas[0]
+        labels = dict(
+            model=primary.service_model.model,
+            platform=primary.service_model.platform,
+        )
+
+        def bump(name: str, amount: float) -> None:
+            if amount:
+                registry.counter(name, **labels).inc(amount)
+
+        registry.counter("resilience.runs", **labels).inc()
+        bump("resilience.queries", result.queries)
+        bump("resilience.completed", result.completed)
+        bump("resilience.shed", result.shed)
+        bump("resilience.dropped", result.dropped)
+        bump("resilience.retries", result.retries)
+        bump("resilience.timeouts", result.timeouts)
+        bump("resilience.hedges", result.hedges)
+        bump("resilience.hedge_wins", result.hedge_wins)
+        bump("resilience.failovers", result.failovers)
+        bump("resilience.degraded_queries", result.degraded_queries)
+        bump("resilience.breaker_trips", result.breaker_trips)
+        for key, value in result.fault_counts.items():
+            bump(f"resilience.faults.{key}", value)
+        if len(result.latencies_s):
+            registry.histogram(
+                "resilience.query_latency_s", exact_cap=0, **labels
+            ).observe_many(result.latencies_s)

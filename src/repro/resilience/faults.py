@@ -1,0 +1,362 @@
+"""Seeded, deterministic fault injection for the serving simulation.
+
+Real recommendation fleets are perturbed constantly: thermal throttling
+and noisy neighbors slow a box for seconds at a time, stragglers stretch
+individual batches with heavy tails, responses get lost, PCIe links
+train down to fewer lanes, and whole servers crash and come back. The
+discrete-event scheduler is only a useful policy testbed if those
+perturbations exist *and are reproducible*, so every fault here is a
+pure function of a :class:`FaultPlan` (explicit windows + rates) and a
+seed — no hidden RNG state, no draw-order dependence.
+
+Stochastic decisions (stragglers, response drops) are keyed by stable
+identifiers — ``(replica, batch index)`` and ``(query id, attempt)`` —
+through a splitmix64 hash, so toggling a resilience policy on or off
+never reshuffles which queries are unlucky. That is what makes
+policy-on vs. policy-off comparisons under the same seed fair.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SlowdownWindow",
+    "CrashWindow",
+    "PcieDegradationWindow",
+    "StragglerSpec",
+    "DropSpec",
+    "ServerFaults",
+    "FaultPlan",
+    "FaultInjector",
+    "hashed_uniform",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def hashed_uniform(*keys: int) -> float:
+    """Uniform [0, 1) from integer keys — stable across runs/platforms."""
+    x = 0
+    for k in keys:
+        x = _splitmix64((x ^ (int(k) & _MASK64)) & _MASK64)
+    return (x >> 11) / float(1 << 53)
+
+
+def _check_window(start_s: float, end_s: float) -> None:
+    if not (0.0 <= start_s < end_s):
+        raise ValueError(
+            f"fault window must satisfy 0 <= start < end, got "
+            f"[{start_s}, {end_s})"
+        )
+
+
+@dataclass(frozen=True)
+class SlowdownWindow:
+    """Thermal-throttle / noisy-neighbor window: service time scales
+    by ``multiplier`` for every batch *starting* inside [start, end)."""
+
+    start_s: float
+    end_s: float
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+        if self.multiplier < 1.0:
+            raise ValueError("slowdown multiplier must be >= 1")
+
+    def active(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Server down from ``start_s`` until ``end_s`` (recovery). Batches
+    in flight when the crash hits fail at ``start_s``."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+
+    def active(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class PcieDegradationWindow:
+    """PCIe link degradation (lane retraining / congestion): the data-
+    communication term of service time is divided by ``bandwidth_scale``
+    for batches starting inside the window. Only meaningful for GPU
+    platforms, whose service model carries a data-comm component."""
+
+    start_s: float
+    end_s: float
+    bandwidth_scale: float = 0.25
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+        if not (0.0 < self.bandwidth_scale <= 1.0):
+            raise ValueError("bandwidth_scale must be in (0, 1]")
+
+    def active(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """Heavy-tailed per-batch stragglers: with ``probability``, a batch's
+    service time is multiplied by a Pareto(``alpha``) draw, capped at
+    ``max_multiplier``. Draws are keyed by (replica, batch index)."""
+
+    probability: float = 0.0
+    alpha: float = 2.0
+    max_multiplier: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError("straggler probability must be in [0, 1]")
+        if self.alpha <= 0:
+            raise ValueError("Pareto alpha must be positive")
+        if self.max_multiplier < 1.0:
+            raise ValueError("max_multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
+class DropSpec:
+    """Lost responses: with ``probability`` an attempt's response never
+    reaches the client (the server still did the work). Keyed by
+    (query id, attempt) so retries re-roll independently."""
+
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError("drop probability must be in [0, 1]")
+
+
+_NO_SLOWDOWNS: Tuple[SlowdownWindow, ...] = ()
+
+
+@dataclass(frozen=True)
+class ServerFaults:
+    """Every fault assigned to one replica."""
+
+    slowdowns: Tuple[SlowdownWindow, ...] = ()
+    crashes: Tuple[CrashWindow, ...] = ()
+    pcie: Tuple[PcieDegradationWindow, ...] = ()
+    stragglers: StragglerSpec = field(default_factory=StragglerSpec)
+    drops: DropSpec = field(default_factory=DropSpec)
+
+    def __post_init__(self) -> None:
+        # Tolerate lists in hand-written plans.
+        object.__setattr__(self, "slowdowns", tuple(self.slowdowns))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "pcie", tuple(self.pcie))
+
+    @property
+    def empty(self) -> bool:
+        return (
+            not self.slowdowns
+            and not self.crashes
+            and not self.pcie
+            and self.stragglers.probability == 0.0
+            and self.drops.probability == 0.0
+        )
+
+
+_EMPTY_FAULTS = ServerFaults()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible fault scenario: per-replica faults plus the seed
+    that drives every stochastic decision."""
+
+    seed: int = 0
+    servers: Mapping[str, ServerFaults] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "servers", dict(self.servers))
+
+    def for_server(self, name: str) -> ServerFaults:
+        return self.servers.get(name, _EMPTY_FAULTS)
+
+    @property
+    def empty(self) -> bool:
+        return all(f.empty for f in self.servers.values())
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The null plan — injects nothing."""
+        return cls()
+
+    @classmethod
+    def synthesize(
+        cls,
+        seed: int,
+        server_names: Sequence[str],
+        horizon_s: float,
+        *,
+        slowdown_windows: int = 1,
+        slowdown_multiplier: float = 3.0,
+        crash_windows: int = 0,
+        crash_duration_frac: float = 0.1,
+        pcie_windows: int = 0,
+        pcie_scale: float = 0.25,
+        straggler_probability: float = 0.0,
+        drop_probability: float = 0.0,
+        targets: Optional[Sequence[str]] = None,
+    ) -> "FaultPlan":
+        """Generate a random-but-reproducible plan from one seed.
+
+        Windows are placed uniformly inside ``[0.1, 0.9] * horizon_s``
+        on the targeted replicas (default: the first server only, the
+        usual "primary degrades, fallback is healthy" scenario); each
+        window covers ``~20%`` of the horizon (``crash_duration_frac``
+        for crashes). Rates apply to every targeted replica.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if not server_names:
+            raise ValueError("need at least one server name")
+        rng = np.random.default_rng(seed)
+        targeted = list(targets) if targets is not None else [server_names[0]]
+        unknown = set(targeted) - set(server_names)
+        if unknown:
+            raise ValueError(f"targets not in server_names: {sorted(unknown)}")
+        servers: Dict[str, ServerFaults] = {}
+        for name in targeted:
+            slows = []
+            for _ in range(slowdown_windows):
+                start = float(rng.uniform(0.1, 0.7)) * horizon_s
+                slows.append(
+                    SlowdownWindow(start, start + 0.2 * horizon_s,
+                                   slowdown_multiplier)
+                )
+            crashes = []
+            for _ in range(crash_windows):
+                start = float(rng.uniform(0.1, 0.9 - crash_duration_frac))
+                crashes.append(
+                    CrashWindow(start * horizon_s,
+                                (start + crash_duration_frac) * horizon_s)
+                )
+            pcie = []
+            for _ in range(pcie_windows):
+                start = float(rng.uniform(0.1, 0.7)) * horizon_s
+                pcie.append(
+                    PcieDegradationWindow(start, start + 0.2 * horizon_s,
+                                          pcie_scale)
+                )
+            servers[name] = ServerFaults(
+                slowdowns=tuple(slows),
+                crashes=tuple(crashes),
+                pcie=tuple(pcie),
+                stragglers=StragglerSpec(probability=straggler_probability),
+                drops=DropSpec(probability=drop_probability),
+            )
+        return cls(seed=seed, servers=servers)
+
+
+#: Hash-stream discriminators so the three stochastic fault families
+#: never collide even for equal keys.
+_STREAM_STRAGGLER = 0x5354524147474C45  # "STRAGGLE"
+_STREAM_DROP = 0x44524F5053  # "DROPS"
+
+
+class FaultInjector:
+    """Deterministic per-replica fault oracle.
+
+    All methods are pure functions of the construction arguments —
+    calling them in any order, any number of times, yields the same
+    answers.
+    """
+
+    def __init__(self, faults: ServerFaults, seed: int, server_name: str) -> None:
+        self.faults = faults
+        self.seed = int(seed)
+        self.server_name = server_name
+        self._name_key = zlib.crc32(server_name.encode("utf-8"))
+
+    # -- windows -------------------------------------------------------------
+
+    def slowdown_multiplier(self, t: float) -> float:
+        """Product of every slowdown window active at ``t`` (>= 1)."""
+        mult = 1.0
+        for w in self.faults.slowdowns:
+            if w.active(t):
+                mult *= w.multiplier
+        return mult
+
+    def pcie_scale(self, t: float) -> float:
+        """Effective PCIe bandwidth scale at ``t`` (1.0 = healthy)."""
+        scale = 1.0
+        for w in self.faults.pcie:
+            if w.active(t):
+                scale *= w.bandwidth_scale
+        return scale
+
+    def crashed_at(self, t: float) -> Optional[CrashWindow]:
+        """The crash window covering ``t``, if any."""
+        for w in self.faults.crashes:
+            if w.active(t):
+                return w
+        return None
+
+    def crash_during(self, start: float, end: float) -> Optional[CrashWindow]:
+        """Earliest crash window intersecting [start, end), if any."""
+        hit: Optional[CrashWindow] = None
+        for w in self.faults.crashes:
+            if w.start_s < end and w.end_s > start:
+                if hit is None or w.start_s < hit.start_s:
+                    hit = w
+        return hit
+
+    def next_available(self, t: float) -> float:
+        """Earliest time >= ``t`` the server is outside any crash window."""
+        at = t
+        # Windows may chain; a few passes settle any realistic plan.
+        for _ in range(len(self.faults.crashes) + 1):
+            w = self.crashed_at(at)
+            if w is None:
+                return at
+            at = w.end_s
+        return at
+
+    # -- keyed stochastic faults ---------------------------------------------
+
+    def straggler_multiplier(self, batch_index: int) -> float:
+        """Service-time multiplier for one batch (1.0 = no straggler)."""
+        spec = self.faults.stragglers
+        if spec.probability <= 0.0:
+            return 1.0
+        u = hashed_uniform(self.seed, self._name_key, _STREAM_STRAGGLER,
+                           batch_index)
+        if u >= spec.probability:
+            return 1.0
+        # Second, decorrelated draw shapes the Pareto tail.
+        v = hashed_uniform(self.seed, self._name_key, _STREAM_STRAGGLER,
+                           batch_index, 1)
+        mult = (1.0 - v) ** (-1.0 / spec.alpha)
+        return float(min(mult, spec.max_multiplier))
+
+    def should_drop(self, query_id: int, attempt: int) -> bool:
+        """Whether this attempt's response is lost on the way back."""
+        p = self.faults.drops.probability
+        if p <= 0.0:
+            return False
+        return hashed_uniform(self.seed, self._name_key, _STREAM_DROP,
+                              query_id, attempt) < p

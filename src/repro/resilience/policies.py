@@ -1,0 +1,150 @@
+"""Resilience policies for the serving simulation.
+
+Each policy is one standard datacenter serving technique, expressed as
+a small immutable spec the engine interprets:
+
+* :class:`RetryPolicy` — per-attempt client deadline with capped
+  exponential backoff; bounds tail latency from crashes and lost
+  responses at the cost of duplicated work.
+* :class:`HedgePolicy` — fire a duplicate of a slow batch at a second
+  replica, first response wins ("tied requests" per The Tail at Scale).
+* :class:`CircuitBreakerPolicy` — after consecutive server-side
+  failures, stop routing to a replica for a cooldown, failing over to
+  the next healthy (possibly heterogeneous, e.g. GPU -> CPU) replica.
+* :class:`SheddingPolicy` — SLA-aware load shedding: refuse queries
+  whose deadline is already unmeetable at dispatch, protecting the
+  queries that can still succeed.
+* :class:`DegradationPolicy` — graceful degradation: when queueing
+  pressure breaches the SLA's queue budget, serve the batch with a
+  cheaper model variant instead (quality-for-latency trade).
+
+:class:`ResiliencePolicy` bundles them; every member defaults to off,
+and the empty bundle makes the engine behave exactly like the plain
+:class:`~repro.runtime.scheduler.QueryScheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "RetryPolicy",
+    "HedgePolicy",
+    "CircuitBreakerPolicy",
+    "SheddingPolicy",
+    "DegradationPolicy",
+    "ResiliencePolicy",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side deadline + capped exponential backoff retries.
+
+    An attempt that has not completed ``deadline_s`` after it became
+    ready times out; the client retries after
+    ``min(backoff_cap_s, backoff_base_s * 2**attempt)`` up to
+    ``max_retries`` times, then gives the query up as dropped.
+    """
+
+    deadline_s: float
+    max_retries: int = 2
+    backoff_base_s: float = 0.001
+    backoff_cap_s: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("retry deadline must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff must be non-negative")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (attempt is 0-based)."""
+        return min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** attempt))
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Duplicate a batch to the next healthy replica once its head query
+    has waited ``delay_s`` without dispatch; the earlier finish wins.
+    The hedge occupies the second replica for its full service time —
+    the simulation charges the real cost of hedging."""
+
+    delay_s: float
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError("hedge delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Trip a replica out of the rotation after ``failure_threshold``
+    consecutive server-side failures (crashes, lost responses); it
+    rejoins after ``cooldown_s``. While open, queries fail over to the
+    next healthy replica in fleet order."""
+
+    failure_threshold: int = 3
+    cooldown_s: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_s <= 0:
+            raise ValueError("cooldown must be positive")
+
+
+@dataclass(frozen=True)
+class SheddingPolicy:
+    """Shed a query at dispatch when even a batch-1 service time could
+    no longer meet ``arrival + deadline_s`` — the SLA-aware admission
+    check. Shed queries are refused, not failed: they never occupy the
+    server and are excluded from latency percentiles."""
+
+    deadline_s: float
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("shedding deadline must be positive")
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Serve the replica's cheaper variant model when the head query's
+    total queueing delay exceeds ``queue_budget_s`` (typically
+    :attr:`repro.core.sla.SlaBudget.queue_budget_s`). Only replicas
+    given a ``degraded_model`` participate."""
+
+    queue_budget_s: float
+
+    def __post_init__(self) -> None:
+        if self.queue_budget_s < 0:
+            raise ValueError("queue budget must be non-negative")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The full policy bundle; every member optional (None = off)."""
+
+    retry: Optional[RetryPolicy] = None
+    hedge: Optional[HedgePolicy] = None
+    breaker: Optional[CircuitBreakerPolicy] = None
+    shed: Optional[SheddingPolicy] = None
+    degrade: Optional[DegradationPolicy] = None
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.retry is None
+            and self.hedge is None
+            and self.breaker is None
+            and self.shed is None
+            and self.degrade is None
+        )
+
+    @classmethod
+    def none(cls) -> "ResiliencePolicy":
+        return cls()

@@ -1,0 +1,143 @@
+"""Simulated serving replicas: fault-aware service time + breaker state.
+
+A :class:`Replica` is the immutable description of one server in the
+fleet (its service-time model, an optional cheaper degraded-variant
+model, and a name the :class:`~repro.resilience.faults.FaultPlan`
+addresses). The engine instantiates a fresh :class:`ServerState` per
+run, so repeated runs of the same scheduler are independent and
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.policies import CircuitBreakerPolicy
+
+if TYPE_CHECKING:
+    from repro.runtime.scheduler import ServiceTimeModel
+
+__all__ = ["Replica", "BatchFaults", "ServerState"]
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One server in the simulated fleet.
+
+    ``name`` is the identity fault plans target (conventionally the
+    platform name, e.g. ``"t4"``); ``degraded_model`` is the cheaper
+    variant served under a
+    :class:`~repro.resilience.policies.DegradationPolicy`.
+    """
+
+    name: str
+    service_model: "ServiceTimeModel"
+    degraded_model: Optional["ServiceTimeModel"] = None
+
+
+@dataclass
+class BatchFaults:
+    """Which faults touched one dispatched batch (for accounting)."""
+
+    slowdown: bool = False
+    straggler: bool = False
+    pcie: bool = False
+
+    @property
+    def any(self) -> bool:
+        return self.slowdown or self.straggler or self.pcie
+
+
+class ServerState:
+    """Mutable per-run state of one replica."""
+
+    __slots__ = (
+        "spec", "index", "injector", "free_at", "batches",
+        "consecutive_failures", "breaker_open_until", "breaker_trips",
+    )
+
+    def __init__(self, spec: Replica, index: int, plan: FaultPlan) -> None:
+        self.spec = spec
+        self.index = index
+        self.injector = FaultInjector(plan.for_server(spec.name), plan.seed,
+                                      spec.name)
+        self.free_at = 0.0
+        self.batches = 0
+        self.consecutive_failures = 0
+        self.breaker_open_until = 0.0
+        self.breaker_trips = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    # -- availability --------------------------------------------------------
+
+    def available(self, t: float) -> bool:
+        """Routable at ``t``: breaker closed and not inside a crash."""
+        return self.breaker_open_until <= t and self.injector.crashed_at(t) is None
+
+    def next_available(self, t: float) -> float:
+        """Earliest time >= ``t`` this replica becomes routable."""
+        at = max(t, self.breaker_open_until)
+        return self.injector.next_available(at)
+
+    # -- service time --------------------------------------------------------
+
+    def service_seconds(
+        self, batch_size: int, start_s: float, degraded: bool = False
+    ) -> tuple:
+        """(seconds, :class:`BatchFaults`) for a batch starting now.
+
+        Applies, in order: PCIe degradation (scales the data-comm
+        component of the service model), slowdown windows, and the
+        keyed heavy-tailed straggler draw for this replica's next batch
+        index. The caller is responsible for bumping :attr:`batches`
+        via :meth:`note_dispatch` exactly once per dispatched batch.
+        """
+        model = self.spec.service_model
+        if degraded and self.spec.degraded_model is not None:
+            model = self.spec.degraded_model
+        seconds = model.seconds(batch_size)
+        faults = BatchFaults()
+        scale = self.injector.pcie_scale(start_s)
+        if scale < 1.0:
+            comm = model.comm_seconds(batch_size)
+            if comm > 0.0:
+                seconds += comm * (1.0 / scale - 1.0)
+                faults.pcie = True
+        mult = self.injector.slowdown_multiplier(start_s)
+        if mult > 1.0:
+            seconds *= mult
+            faults.slowdown = True
+        smult = self.injector.straggler_multiplier(self.batches)
+        if smult > 1.0:
+            seconds *= smult
+            faults.straggler = True
+        return seconds, faults
+
+    def note_dispatch(self) -> None:
+        self.batches += 1
+
+    # -- circuit breaker -----------------------------------------------------
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def record_failure(
+        self, now: float, policy: Optional[CircuitBreakerPolicy]
+    ) -> bool:
+        """Register a server-side failure; returns True if the breaker
+        tripped open on this one."""
+        self.consecutive_failures += 1
+        if (
+            policy is not None
+            and self.consecutive_failures >= policy.failure_threshold
+        ):
+            self.breaker_open_until = now + policy.cooldown_s
+            self.consecutive_failures = 0
+            self.breaker_trips += 1
+            return True
+        return False

@@ -27,27 +27,58 @@ import numpy as np
 
 from repro import telemetry
 
-if TYPE_CHECKING:  # avoid runtime circularity with repro.core
+if TYPE_CHECKING:  # avoid runtime circularity with repro.core / resilience
     from repro.core.speedup import SweepResult
+    from repro.resilience import FaultPlan, ResiliencePolicy, ResilientScheduler
     from repro.runtime.session import InferenceProfile
 
 __all__ = ["ServiceTimeModel", "BatchingPolicy", "ScheduleResult", "QueryScheduler"]
 
 
 class ServiceTimeModel:
-    """Interpolated end-to-end latency for one (model, platform)."""
+    """Interpolated end-to-end latency for one (model, platform).
+
+    Also carries the data-communication component of each knot when the
+    source profiles provide it, so fault models that degrade the
+    transfer path (PCIe events) can scale exactly that term.
+    """
 
     def __init__(self, sweep: "SweepResult", model: str, platform: str) -> None:
         self.model = model
         self.platform = platform
+        batches = sorted(sweep.batch_sizes)
         self._set_knots(
-            sorted(sweep.batch_sizes),
-            [sweep.total_seconds(model, platform, b) for b in sorted(sweep.batch_sizes)],
+            batches,
+            [sweep.total_seconds(model, platform, b) for b in batches],
+            [sweep.profile(model, platform, b).data_comm_seconds
+             for b in batches],
         )
 
-    def _set_knots(self, batches: List[int], times: List[float]) -> None:
+    def _set_knots(
+        self,
+        batches: List[int],
+        times: List[float],
+        comm_times: Optional[List[float]] = None,
+    ) -> None:
+        if not batches:
+            raise ValueError(
+                "cannot build a service-time model from empty knots: "
+                "no profiled batch sizes"
+            )
+        if any(b < 1 for b in batches):
+            raise ValueError(f"batch-size knots must be >= 1, got {batches}")
+        if any(b >= nxt for b, nxt in zip(batches, batches[1:])):
+            raise ValueError(
+                "batch-size knots must be strictly increasing "
+                f"(non-monotone knots: {batches})"
+            )
+        if any(not math.isfinite(t) or t < 0 for t in times):
+            raise ValueError(
+                f"service-time knots must be finite and non-negative: {times}"
+            )
         self._batches = batches
         self._times = times
+        self._comm_times = comm_times
         # Interpolation runs per dispatched batch; precompute the
         # log-batch knots so `seconds()` does no log of the knots.
         self._log_batches = [math.log(b) for b in batches]
@@ -72,30 +103,51 @@ class ServiceTimeModel:
         by_batch = {p.batch_size: p.total_seconds for p in profiles}
         if len(by_batch) < 2:
             raise ValueError("profiles must cover >= 2 distinct batch sizes")
+        by_batch_comm = {p.batch_size: p.data_comm_seconds for p in profiles}
         model = cls.__new__(cls)
         model.model, model.platform = next(iter(names))
-        model._set_knots(sorted(by_batch), [by_batch[b] for b in sorted(by_batch)])
+        model._set_knots(
+            sorted(by_batch),
+            [by_batch[b] for b in sorted(by_batch)],
+            [by_batch_comm[b] for b in sorted(by_batch)],
+        )
         return model
 
-    def seconds(self, batch_size: int) -> float:
-        """Latency of one batch, log-linearly interpolated."""
-        if batch_size <= 0:
-            raise ValueError("batch size must be positive")
+    def _interpolate(self, values: List[float], batch_size: int) -> float:
+        """Log-linear interpolation, clamped to the profiled knot range.
+
+        Clamping (rather than extrapolating the last segment's slope)
+        keeps out-of-range queries honest: beyond the profiled grid we
+        have no data, and a silently extrapolated latency can go wild
+        or even negative. Callers who care should profile wider grids.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
         batches = self._batches
         if batch_size <= batches[0]:
-            return self._times[0]
+            return values[0]
         if batch_size >= batches[-1]:
-            # Extrapolate linearly in batch from the last segment slope.
-            slope = (self._times[-1] - self._times[-2]) / (
-                batches[-1] - batches[-2]
-            )
-            return self._times[-1] + slope * (batch_size - batches[-1])
+            return values[-1]
         hi = bisect_left(batches, batch_size)
         lo = hi - 1
         # Interpolate in log-batch space (latency curves are smooth there).
         logs = self._log_batches
         t = (math.log(batch_size) - logs[lo]) / (logs[hi] - logs[lo])
-        return float(self._times[lo] * (1 - t) + self._times[hi] * t)
+        return float(values[lo] * (1 - t) + values[hi] * t)
+
+    def seconds(self, batch_size: int) -> float:
+        """Latency of one batch, log-linearly interpolated (clamped)."""
+        return self._interpolate(self._times, batch_size)
+
+    def comm_seconds(self, batch_size: int) -> float:
+        """Data-communication component of one batch's latency.
+
+        0.0 when the source knots carried no communication split (e.g.
+        a model built directly from total times).
+        """
+        if self._comm_times is None:
+            return 0.0
+        return self._interpolate(self._comm_times, batch_size)
 
 
 @dataclass(frozen=True)
@@ -154,24 +206,103 @@ class ScheduleResult:
 
 
 class QueryScheduler:
-    """Discrete-event simulation of one batching server."""
+    """Discrete-event simulation of one batching server.
+
+    The plain configuration (no keyword extras) is the exact historical
+    simulator. Passing any of ``fault_plan`` / ``resilience`` /
+    ``standbys`` / ``degraded_model`` layers the
+    :mod:`repro.resilience` engine on top: the same batching policy and
+    arrival process, plus injected faults, failover replicas, and the
+    serving policies — see ``docs/resilience.md``.
+    """
 
     def __init__(
         self,
         service_model: ServiceTimeModel,
         policy: BatchingPolicy,
         seed: int = 2020,
+        *,
+        fault_plan: Optional["FaultPlan"] = None,
+        resilience: Optional["ResiliencePolicy"] = None,
+        standbys: Optional[Sequence[ServiceTimeModel]] = None,
+        degraded_model: Optional[ServiceTimeModel] = None,
     ) -> None:
         self.service_model = service_model
         self.policy = policy
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
+        self.fault_plan = fault_plan
+        self.resilience = resilience
+        self.standbys = list(standbys) if standbys else []
+        self.degraded_model = degraded_model
+        self._resilient = (
+            fault_plan is not None
+            or resilience is not None
+            or bool(self.standbys)
+            or degraded_model is not None
+        )
+
+    def _build_resilient(self) -> "ResilientScheduler":
+        """The equivalent fleet simulation for this configuration."""
+        from repro.resilience import Replica, ResilientScheduler
+
+        names = set()
+
+        def unique(name: str) -> str:
+            candidate, k = name, 1
+            while candidate in names:
+                k += 1
+                candidate = f"{name}#{k}"
+            names.add(candidate)
+            return candidate
+
+        replicas = [
+            Replica(
+                unique(self.service_model.platform),
+                self.service_model,
+                degraded_model=self.degraded_model,
+            )
+        ]
+        for standby in self.standbys:
+            replicas.append(Replica(unique(standby.platform), standby))
+        return ResilientScheduler(
+            replicas,
+            self.policy,
+            resilience=self.resilience,
+            fault_plan=self.fault_plan,
+            seed=self.seed,
+        )
+
+    def _validate_run(self, arrival_qps: float, num_queries: int) -> None:
+        if not isinstance(num_queries, (int, np.integer)):
+            raise ValueError(
+                f"num_queries must be an integer, got {num_queries!r}"
+            )
+        if num_queries < 1:
+            raise ValueError(f"need at least one query, got {num_queries}")
+        if not math.isfinite(arrival_qps) or arrival_qps <= 0:
+            raise ValueError(
+                "arrival rate must be a positive finite QPS, got "
+                f"{arrival_qps!r}"
+            )
+        # Defensive re-checks: a policy constructed through pickling or
+        # __new__ could bypass __post_init__, and a bad timeout would
+        # make the batching loop hang or divide by zero.
+        if self.policy.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.policy.max_batch}")
+        if not math.isfinite(self.policy.batch_timeout_s) or (
+            self.policy.batch_timeout_s < 0
+        ):
+            raise ValueError(
+                "batch timeout must be finite and non-negative, got "
+                f"{self.policy.batch_timeout_s!r}"
+            )
 
     def run(self, arrival_qps: float, num_queries: int = 2000) -> ScheduleResult:
         """Simulate ``num_queries`` Poisson arrivals at ``arrival_qps``."""
-        if arrival_qps <= 0:
-            raise ValueError("arrival rate must be positive")
-        if num_queries < 1:
-            raise ValueError("need at least one query")
+        self._validate_run(arrival_qps, num_queries)
+        if self._resilient:
+            return self._build_resilient().run(arrival_qps, num_queries)
         inter_arrivals = self._rng.exponential(1.0 / arrival_qps, size=num_queries)
         arrivals = np.cumsum(inter_arrivals)
 

@@ -136,3 +136,47 @@ class TestTraceCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert out.splitlines()[0].startswith("metric,type,labels")
+
+
+class TestResilienceCommand:
+    def test_policy_matrix_table(self, capsys):
+        assert main([
+            "resilience", "--model", "rm1", "--queries", "250",
+            "--seed", "5", "--scenario", "slowdown",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario 'slowdown'" in out
+        assert "no faults" in out
+        assert "faults, no policy" in out
+        assert "faults + hedge" in out
+        assert "faults + all" in out
+        assert "p99 ms" in out
+        assert "injected" in out
+
+    def test_no_fallback_shrinks_matrix(self, capsys):
+        assert main([
+            "resilience", "--model", "rm1", "--fallback", "none",
+            "--queries", "200", "--scenario", "drops",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults + retry" in out
+        assert "faults + hedge" not in out  # no standby to hedge to
+
+    def test_trace_export(self, capsys, tmp_path):
+        import json
+
+        trace = str(tmp_path / "resilience.trace.json")
+        assert main([
+            "resilience", "--model", "rm1", "--queries", "200",
+            "--scenario", "crash", "--trace", trace,
+        ]) == 0
+        doc = json.loads(open(trace).read())
+        names = {e.get("name", "") for e in doc["traceEvents"]}
+        assert any(".batch" in n for n in names)
+        assert any(".crash" in n for n in names)
+        out = capsys.readouterr().out
+        assert "trace:" in out
+
+    def test_unknown_model_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["resilience", "--model", "bert", "--queries", "50"])

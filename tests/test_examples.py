@@ -31,6 +31,7 @@ class TestExamples:
             "bottleneck_analysis.py",
             "custom_model.py",
             "capacity_planning.py",
+            "resilient_serving.py",
         } <= scripts
 
     def test_quickstart(self, capsys):
@@ -67,6 +68,15 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "Capacity planning" in out
         assert "verdict" in out
+
+    def test_resilient_serving(self, capsys):
+        _run("resilient_serving.py", ["800", "7"])
+        out = capsys.readouterr().out
+        assert "Resilient serving under a GPU slowdown" in out
+        assert "faults, no policy" in out
+        # The acceptance scenario: at least one policy measurably cuts p99.
+        assert "cut p99 by" in out
+        assert "deterministic injection" in out
 
     def test_optimize_and_offload(self, capsys):
         _run("optimize_and_offload.py", ["rm2", "64"])

@@ -27,13 +27,40 @@ class TestServiceTimeModel:
         times = [stm.seconds(b) for b in (1, 3, 16, 40, 256, 1000, 4096)]
         assert times == sorted(times)
 
-    def test_extrapolation_beyond_grid(self, sweep):
+    def test_clamps_beyond_grid(self, sweep):
+        """Outside the profiled knots the model clamps, never extrapolates."""
         stm = ServiceTimeModel(sweep, "rm2", "broadwell")
-        assert stm.seconds(8192) > stm.seconds(4096)
+        assert stm.seconds(8192) == stm.seconds(4096)
+        assert stm.seconds(10 ** 9) == stm.seconds(4096)
+        assert stm.seconds(1) == stm.seconds(1)  # smallest knot is exact
 
     def test_invalid_batch(self, sweep):
-        with pytest.raises(ValueError):
-            ServiceTimeModel(sweep, "rm2", "t4").seconds(0)
+        stm = ServiceTimeModel(sweep, "rm2", "t4")
+        for bad in (0, -1, -100):
+            with pytest.raises(ValueError, match="batch size must be >= 1"):
+                stm.seconds(bad)
+
+    def test_comm_seconds_interpolates(self, sweep):
+        stm = ServiceTimeModel(sweep, "rm2", "t4")
+        for batch in (1, 16, 256, 4096):
+            assert stm.comm_seconds(batch) == pytest.approx(
+                sweep.profile("rm2", "t4", batch).data_comm_seconds
+            )
+        assert 0.0 < stm.comm_seconds(64) < stm.seconds(64)
+        assert stm.comm_seconds(8192) == stm.comm_seconds(4096)
+
+    def test_rejects_bad_knots(self, sweep):
+        stm = ServiceTimeModel(sweep, "rm2", "t4")
+        with pytest.raises(ValueError, match="empty knots"):
+            stm._set_knots([], [])
+        with pytest.raises(ValueError, match="non-monotone"):
+            stm._set_knots([1, 16, 16, 256], [1.0, 2.0, 3.0, 4.0])
+        with pytest.raises(ValueError, match="non-monotone"):
+            stm._set_knots([16, 1], [1.0, 2.0])
+        with pytest.raises(ValueError, match="finite"):
+            stm._set_knots([1, 16], [1.0, float("nan")])
+        with pytest.raises(ValueError, match=">= 1"):
+            stm._set_knots([0, 16], [1.0, 2.0])
 
 
 class TestBatchingPolicy:
@@ -91,10 +118,14 @@ class TestScheduler:
 
     def test_invalid_inputs(self, sweep):
         scheduler = self._scheduler(sweep)
-        with pytest.raises(ValueError):
-            scheduler.run(arrival_qps=0)
-        with pytest.raises(ValueError):
-            scheduler.run(arrival_qps=100, num_queries=0)
+        for bad_qps in (0, -5, float("inf"), float("nan")):
+            with pytest.raises(ValueError, match="arrival rate"):
+                scheduler.run(arrival_qps=bad_qps)
+        for bad_n in (0, -1):
+            with pytest.raises(ValueError, match="at least one query"):
+                scheduler.run(arrival_qps=100, num_queries=bad_n)
+        with pytest.raises(ValueError, match="integer"):
+            scheduler.run(arrival_qps=100, num_queries=12.5)
 
     def test_max_load_under_sla(self, sweep):
         scheduler = self._scheduler(sweep, max_batch=256)
