@@ -1,0 +1,174 @@
+"""Structured diagnostics shared by the graph verifier and the linter.
+
+Both static-analysis engines report through the same vocabulary: a
+:class:`Diagnostic` names the rule that fired (``GVnnn`` for graph
+verification, ``REPnnn`` for codebase lint), a severity, the location
+(graph node/edge or file:line), and a fix hint. A
+:class:`DiagnosticReport` aggregates them and renders text or JSON for
+the CLI / CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "NOTE",
+    "Diagnostic",
+    "DiagnosticReport",
+]
+
+#: Severity levels, ordered from worst to mildest.
+ERROR = "error"
+WARNING = "warning"
+NOTE = "note"
+
+_SEVERITIES = (ERROR, WARNING, NOTE)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a static-analysis pass."""
+
+    rule: str            # e.g. "GV103" or "REP001"
+    severity: str        # ERROR / WARNING / NOTE
+    message: str
+    hint: Optional[str] = None
+    # -- graph locations ---------------------------------------------------
+    node: Optional[str] = None   # graph node name
+    edge: Optional[str] = None   # offending edge (producer name)
+    # -- source locations --------------------------------------------------
+    file: Optional[str] = None
+    line: Optional[int] = None
+    col: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {_SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def location(self) -> str:
+        """Human-readable location prefix ("file:line:col" or "node")."""
+        if self.file is not None:
+            parts = [self.file]
+            if self.line is not None:
+                parts.append(str(self.line))
+                if self.col is not None:
+                    parts.append(str(self.col))
+            return ":".join(parts)
+        if self.node is not None:
+            return f"node {self.node!r}" + (
+                f" (edge {self.edge!r})" if self.edge else ""
+            )
+        return "<graph>"
+
+    def format(self) -> str:
+        text = f"{self.location}: {self.severity}: {self.rule}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        for key in ("hint", "node", "edge", "file", "line", "col"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with CLI/CI renderings."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostics (warnings/notes allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No diagnostics at all."""
+        return not self.diagnostics
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def rule_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for d in self.diagnostics:
+            counts[d.rule] = counts.get(d.rule, 0) + 1
+        return counts
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CI exit code: 1 on errors (or, under ``strict``, anything)."""
+        if strict:
+            return 0 if self.clean else 1
+        return 0 if self.ok else 1
+
+    # -- renderings --------------------------------------------------------
+
+    def render_text(self) -> str:
+        if self.clean:
+            return "no diagnostics"
+        lines = [d.format() for d in self.diagnostics]
+        counts = ", ".join(
+            f"{rule} x{n}" for rule, n in sorted(self.rule_counts().items())
+        )
+        lines.append(
+            f"{len(self.diagnostics)} diagnostic(s): "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s) "
+            f"[{counts}]"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DiagnosticReport {len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings, {len(self.diagnostics)} total>"
+        )

@@ -1,0 +1,347 @@
+"""Static graph verifier: structural + shape/dtype checks over the IR.
+
+``verify_graph`` re-derives every node's output spec from the per-op
+inference rules (symbolic in the batch dimension, see
+:mod:`repro.analysis.shape_rules`) and cross-checks the operator's own
+``infer_shape``, so a graph whose stored specs drift from its operators
+— a broken optimization pass, a hand-assembled graph, a stale cache
+entry — is caught before any simulator or executor consumes it.
+
+Verifier rules (``GVnnn``):
+
+* GV101 dangling-edge — a node consumes a tensor that does not exist.
+* GV102 use-before-def — a node consumes a tensor defined later.
+* GV103 cycle — the dependency graph is not a DAG.
+* GV104 shape-mismatch — stored output spec != re-inferred spec.
+* GV105 dtype-mismatch — stored output dtype != re-inferred dtype.
+* GV106 rule-failure — an inference rule rejected the node's inputs.
+* GV107 dead-tensor — a node's output reaches no graph output.
+* GV108 undefined-output — a marked output names no tensor.
+* GV109 no-outputs — the graph marks no outputs.
+* GV110 duplicate-name — a name is both a graph input and a node.
+* GV120/121/122 — pass equivalence: input interface / output arity /
+  output specs changed by an optimization pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    DiagnosticReport,
+)
+from repro.analysis.shape_rules import (
+    RuleError,
+    SymSpec,
+    apply_rule,
+    symbolize,
+)
+from repro.graph.graph import Graph, GraphError
+from repro.graph.tensor import TensorSpec
+
+__all__ = [
+    "GraphVerifyError",
+    "verify_graph",
+    "assert_verified",
+    "inferred_output_specs",
+    "check_equivalence",
+    "assert_equivalent",
+]
+
+
+class GraphVerifyError(GraphError):
+    """A graph failed static verification; carries the full report."""
+
+    def __init__(self, message: str, report: DiagnosticReport, **kw) -> None:
+        super().__init__(message, **kw)
+        self.report = report
+
+
+def _infer_binding(graph: Graph) -> Optional[int]:
+    """The symbolic-batch binding: the shared leading input dim, if any."""
+    leads = {
+        spec.shape[0]
+        for spec in graph.input_specs.values()
+        if spec.rank >= 1
+    }
+    if len(leads) == 1:
+        lead = leads.pop()
+        if lead > 0:
+            return lead
+    return None
+
+
+def _analyze(
+    graph: Graph, batch: Optional[int]
+) -> Tuple[DiagnosticReport, Dict[str, SymSpec], int]:
+    report = DiagnosticReport()
+    binding = batch if batch is not None else _infer_binding(graph)
+    if binding is None:
+        binding = 0  # no symbolization; everything stays concrete
+
+    input_names = set(graph.input_names)
+    node_names = [n.name for n in graph.nodes]
+
+    # GV110: a name claimed by both namespaces.
+    for name in input_names.intersection(node_names):
+        report.add(Diagnostic(
+            "GV110", ERROR,
+            f"name {name!r} is both a graph input and a node",
+            hint="rename the node; edges are identified by producer name",
+            node=name,
+        ))
+
+    # GV103: true dependency cycles (Kahn's algorithm over node deps).
+    defined_anywhere = input_names.union(node_names)
+    indegree: Dict[str, int] = {}
+    dependents: Dict[str, List[str]] = {}
+    for node in graph.nodes:
+        deps = list(dict.fromkeys(
+            s for s in node.inputs if s in node_names and s != node.name
+        ))
+        indegree[node.name] = len(deps)
+        for dep in deps:
+            dependents.setdefault(dep, []).append(node.name)
+    ready = [n for n in node_names if indegree.get(n, 0) == 0]
+    resolved = 0
+    while ready:
+        name = ready.pop()
+        resolved += 1
+        for user in dependents.get(name, []):
+            indegree[user] -= 1
+            if indegree[user] == 0:
+                ready.append(user)
+    if resolved != len(node_names):
+        cyclic = sorted(n for n, d in indegree.items() if d > 0)
+        report.add(Diagnostic(
+            "GV103", ERROR,
+            f"dependency cycle through node(s) {cyclic}",
+            hint="operator graphs must be DAGs; break the back edge",
+            node=cyclic[0] if cyclic else None,
+        ))
+
+    # Walk in stored order: wiring + shape/dtype re-inference.
+    env: Dict[str, SymSpec] = {
+        name: symbolize(spec, binding) if binding else SymSpec(tuple(spec.shape), spec.dtype)
+        for name, spec in graph.input_specs.items()
+    }
+    seen = set(input_names)
+    for node in graph.nodes:
+        wired = True
+        for src in node.inputs:
+            if src not in defined_anywhere:
+                report.add(Diagnostic(
+                    "GV101", ERROR,
+                    f"node {node.name!r} ({node.kind}) consumes unknown "
+                    f"tensor {src!r}",
+                    hint="every input must be a graph input or an earlier node",
+                    node=node.name, edge=src,
+                ))
+                wired = False
+            elif src not in seen:
+                report.add(Diagnostic(
+                    "GV102", ERROR,
+                    f"node {node.name!r} ({node.kind}) consumes {src!r} "
+                    f"before it is defined",
+                    hint="nodes must appear after every producer they read",
+                    node=node.name, edge=src,
+                ))
+                wired = False
+        seen.add(node.name)
+        if not wired:
+            env[node.name] = SymSpec(
+                tuple(node.output_spec.shape), node.output_spec.dtype
+            )
+            continue
+
+        inputs = [env[src] for src in node.inputs]
+        inferred: Optional[TensorSpec] = None
+        try:
+            sym_out = apply_rule(node.op, node.kind, inputs, binding)
+            inferred = sym_out.concretize(binding)
+            env[node.name] = sym_out
+        except RuleError as exc:
+            report.add(Diagnostic(
+                "GV106", ERROR,
+                f"node {node.name!r} ({node.kind}): {exc}",
+                hint="the operator rejects these input specs; fix the wiring "
+                "or the operator configuration",
+                node=node.name,
+                edge=node.inputs[0] if node.inputs else None,
+            ))
+            env[node.name] = SymSpec(
+                tuple(node.output_spec.shape), node.output_spec.dtype
+            )
+        if inferred is not None:
+            stored = node.output_spec
+            if tuple(inferred.shape) != tuple(stored.shape):
+                report.add(Diagnostic(
+                    "GV104", ERROR,
+                    f"node {node.name!r} ({node.kind}) stores output shape "
+                    f"{stored.shape} but rules infer {inferred.shape}",
+                    hint="the stored spec is stale; rebuild the node from its "
+                    "operator instead of copying specs",
+                    node=node.name,
+                ))
+            elif inferred.dtype != stored.dtype:
+                report.add(Diagnostic(
+                    "GV105", ERROR,
+                    f"node {node.name!r} ({node.kind}) stores dtype "
+                    f"{stored.dtype!r} but rules infer {inferred.dtype!r}",
+                    hint="dtype must follow the operator's output type",
+                    node=node.name,
+                ))
+
+    # Outputs.
+    if not graph.output_names:
+        report.add(Diagnostic(
+            "GV109", ERROR, "graph has no outputs marked",
+            hint="call mark_output() on at least one tensor",
+        ))
+    for out in graph.output_names:
+        if out not in defined_anywhere:
+            report.add(Diagnostic(
+                "GV108", ERROR,
+                f"output {out!r} names no tensor in the graph",
+                hint="outputs must reference a graph input or node",
+                edge=out,
+            ))
+
+    # GV107: nodes that reach no output (dead code).
+    reachable = set(o for o in graph.output_names if o in defined_anywhere)
+    frontier = list(reachable)
+    producers = {n.name: n for n in graph.nodes}
+    while frontier:
+        name = frontier.pop()
+        node = producers.get(name)
+        if node is None:
+            continue
+        for src in node.inputs:
+            if src not in reachable:
+                reachable.add(src)
+                frontier.append(src)
+    for node in graph.nodes:
+        if node.name not in reachable:
+            report.add(Diagnostic(
+                "GV107", WARNING,
+                f"node {node.name!r} ({node.kind}) reaches no graph output "
+                f"(dead tensor)",
+                hint="drop the node or mark its output",
+                node=node.name,
+            ))
+
+    return report, env, binding
+
+
+def verify_graph(graph: Graph, batch: Optional[int] = None) -> DiagnosticReport:
+    """Statically verify ``graph``; never raises, returns the report.
+
+    ``batch`` overrides the symbolic-batch binding (default: the shared
+    leading dimension of the graph inputs).
+    """
+    report, _, _ = _analyze(graph, batch)
+    _record_telemetry(report)
+    return report
+
+
+def inferred_output_specs(
+    graph: Graph, batch: Optional[int] = None
+) -> Dict[str, TensorSpec]:
+    """Verifier-inferred concrete spec of every graph output.
+
+    Raises :class:`GraphVerifyError` if the graph does not verify, so
+    callers can trust the returned specs.
+    """
+    report, env, binding = _analyze(graph, batch)
+    if not report.ok:
+        raise _as_error(graph, report)
+    return {
+        out: env[out].concretize(binding) for out in graph.output_names
+    }
+
+
+def assert_verified(graph: Graph, batch: Optional[int] = None) -> None:
+    """Raise :class:`GraphVerifyError` if the graph has any error-severity
+    diagnostic; warnings pass."""
+    report = verify_graph(graph, batch)
+    if not report.ok:
+        raise _as_error(graph, report)
+
+
+def _as_error(graph: Graph, report: DiagnosticReport) -> GraphVerifyError:
+    first = report.errors[0]
+    return GraphVerifyError(
+        f"graph {graph.name!r} failed verification with "
+        f"{len(report.errors)} error(s); first: {first.rule}: {first.message}",
+        report,
+        node=first.node,
+        edge=first.edge,
+    )
+
+
+def check_equivalence(original: Graph, optimized: Graph) -> DiagnosticReport:
+    """Spec-equivalence of an optimized graph to its source graph.
+
+    Equivalent means: identical input interface (names and specs) and
+    identical positional output specs. Output *names* may change — the
+    fusion passes legitimately collapse an output-producing Concat into
+    a fused node — but count, order, shape, and dtype may not.
+    """
+    report = DiagnosticReport()
+    if original.input_specs != optimized.input_specs:
+        report.add(Diagnostic(
+            "GV120", ERROR,
+            f"optimization changed the input interface: "
+            f"{sorted(original.input_specs)} -> {sorted(optimized.input_specs)}",
+            hint="passes must preserve graph inputs exactly",
+        ))
+    orig_outs = original.output_names
+    opt_outs = optimized.output_names
+    if len(orig_outs) != len(opt_outs):
+        report.add(Diagnostic(
+            "GV121", ERROR,
+            f"optimization changed the output count: "
+            f"{len(orig_outs)} -> {len(opt_outs)}",
+            hint="passes must keep every marked output",
+        ))
+    else:
+        for before, after in zip(orig_outs, opt_outs):
+            spec_before = original.spec_of(before)
+            spec_after = optimized.spec_of(after)
+            if spec_before != spec_after:
+                report.add(Diagnostic(
+                    "GV122", ERROR,
+                    f"optimization changed output {before!r} "
+                    f"({spec_before}) -> {after!r} ({spec_after})",
+                    hint="rewritten subgraphs must reproduce the original "
+                    "output spec exactly",
+                    edge=after,
+                ))
+    _record_telemetry(report)
+    return report
+
+
+def assert_equivalent(original: Graph, optimized: Graph) -> None:
+    report = check_equivalence(original, optimized)
+    if not report.ok:
+        first = report.errors[0]
+        raise GraphVerifyError(
+            f"optimized graph {optimized.name!r} is not spec-equivalent to "
+            f"its input: {first.rule}: {first.message}",
+            report,
+            edge=first.edge,
+        )
+
+
+def _record_telemetry(report: DiagnosticReport) -> None:
+    from repro import telemetry
+
+    if not telemetry.enabled():
+        return
+    registry = telemetry.get_registry()
+    registry.counter("analysis.graphs_verified").inc()
+    for diagnostic in report:
+        registry.counter("analysis.diagnostics", rule=diagnostic.rule).inc()

@@ -14,6 +14,10 @@ Commands mirror the characterization workflow:
 * ``resilience`` — inject a fault scenario into the scheduler
   simulation and compare tail latency with each resilience policy
   on/off.
+* ``lint`` — run the REPnnn determinism/concurrency linter over source
+  paths (text/JSON output; nonzero exit for CI gating).
+* ``verify`` — statically verify every zoo model graph (raw and
+  optimized) with the shape/dtype verifier.
 """
 
 from __future__ import annotations
@@ -138,6 +142,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace", default=None,
         help="write a Perfetto trace of the all-policies run to this path",
+    )
+
+    p = sub.add_parser(
+        "lint",
+        help="REPnnn determinism/concurrency lint over source paths",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on any diagnostic, warnings included",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    p.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to enable (default: all)",
+    )
+
+    p = sub.add_parser(
+        "verify",
+        help="statically verify zoo model graphs (raw + optimized)",
+    )
+    p.add_argument(
+        "--models", nargs="*", default=None, choices=MODEL_ORDER,
+        help="models to verify (default: all eight)",
+    )
+    p.add_argument(
+        "--batches", nargs="*", type=int, default=[1, 64, 16384],
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
     )
     return parser
 
@@ -516,6 +555,60 @@ def _cmd_resilience(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_lint(args) -> Tuple[str, int]:
+    from repro.analysis import lint_paths
+
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        raise SystemExit(f"error: no such path: {', '.join(missing)}")
+    report = lint_paths(args.paths, select=select)
+    text = report.to_json() if args.format == "json" else report.render_text()
+    return text, report.exit_code(strict=args.strict)
+
+
+def _cmd_verify(args) -> Tuple[str, int]:
+    import json as _json
+
+    from repro.analysis import verify_graph
+    from repro.graph import optimize
+
+    names = args.models if args.models else MODEL_ORDER
+    rows = []
+    records = []
+    failures = 0
+    for name in names:
+        model = build_model(name)
+        for batch in args.batches:
+            graph = model.build_graph(batch)
+            for label, g in (("raw", graph), ("optimized", optimize(graph))):
+                report = verify_graph(g)
+                status = "ok" if report.clean else (
+                    "WARN" if report.ok else "FAIL"
+                )
+                if not report.ok:
+                    failures += 1
+                rows.append(
+                    [name, batch, label, len(g), status,
+                     "; ".join(d.rule for d in report) or "-"]
+                )
+                records.append({
+                    "model": name, "batch": batch, "graph": label,
+                    "nodes": len(g), "status": status,
+                    "diagnostics": [d.to_dict() for d in report],
+                })
+    if args.format == "json":
+        return _json.dumps(records, indent=2, sort_keys=True), int(failures > 0)
+    table = render_table(
+        ["model", "batch", "graph", "nodes", "status", "diagnostics"],
+        rows,
+        title=f"graph verifier: {len(rows)} graphs, {failures} failure(s)",
+    )
+    return table, int(failures > 0)
+
+
 def _cmd_claims() -> str:
     from repro.core import evaluate_claims
 
@@ -552,12 +645,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": lambda: _cmd_trace(args),
         "metrics": lambda: _cmd_metrics(args),
         "resilience": lambda: _cmd_resilience(args),
+        "lint": lambda: _cmd_lint(args),
+        "verify": lambda: _cmd_verify(args),
     }
     try:
-        print(handlers[args.command]())
+        result = handlers[args.command]()
+        # Gate commands return (text, exit_code); the rest return text.
+        text, code = result if isinstance(result, tuple) else (result, 0)
+        print(text)
     except BrokenPipeError:  # e.g. `repro sweep | head`
         return 0
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

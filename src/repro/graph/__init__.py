@@ -1,7 +1,12 @@
 """Operator graph IR: tensor specs, graphs, builder, functional executor."""
 
 from repro.graph.builder import GraphBuilder
-from repro.graph.passes import fuse_fc_activations, group_sls_into_concat, optimize
+from repro.graph.passes import (
+    DEFAULT_PASSES,
+    fuse_fc_activations,
+    group_sls_into_concat,
+    optimize,
+)
 from repro.graph.executor import ExecutionTrace, execute, execute_traced
 from repro.graph.graph import Graph, GraphError, Node
 from repro.graph.tensor import TensorSpec
@@ -18,4 +23,5 @@ __all__ = [
     "optimize",
     "fuse_fc_activations",
     "group_sls_into_concat",
+    "DEFAULT_PASSES",
 ]

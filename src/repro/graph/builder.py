@@ -45,6 +45,18 @@ class GraphBuilder:
         for n in names:
             self.graph.mark_output(n)
 
-    def build(self) -> Graph:
+    def build(self, verify: bool = True) -> Graph:
+        """Validate wiring and (by default) run the static verifier.
+
+        Verification re-derives every node's output spec from the
+        per-op inference rules and raises
+        :class:`repro.analysis.GraphVerifyError` on any error-severity
+        diagnostic, so model bugs surface at build time rather than
+        inside a simulator.
+        """
         self.graph.validate()
+        if verify:
+            from repro.analysis import assert_verified
+
+            assert_verified(self.graph)
         return self.graph

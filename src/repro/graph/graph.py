@@ -11,7 +11,7 @@ that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.tensor import TensorSpec
 
@@ -19,7 +19,23 @@ __all__ = ["GraphError", "Node", "Graph"]
 
 
 class GraphError(ValueError):
-    """Raised for malformed graph construction or execution."""
+    """Raised for malformed graph construction or execution.
+
+    Carries the offending ``node`` and ``edge`` (producer name) when
+    known, so diagnostics layers (:mod:`repro.analysis`) can report
+    structured locations instead of re-parsing messages.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: Optional[str] = None,
+        edge: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.edge = edge
 
 
 @dataclass(frozen=True)
@@ -54,14 +70,14 @@ class Graph:
 
     def add_input(self, name: str, spec: TensorSpec) -> str:
         if name in self._inputs or name in self._nodes:
-            raise GraphError(f"duplicate name {name!r}")
+            raise GraphError(f"duplicate name {name!r}", node=name)
         self._inputs[name] = spec
         return name
 
     def add_node(self, name: str, op, inputs: Sequence[str]) -> str:
         """Append an operator node; runs shape inference immediately."""
         if name in self._inputs or name in self._nodes:
-            raise GraphError(f"duplicate name {name!r}")
+            raise GraphError(f"duplicate name {name!r}", node=name)
         input_specs = [self.spec_of(i) for i in inputs]
         output_spec = op.infer_shape(input_specs)
         node = Node(name=name, op=op, inputs=tuple(inputs), output_spec=output_spec)
@@ -71,7 +87,7 @@ class Graph:
 
     def mark_output(self, name: str) -> None:
         if name not in self._nodes and name not in self._inputs:
-            raise GraphError(f"unknown tensor {name!r}")
+            raise GraphError(f"unknown tensor {name!r}", edge=name)
         if name not in self._outputs:
             self._outputs.append(name)
 
@@ -98,14 +114,14 @@ class Graph:
         try:
             return self._nodes[name]
         except KeyError:
-            raise GraphError(f"unknown node {name!r}") from None
+            raise GraphError(f"unknown node {name!r}", node=name) from None
 
     def spec_of(self, name: str) -> TensorSpec:
         if name in self._inputs:
             return self._inputs[name]
         if name in self._nodes:
             return self._nodes[name].output_spec
-        raise GraphError(f"unknown tensor {name!r}")
+        raise GraphError(f"unknown tensor {name!r}", edge=name)
 
     def has_tensor(self, name: str) -> bool:
         return name in self._inputs or name in self._nodes
@@ -126,21 +142,29 @@ class Graph:
         return sum(getattr(n.op, "parameter_bytes", 0) for n in self.nodes)
 
     def validate(self) -> None:
-        """Re-check wiring invariants; raises :class:`GraphError`."""
+        """Re-check wiring invariants; raises :class:`GraphError`.
+
+        This is the cheap wiring check run on every build/execute; the
+        full static verifier (shapes, dtypes, dead tensors, cycles)
+        lives in :func:`repro.analysis.verify_graph`.
+        """
         seen = set(self._inputs)
         for name in self._order:
             node = self._nodes[name]
             for src in node.inputs:
                 if src not in seen:
                     raise GraphError(
-                        f"node {name!r} consumes {src!r} before it is defined"
+                        f"node {name!r} ({node.kind}) consumes edge {src!r} "
+                        f"before it is defined",
+                        node=name,
+                        edge=src,
                     )
             seen.add(name)
         if not self._outputs:
             raise GraphError("graph has no outputs marked")
         for out in self._outputs:
             if out not in seen:
-                raise GraphError(f"output {out!r} is undefined")
+                raise GraphError(f"output {out!r} is undefined", edge=out)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

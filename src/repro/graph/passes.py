@@ -20,7 +20,12 @@ from typing import Dict, List, Set, Tuple
 from repro.graph.graph import Graph, Node
 from repro.ops.fused import FusedFC, GroupedSparseLengthsSum
 
-__all__ = ["fuse_fc_activations", "group_sls_into_concat", "optimize"]
+__all__ = [
+    "fuse_fc_activations",
+    "group_sls_into_concat",
+    "optimize",
+    "DEFAULT_PASSES",
+]
 
 _ACTIVATION_KINDS = ("Relu", "Sigmoid", "Tanh")
 
@@ -149,6 +154,27 @@ def group_sls_into_concat(graph: Graph) -> Graph:
     return graph
 
 
-def optimize(graph: Graph) -> Graph:
-    """Apply every pass: horizontal SLS grouping, then FC fusion."""
-    return fuse_fc_activations(group_sls_into_concat(graph))
+#: The default pass pipeline: horizontal SLS grouping, then FC fusion.
+DEFAULT_PASSES = (group_sls_into_concat, fuse_fc_activations)
+
+
+def optimize(graph: Graph, passes=None, verify: bool = True) -> Graph:
+    """Apply the pass pipeline and statically verify the result.
+
+    ``passes`` overrides the pipeline (a sequence of ``Graph -> Graph``
+    callables, applied left to right); tests use this to prove that a
+    deliberately broken pass is caught. With ``verify`` on (default),
+    the final composed graph must pass the full static verifier *and*
+    be spec-equivalent to the input graph — same input interface, same
+    positional output specs — otherwise
+    :class:`repro.analysis.GraphVerifyError` is raised.
+    """
+    optimized = graph
+    for pass_fn in DEFAULT_PASSES if passes is None else passes:
+        optimized = pass_fn(optimized)
+    if verify and optimized is not graph:
+        from repro.analysis import assert_equivalent, assert_verified
+
+        assert_verified(optimized)
+        assert_equivalent(graph, optimized)
+    return optimized

@@ -65,11 +65,13 @@ def eager_params():
     """
     global _eager
     prev = _eager
-    _eager = True
+    # Single-threaded test/benchmark escape hatch: the flag is read only
+    # at LazyParam construction, never concurrently with this toggle.
+    _eager = True  # repro: noqa(REP004)
     try:
         yield
     finally:
-        _eager = prev
+        _eager = prev  # repro: noqa(REP004)
 
 
 def _init_xavier_uniform(shape, rng, scale):

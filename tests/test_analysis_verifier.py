@@ -1,0 +1,313 @@
+"""Tests for the static graph verifier (repro.analysis)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.analysis import (
+    BATCH,
+    Diagnostic,
+    DiagnosticReport,
+    GraphVerifyError,
+    RuleError,
+    SymDim,
+    SymSpec,
+    assert_equivalent,
+    assert_verified,
+    check_equivalence,
+    inferred_output_specs,
+    verify_graph,
+)
+from repro.graph import Graph, GraphBuilder, GraphError, Node, optimize
+from repro.graph.tensor import TensorSpec
+from repro.ops import FC, Concat, EmbeddingTable, Relu, SparseLengthsSum
+from repro.runtime.graph_cache import GraphCache
+
+
+def small_graph(batch: int = 8) -> Graph:
+    b = GraphBuilder("small")
+    x = b.input("dense", (batch, 16))
+    idx = b.input("idx", (batch, 4), dtype="int64")
+    h = b.apply(FC(16, 8, "fc0"), x)
+    h = b.apply(Relu(), h)
+    e = b.apply(SparseLengthsSum(EmbeddingTable(1000, 8, "t0")), idx)
+    z = b.apply(Concat(axis=1), [h, e])
+    out = b.apply(FC(16, 1, "fc1"), z)
+    b.output(out)
+    return b.build()
+
+
+def tamper(graph: Graph, name: str, **changes) -> Graph:
+    """Swap one node for a modified copy (white-box fault injection)."""
+    node = graph._nodes[name]
+    graph._nodes[name] = dataclasses.replace(node, **changes)
+    return graph
+
+
+class TestSymDim:
+    def test_arithmetic(self):
+        assert BATCH + 3 == SymDim(1, 3)
+        assert BATCH + BATCH == SymDim(2, 0)
+        assert 2 * BATCH == SymDim(2, 0)
+        assert BATCH * 4 == SymDim(4, 0)
+        # constant-only results collapse back to int
+        assert SymDim(0, 5) + 2 == 7
+        assert SymDim(0, 3) * SymDim(0, 4) == 12
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(RuleError):
+            BATCH * BATCH
+
+    def test_concrete(self):
+        assert SymDim(2, 3).concrete(10) == 23
+        assert str(BATCH) == "B"
+        assert str(SymDim(2, 1)) == "2B+1"
+
+    def test_symspec_concretize(self):
+        spec = SymSpec((BATCH, 16), "float32")
+        assert spec.concretize(4) == TensorSpec((4, 16), "float32")
+
+
+class TestVerifyClean:
+    def test_small_graph_clean(self):
+        report = verify_graph(small_graph())
+        assert report.clean, report.render_text()
+
+    def test_assert_verified_passes(self):
+        assert_verified(small_graph())
+
+    def test_inferred_specs_match_stored(self):
+        g = small_graph(batch=8)
+        specs = inferred_output_specs(g)
+        assert set(specs) == set(g.output_names)
+        for out, spec in specs.items():
+            assert spec == g.spec_of(out)
+
+    def test_symbolic_batch_scales(self):
+        for batch in (3, 8, 129):
+            specs = inferred_output_specs(small_graph(batch=batch))
+            (spec,) = specs.values()
+            assert spec.shape == (batch, 1)
+
+
+class TestInjectedDefects:
+    def test_shape_mismatch_caught(self):
+        g = small_graph()
+        tamper(g, "fc_1", output_spec=TensorSpec((8, 7)))
+        report = verify_graph(g)
+        assert [d.rule for d in report.errors] == ["GV104"]
+        assert report.errors[0].node == "fc_1"
+        with pytest.raises(GraphVerifyError) as exc:
+            assert_verified(g)
+        assert exc.value.node == "fc_1"
+        assert exc.value.report.errors
+
+    def test_dtype_mismatch_caught(self):
+        g = small_graph()
+        spec = g._nodes["fc_1"].output_spec
+        tamper(g, "fc_1", output_spec=TensorSpec(spec.shape, "float64"))
+        rules = [d.rule for d in verify_graph(g).errors]
+        assert rules == ["GV105"]
+
+    def test_dangling_edge_caught(self):
+        g = small_graph()
+        tamper(g, "concat_0", inputs=("relu_0", "ghost"))
+        report = verify_graph(g)
+        assert "GV101" in [d.rule for d in report.errors]
+        d = report.by_rule("GV101")[0]
+        assert d.node == "concat_0" and d.edge == "ghost"
+
+    def test_use_before_def_caught(self):
+        g = small_graph()
+        # relu_0 now consumes the later concat node: a back edge.
+        tamper(g, "relu_0", inputs=("concat_0",))
+        rules = {d.rule for d in verify_graph(g).errors}
+        assert "GV102" in rules
+
+    def test_cycle_caught(self):
+        g = small_graph()
+        # relu_0 <-> concat_0 form a true dependency cycle.
+        tamper(g, "relu_0", inputs=("concat_0",))
+        rules = {d.rule for d in verify_graph(g).errors}
+        assert "GV103" in rules
+
+    def test_dead_tensor_warned(self):
+        b = GraphBuilder("dead")
+        x = b.input("x", (4, 16))
+        live = b.apply(FC(16, 8, "live"), x)
+        b.apply(FC(16, 4, "dead"), x)  # never consumed, never marked
+        b.graph.mark_output(live)
+        report = verify_graph(b.graph)
+        assert [d.rule for d in report] == ["GV107"]
+        assert report.ok and not report.clean  # warning, not error
+        assert_verified(b.graph)  # warnings do not raise
+
+    def test_no_outputs_caught(self):
+        b = GraphBuilder("noout")
+        x = b.input("x", (4, 16))
+        b.apply(FC(16, 8, "f"), x)
+        rules = [d.rule for d in verify_graph(b.graph).errors]
+        assert "GV109" in rules
+
+    def test_undefined_output_caught(self):
+        g = small_graph()
+        g._outputs.append("phantom")
+        rules = [d.rule for d in verify_graph(g).errors]
+        assert "GV108" in rules
+
+    def test_rule_failure_on_bad_wiring(self):
+        g = small_graph()
+        # FC fed with the int64 index tensor: the FC rule rejects it.
+        tamper(g, "fc_0", inputs=("idx",))
+        report = verify_graph(g)
+        assert "GV106" in [d.rule for d in report.errors]
+
+    def test_inferred_specs_raise_on_broken_graph(self):
+        g = small_graph()
+        tamper(g, "fc_1", output_spec=TensorSpec((8, 7)))
+        with pytest.raises(GraphVerifyError):
+            inferred_output_specs(g)
+
+
+class TestGraphErrorAttributes:
+    def test_validate_carries_node_edge_and_kind(self):
+        g = small_graph()
+        tamper(g, "relu_0", inputs=("concat_0",))
+        with pytest.raises(GraphError) as exc:
+            g.validate()
+        assert exc.value.node == "relu_0"
+        assert exc.value.edge == "concat_0"
+        assert "Relu" in str(exc.value)
+        assert "concat_0" in str(exc.value)
+
+    def test_plain_graph_error_defaults(self):
+        err = GraphError("boom")
+        assert err.node is None and err.edge is None
+
+    def test_unknown_tensor_carries_edge(self):
+        with pytest.raises(GraphError) as exc:
+            small_graph().spec_of("nope")
+        assert exc.value.edge == "nope"
+
+
+class TestEquivalence:
+    def test_optimized_graph_is_equivalent(self):
+        g = small_graph()
+        report = check_equivalence(g, optimize(g))
+        assert report.clean, report.render_text()
+
+    def test_output_spec_change_detected(self):
+        g = small_graph()
+        b = GraphBuilder("small")  # same interface, narrower output
+        x = b.input("dense", (8, 16))
+        idx = b.input("idx", (8, 4), dtype="int64")
+        h = b.apply(FC(16, 2, "fc0"), x)
+        b.apply(SparseLengthsSum(EmbeddingTable(1000, 8, "t0")), idx)
+        b.output(h)
+        broken = b.graph
+        report = check_equivalence(g, broken)
+        assert "GV122" in [d.rule for d in report.errors]
+        with pytest.raises(GraphVerifyError):
+            assert_equivalent(g, broken)
+
+    def test_dropped_output_detected(self):
+        g = small_graph()
+        pruned = small_graph()
+        pruned._outputs.clear()
+        report = check_equivalence(g, pruned)
+        assert "GV121" in [d.rule for d in report.errors]
+
+    def test_input_interface_change_detected(self):
+        g = small_graph(batch=8)
+        other = small_graph(batch=16)
+        report = check_equivalence(g, other)
+        assert "GV120" in [d.rule for d in report.errors]
+
+
+class TestIntegration:
+    def test_builder_build_verifies(self):
+        # build() runs the verifier; verify=False skips it.
+        b = GraphBuilder("ok")
+        x = b.input("x", (4, 16))
+        b.output(b.apply(FC(16, 8, "f"), x))
+        assert b.build() is b.graph
+        assert b.build(verify=False) is b.graph
+
+    def test_graph_cache_refuses_unverifiable_graph(self):
+        class BrokenModel:
+            name = "broken"
+
+            def graph_signature(self):
+                return ("broken", 1)
+
+            def build_graph(self, batch_size):
+                g = small_graph(batch_size)
+                return tamper(g, "fc_1", output_spec=TensorSpec((8, 7)))
+
+        cache = GraphCache()
+        with pytest.raises(GraphVerifyError):
+            cache.get(BrokenModel(), 8)
+        assert len(cache) == 0  # nothing cached
+        stats = cache.stats()
+        assert stats.hits == 0
+
+    def test_telemetry_counters(self):
+        telemetry.reset()
+        good = small_graph()  # built (and auto-verified) outside capture
+        g = small_graph()
+        tamper(g, "fc_1", output_spec=TensorSpec((8, 7)))
+        with telemetry.capture() as (_, registry):
+            verify_graph(good)
+            verify_graph(g)
+        snapshot = {
+            (m["name"], tuple(sorted(m.get("labels", {}).items()))): m
+            for m in registry.snapshot()
+        }
+        verified = snapshot[("analysis.graphs_verified", ())]
+        assert verified["value"] == 2
+        flagged = snapshot[
+            ("analysis.diagnostics", (("rule", "GV104"),))
+        ]
+        assert flagged["value"] == 1
+
+
+class TestDiagnosticsAPI:
+    def test_report_renderings(self):
+        report = DiagnosticReport()
+        assert report.render_text() == "no diagnostics"
+        report.add(Diagnostic("GV104", "error", "bad", node="n"))
+        report.add(Diagnostic("GV107", "warning", "meh", node="m"))
+        text = report.render_text()
+        assert "GV104" in text and "1 error(s)" in text
+        assert report.exit_code() == 1
+        assert report.exit_code(strict=True) == 1
+        assert report.rule_counts() == {"GV104": 1, "GV107": 1}
+        assert "diagnostics" in report.to_json()
+
+    def test_warning_only_exit_codes(self):
+        report = DiagnosticReport()
+        report.add(Diagnostic("GV107", "warning", "meh"))
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("GV999", "fatal", "nope")
+
+
+class TestExecutorAgreement:
+    def test_inferred_specs_match_execution(self):
+        from repro.graph import execute
+
+        g = small_graph(batch=8)
+        rng = np.random.default_rng(0)
+        feeds = {
+            "dense": rng.standard_normal((8, 16)).astype(np.float32),
+            "idx": rng.integers(0, 1000, size=(8, 4), dtype=np.int64),
+        }
+        outputs = execute(g, feeds)
+        inferred = inferred_output_specs(g)
+        for name, spec in inferred.items():
+            assert TensorSpec.like(outputs[name]) == spec

@@ -179,3 +179,85 @@ class TestSemanticsPreserved:
         base = gpu.profile_graph(graph).total_seconds
         opt = gpu.profile_graph(optimize(graph)).total_seconds
         assert opt < 0.7 * base
+
+
+class TestBrokenPassCaught:
+    """optimize() re-verifies its final graph: a pass that corrupts specs,
+    drops outputs, or leaves dangling edges is rejected, not deployed."""
+
+    @staticmethod
+    def _graph():
+        b = GraphBuilder("victim")
+        x = b.input("x", (8, 16))
+        h = b.apply(FC(16, 8, "fc0"), x)
+        b.output(b.apply(Relu(), h))
+        return b.build()
+
+    def test_stale_spec_pass_raises(self):
+        from repro.analysis import GraphVerifyError
+
+        def corrupt_specs(graph):
+            import dataclasses
+
+            rebuilt = graph.__class__(graph.name)
+            for name, spec in graph.input_specs.items():
+                rebuilt.add_input(name, spec)
+            for node in graph.nodes:
+                bad = dataclasses.replace(
+                    node, output_spec=TensorSpec((8, 99))
+                )
+                rebuilt._nodes[node.name] = bad
+                rebuilt._order.append(node.name)
+            for out in graph.output_names:
+                rebuilt.mark_output(out)
+            return rebuilt
+
+        graph = self._graph()
+        with pytest.raises(GraphVerifyError) as exc:
+            optimize(graph, passes=[corrupt_specs])
+        assert exc.value.report.by_rule("GV104")
+
+    def test_output_dropping_pass_raises(self):
+        from repro.analysis import GraphVerifyError
+
+        def drop_outputs(graph):
+            pruned = graph.__class__(graph.name)
+            for name, spec in graph.input_specs.items():
+                pruned.add_input(name, spec)
+            for node in graph.nodes:
+                pruned._nodes[node.name] = node
+                pruned._order.append(node.name)
+            return pruned  # never marks outputs
+
+        with pytest.raises(GraphVerifyError):
+            optimize(self._graph(), passes=[drop_outputs])
+
+    def test_interface_changing_pass_raises(self):
+        from repro.analysis import GraphVerifyError
+
+        def shrink_output(graph):
+            b = GraphBuilder(graph.name)
+            x = b.input("x", (8, 16))
+            b.output(b.apply(FC(16, 4, "fc0"), x))  # 8 -> 4 wide
+            return b.build()
+
+        with pytest.raises(GraphVerifyError) as exc:
+            optimize(self._graph(), passes=[shrink_output])
+        assert exc.value.report.by_rule("GV122")
+
+    def test_identity_pass_ok(self):
+        graph = self._graph()
+        assert optimize(graph, passes=[lambda g: g]) is graph
+
+    def test_verify_false_skips_checks(self):
+        def drop_outputs(graph):
+            pruned = graph.__class__(graph.name)
+            for name, spec in graph.input_specs.items():
+                pruned.add_input(name, spec)
+            for node in graph.nodes:
+                pruned._nodes[node.name] = node
+                pruned._order.append(node.name)
+            return pruned
+
+        broken = optimize(self._graph(), passes=[drop_outputs], verify=False)
+        assert broken.output_names == []
