@@ -9,8 +9,16 @@ Commands mirror the characterization workflow:
 * ``topdown`` — Fig 8-style TopDown table for both CPUs.
 * ``breakdown`` — Fig 6-style operator shares for one configuration.
 * ``trace`` — run a characterization with telemetry on and export a
-  Chrome/Perfetto trace plus a metrics report.
+  Chrome/Perfetto trace plus a metrics report; ``--scheduler`` /
+  ``--resilience`` trace the serving simulation (per-batch and
+  fault-window spans) instead.
 * ``metrics`` — list every registered metric after an instrumented run.
+* ``record`` — persist run records (config fingerprint + cross-stack
+  metrics) to a ledger directory for later diffing.
+* ``diff`` — cross-stack differential between run records (``A B`` or
+  ``--against baselines/``) with noise gating and attribution.
+* ``check`` — evaluate declarative SLO rules (TOML) against run
+  records; exit 0/1/2 for pass/warn/fail.
 * ``resilience`` — inject a fault scenario into the scheduler
   simulation and compare tail latency with each resilience policy
   on/off.
@@ -73,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--batches", nargs="*", type=int, default=[1, 16, 256, 4096, 16384]
     )
     _add_workers_arg(p)
+    p.add_argument(
+        "--record-dir", default=None, dest="record_dir",
+        help="also append one run record per sweep cell to this ledger",
+    )
+    p.add_argument(
+        "--seed", type=int, default=2020,
+        help="seed stamped into recorded fingerprints",
+    )
 
     p = sub.add_parser("optimal", help="optimal-platform grid (Fig 5)")
     p.add_argument(
@@ -104,6 +120,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--metrics-output", default=None,
         help="metrics JSON path (default <trace stem>.metrics.json)",
+    )
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--scheduler", action="store_true",
+        help="trace the serving simulation (per-batch scheduler spans) "
+        "instead of the characterization",
+    )
+    mode.add_argument(
+        "--resilience", action="store_true",
+        help="like --scheduler, with an injected fault scenario so the "
+        "trace shows fault windows and policy reactions",
     )
 
     p = sub.add_parser(
@@ -143,6 +170,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None,
         help="write a Perfetto trace of the all-policies run to this path",
     )
+    p.add_argument(
+        "--record-dir", default=None, dest="record_dir",
+        help="append a run record of the all-policies run to this ledger",
+    )
+
+    p = sub.add_parser(
+        "record",
+        help="persist cross-stack run records to a ledger directory",
+    )
+    p.add_argument(
+        "--models", nargs="*", default=None, choices=MODEL_ORDER,
+        help="models to record (default: all eight)",
+    )
+    p.add_argument(
+        "--platforms", nargs="*", default=["broadwell"],
+        help="platform keys to record (default: broadwell)",
+    )
+    p.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    p.add_argument(
+        "--queries", type=int, default=300,
+        help="scheduler-simulation queries per record (0 = profile only)",
+    )
+    p.add_argument(
+        "--qps", type=float, default=None,
+        help="arrival rate (default: half the server's peak capacity)",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument(
+        "--out", default="runs",
+        help="ledger directory (default: runs/)",
+    )
+    p.add_argument(
+        "--split", action="store_true",
+        help="write one pretty-printed <model>_<platform>_b<N>.json per "
+        "record (the baselines/ layout) instead of appending to "
+        "ledger.jsonl",
+    )
+
+    p = sub.add_parser(
+        "diff",
+        help="cross-stack differential between run records",
+    )
+    p.add_argument(
+        "baseline",
+        help="baseline record file/dir — or the candidate when --against "
+        "is used",
+    )
+    p.add_argument(
+        "candidate", nargs="?", default=None,
+        help="candidate record file/dir (omit with --against)",
+    )
+    p.add_argument(
+        "--against", default=None,
+        help="baseline directory; every candidate record is matched to "
+        "its baseline by fingerprint key",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative noise gate (default 0.05 = 5%%)",
+    )
+    p.add_argument(
+        "--fail-on-regression", action="store_true",
+        dest="fail_on_regression",
+        help="exit nonzero if any regression (or coverage gap) is found",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show every compared metric, not just significant movers",
+    )
+
+    p = sub.add_parser(
+        "check",
+        help="evaluate declarative SLO rules against run records",
+    )
+    p.add_argument("records", help="record file (.json/.jsonl) or directory")
+    p.add_argument(
+        "--rules", required=True,
+        help="TOML rules file ([[rule]] tables; see repro.ledger.slo)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
 
     p = sub.add_parser(
         "lint",
@@ -204,6 +312,10 @@ def _add_telemetry_run_args(p: argparse.ArgumentParser) -> None:
         "--no-run", action="store_true",
         help="skip the functional NumPy execution of one batch",
     )
+    p.add_argument(
+        "--seed", type=int, default=2020,
+        help="scheduler-simulation seed",
+    )
 
 
 def _cmd_models() -> str:
@@ -248,9 +360,18 @@ def _cmd_sweep(args) -> str:
                 [model, batch]
                 + [round(sweep.speedup(model, p, batch), 2) for p in PLATFORM_ORDER]
             )
-    return render_table(
+    table = render_table(
         ["model", "batch"] + list(PLATFORM_ORDER), rows, float_format="{:.2f}"
     )
+    if args.record_dir:
+        from repro.ledger import RunLedger, record_sweep
+
+        ledger = RunLedger(args.record_dir)
+        records = record_sweep(sweep, seed=args.seed)
+        for record in records:
+            path = ledger.append(record)
+        table += f"\nrecorded {len(records)} run records -> {path}"
+    return table
 
 
 def _cmd_optimal(args) -> str:
@@ -333,7 +454,8 @@ def _traced_characterization(args) -> Tuple[
             session.run_generated(batch)
         if service_model is not None:
             scheduler = QueryScheduler(
-                service_model, BatchingPolicy(max_batch=batch)
+                service_model, BatchingPolicy(max_batch=batch),
+                seed=args.seed,
             )
             peak = batch / service_model.seconds(batch)
             qps = args.qps if args.qps else 0.5 * peak
@@ -345,7 +467,105 @@ def _traced_characterization(args) -> Tuple[
     return session, result, tracer, registry
 
 
+def _cmd_trace_scheduler(args) -> str:
+    """``trace --scheduler`` / ``--resilience``: trace the serving loop.
+
+    The legacy :class:`QueryScheduler` simulation emits metrics but no
+    per-batch spans, so both modes drive a single-replica
+    :class:`ResilientScheduler` (which instruments every server busy
+    period). ``--resilience`` additionally injects a mixed slowdown +
+    straggler fault scenario with retry/shedding enabled so the
+    exported trace shows fault windows and policy reactions.
+    """
+    from repro.resilience import (
+        FaultPlan,
+        Replica,
+        ResiliencePolicy,
+        ResilientScheduler,
+        RetryPolicy,
+        SheddingPolicy,
+    )
+
+    try:
+        model = build_model(args.model)
+        session = InferenceSession(model, args.platform)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    batch = args.batch_size
+    calibration = sorted({1, max(2, batch // 4), batch, 2 * batch})
+    stm = ServiceTimeModel.from_profiles(
+        [session.profile(b) for b in calibration]
+    )
+    peak = batch / stm.seconds(batch)
+    qps = args.qps if args.qps else 0.5 * peak
+    queries = args.queries if args.queries > 0 else 512
+
+    mode = "resilience" if args.resilience else "scheduler"
+    plan = None
+    policy = ResiliencePolicy.none()
+    if args.resilience:
+        deadline = max(10.0 * stm.seconds(batch), 0.02)
+        plan = FaultPlan.synthesize(
+            args.seed, [args.platform], queries / qps,
+            slowdown_windows=1, slowdown_multiplier=4.0,
+            straggler_probability=0.05,
+        )
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(deadline_s=deadline, max_retries=2),
+            shed=SheddingPolicy(deadline_s=deadline),
+        )
+    scheduler = ResilientScheduler(
+        [Replica(args.platform, stm)], BatchingPolicy(max_batch=batch),
+        resilience=policy, fault_plan=plan, seed=args.seed,
+    )
+    with telemetry.capture() as (tracer, registry):
+        result = scheduler.run(qps, num_queries=queries)
+
+    out = args.output
+    if out is None:
+        out = f"{session.model.name}_{args.platform}.{mode}.trace.json".replace(
+            " ", "_"
+        )
+    spans = tracer.sorted_spans()
+    snapshot = registry.snapshot()
+    try:
+        telemetry.write_chrome_trace(
+            out, spans,
+            process_name=f"repro {mode}: {session.model.name} on "
+            f"{args.platform}",
+            metrics=snapshot,
+        )
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write trace output: {exc}")
+
+    lines = [
+        f"trace:   {out}  ({len(spans)} spans; open in chrome://tracing "
+        "or ui.perfetto.dev)",
+        "",
+        "hottest spans (by total seconds):",
+    ]
+    for entry in telemetry.summarize_spans(spans, top=8):
+        lines.append(
+            f"  {entry['name'][:28]:28s} {entry['category']:18s} "
+            f"x{entry['count']:<4d} {entry['seconds'] * 1e6:12.1f} us"
+        )
+    lines.append("")
+    lines.append(
+        f"{mode}: {result.completed}/{result.queries} completed at "
+        f"{qps:.0f} QPS, p50/p99 = {result.p50 * 1e3:.3f} / "
+        f"{result.p99 * 1e3:.3f} ms"
+    )
+    if plan is not None:
+        injected = ", ".join(
+            f"{k}={v}" for k, v in result.fault_counts.items() if v
+        )
+        lines.append(f"injected: {injected or 'none'}")
+    return "\n".join(lines)
+
+
 def _cmd_trace(args) -> str:
+    if args.scheduler or args.resilience:
+        return _cmd_trace_scheduler(args)
     session, result, tracer, registry = _traced_characterization(args)
     out = args.output
     if out is None:
@@ -552,7 +772,128 @@ def _cmd_resilience(args) -> str:
             f"trace: {args.trace}  (open in chrome://tracing or "
             "ui.perfetto.dev)"
         )
+    if args.record_dir and last_result is not None:
+        from repro.ledger import RunLedger, fingerprint_for, record_schedule
+
+        record = record_schedule(
+            last_result,
+            fingerprint_for(model, args.platform, batch, args.seed),
+            max_batch=batch,
+            kind="resilience",
+        )
+        record.scalars["arrival_qps"] = qps
+        path = RunLedger(args.record_dir).append(record)
+        lines.append(f"recorded all-policies run -> {path}")
     return "\n".join(lines)
+
+
+def _cmd_record(args) -> str:
+    from repro.ledger import RunLedger, record_run
+
+    names = args.models if args.models else MODEL_ORDER
+    ledger = RunLedger(args.out)
+    lines = []
+    for platform in args.platforms:
+        if platform not in PLATFORMS:
+            raise SystemExit(
+                f"error: unknown platform {platform!r} "
+                f"(choose from {', '.join(PLATFORMS)})"
+            )
+    for name in names:
+        for platform in args.platforms:
+            record = record_run(
+                name, platform, batch_size=args.batch_size,
+                seed=args.seed, queries=args.queries, qps=args.qps,
+            )
+            path = (
+                ledger.write(record) if args.split else ledger.append(record)
+            )
+            detail = f"{record.scalars['total_seconds'] * 1e3:.3f} ms/batch"
+            if record.has_latency():
+                detail += f", p99 {record.percentile(99.0) * 1e3:.3f} ms"
+            lines.append(
+                f"{record.fingerprint.key:24s} {record.kind:8s} "
+                f"{detail}  -> {path}"
+            )
+    lines.append(f"{len(names) * len(args.platforms)} records in {args.out}/")
+    return "\n".join(lines)
+
+
+def _cmd_diff(args) -> Tuple[str, int]:
+    import json as _json
+
+    from repro.ledger import (
+        DEFAULT_TOLERANCE,
+        diff_against_baselines,
+        diff_records,
+        load_records,
+    )
+
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    try:
+        if args.against is not None:
+            if args.candidate is not None:
+                raise SystemExit(
+                    "error: give either two positional paths or --against, "
+                    "not both"
+                )
+            candidates = load_records(args.baseline)
+            baselines = load_records(args.against)
+            diffs, unmatched = diff_against_baselines(
+                candidates, baselines, tolerance
+            )
+        else:
+            if args.candidate is None:
+                raise SystemExit(
+                    "error: need a candidate path (or --against <baselines>)"
+                )
+            a = load_records(args.baseline)
+            b = load_records(args.candidate)
+            if len(a) != 1 or len(b) != 1:
+                diffs, unmatched = diff_against_baselines(b, a, tolerance)
+            else:
+                diffs, unmatched = [diff_records(a[0], b[0], tolerance)], []
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+    regressions = sum(len(d.regressions) for d in diffs)
+    gaps = [u for u in unmatched if "not covered" in u]
+    failed = args.fail_on_regression and (regressions > 0 or bool(gaps))
+    if args.format == "json":
+        payload = {
+            "tolerance": tolerance,
+            "regressions": regressions,
+            "unmatched": unmatched,
+            "diffs": [d.to_dict() for d in diffs],
+        }
+        return _json.dumps(payload, indent=2, sort_keys=True), int(failed)
+    lines = [d.render_text(verbose=args.verbose) for d in diffs]
+    lines.extend(f"! {u}" for u in unmatched)
+    lines.append(
+        f"{len(diffs)} configuration(s) compared at {tolerance:.0%} "
+        f"tolerance: {regressions} regression(s), "
+        f"{sum(len(d.improvements) for d in diffs)} improvement(s)"
+    )
+    if failed:
+        lines.append("FAIL: regression gate tripped")
+    return "\n".join(lines), int(failed)
+
+
+def _cmd_check(args) -> Tuple[str, int]:
+    from repro.ledger import evaluate, load_records, load_rules
+
+    try:
+        rules = load_rules(args.rules)
+        records = load_records(args.records)
+        report = evaluate(rules, records)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    text = (
+        report.to_json() if args.format == "json" else report.render_text()
+    )
+    return text, report.exit_code()
 
 
 def _cmd_lint(args) -> Tuple[str, int]:
@@ -645,6 +986,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": lambda: _cmd_trace(args),
         "metrics": lambda: _cmd_metrics(args),
         "resilience": lambda: _cmd_resilience(args),
+        "record": lambda: _cmd_record(args),
+        "diff": lambda: _cmd_diff(args),
+        "check": lambda: _cmd_check(args),
         "lint": lambda: _cmd_lint(args),
         "verify": lambda: _cmd_verify(args),
     }

@@ -1,0 +1,374 @@
+"""Cross-stack differential analysis between two run records.
+
+``diff_records(a, b)`` compares a candidate record ``b`` against a
+baseline ``a`` at every level the record captures and attributes the
+end-to-end movement down the stack:
+
+* **end-to-end** — latency, throughput, data-communication split;
+* **operator** — per-kind time breakdown (which op moved, Fig 6 terms);
+* **topdown** — pipeline-slot stack (which slot absorbed it, Fig 8);
+* **latency** — p50/p95/p99 recomputed from stored histogram state;
+* **queue** — the batch-occupancy distribution (did the delta come with
+  a queue-depth regime shift, or at unchanged load?).
+
+Noise gating is relative: an entry is *significant* only when it moved
+by more than ``tolerance`` of the baseline value **and** cleared a
+per-level absolute floor (so a 0.0001 → 0.0002 TopDown slot is not a
+"2x regression"). Direction matters: a significant move is a
+*regression* only if it went the bad way for that metric (more seconds,
+fewer QPS, …).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.ledger.record import (
+    LATENCY_HISTOGRAM,
+    OCCUPANCY_HISTOGRAM,
+    RunRecord,
+)
+
+__all__ = ["DeltaEntry", "RunDiff", "diff_records", "diff_against_baselines"]
+
+#: Default relative noise gate (5 %).
+DEFAULT_TOLERANCE = 0.05
+
+#: Per-level absolute significance floors (units of the level's metric).
+_ABS_FLOORS = {
+    "end_to_end": 1e-9,
+    "operator": 1e-9,
+    "topdown": 0.01,
+    "latency": 1e-9,
+    "queue": 0.5,
+}
+
+#: Scalars where a higher value is an improvement, not a regression.
+_HIGHER_IS_BETTER = frozenset({
+    "throughput_qps", "sim_throughput_qps", "goodput_qps", "arrival_qps",
+    "retiring", "avx_fraction", "ipc", "completed", "hedge_wins",
+})
+
+#: Scalars that are descriptive, never a regression by themselves.
+_NEUTRAL = frozenset({
+    "queries", "duration_s", "mean_batch_size", "hedges", "retries",
+    "failovers", "degraded_queries", "breaker_trips", "timeouts",
+    "shed", "dropped",
+})
+
+
+def _direction(level: str, metric: str) -> int:
+    """+1 higher-is-worse, -1 higher-is-better, 0 neutral."""
+    if metric in _NEUTRAL or metric.startswith("faults."):
+        return 0
+    if metric in _HIGHER_IS_BETTER:
+        return -1
+    # Everything else we record — seconds, latencies, MPKIs, stall-slot
+    # fractions, shed/drop rates, occupancy percentiles — is
+    # higher-is-worse.
+    return 1
+
+
+@dataclass(frozen=True)
+class DeltaEntry:
+    """One compared metric at one stack level."""
+
+    level: str  # end_to_end | operator | topdown | latency | queue
+    metric: str
+    baseline: float
+    candidate: float
+    significant: bool
+    direction: int  # +1 higher-is-worse, -1 higher-is-better, 0 neutral
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def rel_delta(self) -> float:
+        """Relative movement vs the baseline (0 when baseline is 0)."""
+        if self.baseline == 0.0:
+            return 0.0 if self.candidate == 0.0 else float("inf")
+        return self.delta / self.baseline
+
+    @property
+    def regression(self) -> bool:
+        return self.significant and self.direction * self.delta > 0
+
+    @property
+    def improvement(self) -> bool:
+        return self.significant and self.direction * self.delta < 0
+
+    def describe(self) -> str:
+        rel = self.rel_delta
+        rel_text = "new" if rel == float("inf") else f"{rel:+.1%}"
+        return (
+            f"{self.level}/{self.metric}: {self.baseline:.6g} -> "
+            f"{self.candidate:.6g} ({rel_text})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        rel = self.rel_delta
+        return {
+            "level": self.level,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "rel_delta": None if rel == float("inf") else rel,
+            "significant": self.significant,
+            "regression": self.regression,
+            "improvement": self.improvement,
+        }
+
+
+@dataclass
+class RunDiff:
+    """Every compared metric between one baseline/candidate pair."""
+
+    baseline: RunRecord
+    candidate: RunRecord
+    tolerance: float
+    entries: List[DeltaEntry] = field(default_factory=list)
+    #: Reasons the two records are not strictly comparable
+    #: (graph-signature drift, seed/version changes, …).
+    caveats: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return self.baseline.fingerprint.key
+
+    @property
+    def significant(self) -> List[DeltaEntry]:
+        return [e for e in self.entries if e.significant]
+
+    @property
+    def regressions(self) -> List[DeltaEntry]:
+        return [e for e in self.entries if e.regression]
+
+    @property
+    def improvements(self) -> List[DeltaEntry]:
+        return [e for e in self.entries if e.improvement]
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions
+
+    # -- attribution ---------------------------------------------------------
+
+    def _top_mover(self, level: str) -> Optional[DeltaEntry]:
+        movers = [e for e in self.entries if e.level == level and e.significant]
+        if not movers:
+            return None
+        return max(movers, key=lambda e: abs(e.delta))
+
+    def attribute(self) -> List[str]:
+        """Human-readable attribution of the end-to-end movement.
+
+        Walks the stack downward: end-to-end total, then the operator
+        kind that moved most, the pipeline slot that absorbed it, tail
+        latency, and the queue-depth regime.
+        """
+        lines: List[str] = []
+        total = next(
+            (e for e in self.entries
+             if e.level == "end_to_end" and e.metric == "total_seconds"),
+            None,
+        )
+        if total is not None and total.significant:
+            lines.append(
+                f"end-to-end {total.describe().split(': ', 1)[1]}"
+            )
+        elif total is not None:
+            lines.append(
+                f"end-to-end unchanged within {self.tolerance:.0%} "
+                f"({total.baseline:.6g}s -> {total.candidate:.6g}s)"
+            )
+        op = self._top_mover("operator")
+        if op is not None:
+            lines.append(f"  operator: {op.describe().split('/', 1)[1]}")
+        slot = self._top_mover("topdown")
+        if slot is not None:
+            lines.append(f"  pipeline: {slot.describe().split('/', 1)[1]}")
+        tail = self._top_mover("latency")
+        if tail is not None:
+            lines.append(f"  latency:  {tail.describe().split('/', 1)[1]}")
+        queue = self._top_mover("queue")
+        if queue is not None:
+            lines.append(f"  queueing: {queue.describe().split('/', 1)[1]}")
+        return lines
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_text(self, verbose: bool = False) -> str:
+        status = "REGRESSION" if self.regressions else (
+            "changed" if self.significant else "ok"
+        )
+        lines = [f"{self.key}: {status}"]
+        for caveat in self.caveats:
+            lines.append(f"  ! {caveat}")
+        lines.extend(f"  {line}" for line in self.attribute())
+        shown = self.entries if verbose else self.significant
+        for entry in shown:
+            marker = "-" if not entry.significant else (
+                "R" if entry.regression else (
+                    "+" if entry.improvement else "~"
+                )
+            )
+            lines.append(f"  [{marker}] {entry.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "tolerance": self.tolerance,
+            "clean": self.clean,
+            "caveats": list(self.caveats),
+            "attribution": self.attribute(),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def _significant(
+    level: str, baseline: float, candidate: float, tolerance: float
+) -> bool:
+    delta = abs(candidate - baseline)
+    if delta <= _ABS_FLOORS[level]:
+        return False
+    if baseline == 0.0:
+        return True  # a metric appearing from nothing is always a move
+    return delta / abs(baseline) > tolerance
+
+
+def _compare_level(
+    level: str,
+    a: Dict[str, float],
+    b: Dict[str, float],
+    tolerance: float,
+) -> List[DeltaEntry]:
+    entries = []
+    for metric in sorted(set(a) | set(b)):
+        baseline = float(a.get(metric, 0.0))
+        candidate = float(b.get(metric, 0.0))
+        entries.append(
+            DeltaEntry(
+                level=level,
+                metric=metric,
+                baseline=baseline,
+                candidate=candidate,
+                significant=_significant(level, baseline, candidate, tolerance),
+                direction=_direction(level, metric),
+            )
+        )
+    return entries
+
+
+def _histogram_quantiles(
+    record: RunRecord, name: str, quantiles: Sequence[float]
+) -> Dict[str, float]:
+    if name not in record.histograms:
+        return {}
+    hist = record.histogram(name)
+    if not hist.count:
+        return {}
+    return {f"p{q:g}": hist.quantile(q) for q in quantiles}
+
+
+def diff_records(
+    a: RunRecord,
+    b: RunRecord,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> RunDiff:
+    """Compare candidate ``b`` against baseline ``a`` across the stack."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    diff = RunDiff(baseline=a, candidate=b, tolerance=tolerance)
+
+    fa, fb = a.fingerprint, b.fingerprint
+    if fa.key != fb.key:
+        diff.caveats.append(
+            f"comparing different configurations: {fa.key} vs {fb.key}"
+        )
+    if fa.graph_signature != fb.graph_signature:
+        diff.caveats.append(
+            "graph signature drift "
+            f"({fa.graph_signature} -> {fb.graph_signature}): the model "
+            "structure changed, deltas mix model and performance effects"
+        )
+    if fa.seed != fb.seed:
+        diff.caveats.append(f"seed changed ({fa.seed} -> {fb.seed})")
+    if fa.version != fb.version:
+        diff.caveats.append(
+            f"package version changed ({fa.version} -> {fb.version})"
+        )
+
+    diff.entries.extend(
+        _compare_level("end_to_end", a.scalars, b.scalars, tolerance)
+    )
+    diff.entries.extend(
+        _compare_level("operator", a.op_seconds, b.op_seconds, tolerance)
+    )
+    if a.topdown is not None and b.topdown is not None:
+        diff.entries.extend(
+            _compare_level("topdown", a.topdown, b.topdown, tolerance)
+        )
+    elif (a.topdown is None) != (b.topdown is None):
+        diff.caveats.append(
+            "only one record carries a TopDown stack; pipeline level skipped"
+        )
+    diff.entries.extend(
+        _compare_level(
+            "latency",
+            _histogram_quantiles(a, LATENCY_HISTOGRAM, (50.0, 95.0, 99.0)),
+            _histogram_quantiles(b, LATENCY_HISTOGRAM, (50.0, 95.0, 99.0)),
+            tolerance,
+        )
+    )
+    diff.entries.extend(
+        _compare_level(
+            "queue",
+            _histogram_quantiles(a, OCCUPANCY_HISTOGRAM, (50.0, 95.0)),
+            _histogram_quantiles(b, OCCUPANCY_HISTOGRAM, (50.0, 95.0)),
+            tolerance,
+        )
+    )
+    return diff
+
+
+def diff_against_baselines(
+    candidates: Sequence[RunRecord],
+    baselines: Sequence[RunRecord],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[RunDiff], List[str]]:
+    """Match candidates to baselines by fingerprint key and diff each.
+
+    Returns ``(diffs, unmatched)`` where ``unmatched`` names candidate
+    keys with no baseline (new configurations — not failures) and
+    baseline keys no candidate covered (coverage gaps — reported so a
+    silently shrinking sweep can't fake a green gate).
+    """
+    by_key: Dict[str, RunRecord] = {}
+    for baseline in baselines:
+        by_key[baseline.fingerprint.key] = baseline
+    diffs: List[RunDiff] = []
+    unmatched: List[str] = []
+    seen = []
+    for candidate in candidates:
+        key = candidate.fingerprint.key
+        seen.append(key)
+        baseline = by_key.get(key)
+        if baseline is None:
+            unmatched.append(f"no baseline for {key}")
+            continue
+        diffs.append(diff_records(baseline, candidate, tolerance))
+    for key in sorted(set(by_key) - set(seen)):
+        unmatched.append(f"baseline {key} not covered by this run")
+    return diffs, unmatched

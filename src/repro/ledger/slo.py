@@ -1,0 +1,384 @@
+"""Declarative SLO / alert rules evaluated against run records.
+
+A rules file is TOML with one ``[[rule]]`` table per threshold::
+
+    [[rule]]
+    name = "tail latency"
+    metric = "p99_latency_s"     # see SLO_METRICS for the full set
+    max = 0.050                  # and/or `min = ...`
+    severity = "fail"            # or "warn"
+    model = "rm2"                # optional fnmatch filters
+    platform = "broadwell"
+
+``evaluate(rules, records)`` checks every rule against every record it
+applies to and reports pass / warn / fail per check, with exit codes
+``0`` (all pass), ``1`` (warnings only), ``2`` (any failure) — the
+contract ``repro check --rules`` exposes to CI.
+
+Rules read *records*, not live processes: the same file gates a fresh
+measurement in CI and a record persisted last month. A rule whose
+metric a record doesn't carry (e.g. ``p99_latency_s`` against a
+profile-only record) is *skipped*, not failed, so one rules file can
+cover heterogeneous record kinds.
+
+Parsing uses :mod:`tomllib` on Python 3.11+; on older interpreters a
+built-in parser for exactly this subset (``[[table]]`` arrays, string /
+number / boolean values, comments) keeps the engine dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.ledger.record import RunRecord
+
+try:
+    import tomllib  # Python >= 3.11
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 CI
+    tomllib = None
+
+__all__ = [
+    "SloRule",
+    "SloCheck",
+    "SloReport",
+    "SLO_METRICS",
+    "load_rules",
+    "parse_rules",
+    "evaluate",
+]
+
+EXIT_PASS = 0
+EXIT_WARN = 1
+EXIT_FAIL = 2
+
+_SEVERITIES = ("warn", "fail")
+
+
+def _percentile(p: float) -> Callable[[RunRecord], Optional[float]]:
+    def read(record: RunRecord) -> Optional[float]:
+        return record.percentile(p) if record.has_latency() else None
+
+    return read
+
+
+def _scalar(name: str) -> Callable[[RunRecord], Optional[float]]:
+    def read(record: RunRecord) -> Optional[float]:
+        return record.scalars.get(name)
+
+    return read
+
+
+def _topdown(slot: str) -> Callable[[RunRecord], Optional[float]]:
+    def read(record: RunRecord) -> Optional[float]:
+        return None if record.topdown is None else record.topdown.get(slot)
+
+    return read
+
+
+#: Every metric name a rule may reference, mapped to its extractor.
+#: Extractors return None when the record doesn't carry the metric
+#: (the rule is then skipped for that record).
+SLO_METRICS: Dict[str, Callable[[RunRecord], Optional[float]]] = {
+    # latency distribution (recomputed from stored histogram state)
+    "p50_latency_s": _percentile(50.0),
+    "p95_latency_s": _percentile(95.0),
+    "p99_latency_s": _percentile(99.0),
+    # end-to-end systems level
+    "total_seconds": _scalar("total_seconds"),
+    "compute_seconds": _scalar("compute_seconds"),
+    "data_comm_seconds": _scalar("data_comm_seconds"),
+    "data_comm_fraction": _scalar("data_comm_fraction"),
+    "throughput_qps": _scalar("throughput_qps"),
+    "sim_throughput_qps": _scalar("sim_throughput_qps"),
+    "goodput_qps": _scalar("goodput_qps"),
+    "mean_batch_size": _scalar("mean_batch_size"),
+    # microarchitecture level
+    "retiring": _topdown("retiring"),
+    "bad_speculation": _topdown("bad_speculation"),
+    "frontend_bound": _topdown("frontend_bound"),
+    "backend_bound": _topdown("backend_bound"),
+    "core_bound": _topdown("core_bound"),
+    "memory_bound": _topdown("memory_bound"),
+    "icache_mpki": _scalar("i_mpki"),
+    "branch_mpki": _scalar("branch_mpki"),
+    "avx_fraction": _scalar("avx_fraction"),
+    "ipc": _scalar("ipc"),
+    "dram_congested_fraction": _scalar("dram_congested_fraction"),
+    # resilience / serving outcomes
+    "shed_rate": _scalar("shed_rate"),
+    "drop_rate": _scalar("drop_rate"),
+}
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative threshold."""
+
+    name: str
+    metric: str
+    max: Optional[float] = None
+    min: Optional[float] = None
+    severity: str = "fail"
+    model: str = "*"
+    platform: str = "*"
+
+    def __post_init__(self) -> None:
+        if self.metric not in SLO_METRICS:
+            raise ValueError(
+                f"rule {self.name!r}: unknown metric {self.metric!r}; "
+                f"supported: {', '.join(sorted(SLO_METRICS))}"
+            )
+        if self.max is None and self.min is None:
+            raise ValueError(
+                f"rule {self.name!r} sets neither `max` nor `min`"
+            )
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"rule {self.name!r}: severity must be one of "
+                f"{_SEVERITIES}, got {self.severity!r}"
+            )
+
+    def applies_to(self, record: RunRecord) -> bool:
+        fp = record.fingerprint
+        return fnmatch(fp.model, self.model) and fnmatch(
+            fp.platform, self.platform
+        )
+
+    def violated(self, value: float) -> bool:
+        if self.max is not None and value > self.max:
+            return True
+        if self.min is not None and value < self.min:
+            return True
+        return False
+
+    def bound_text(self) -> str:
+        parts = []
+        if self.min is not None:
+            parts.append(f">= {self.min:g}")
+        if self.max is not None:
+            parts.append(f"<= {self.max:g}")
+        return " and ".join(parts)
+
+
+@dataclass(frozen=True)
+class SloCheck:
+    """One rule evaluated against one record."""
+
+    rule: SloRule
+    key: str  # fingerprint key of the record
+    value: Optional[float]
+    status: str  # "pass" | "warn" | "fail" | "skipped"
+
+    def describe(self) -> str:
+        if self.status == "skipped":
+            return (
+                f"SKIP {self.key}: {self.rule.name} "
+                f"({self.rule.metric} not in record)"
+            )
+        return (
+            f"{self.status.upper():4s} {self.key}: {self.rule.name} — "
+            f"{self.rule.metric} = {self.value:.6g} "
+            f"(want {self.rule.bound_text()})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule.name,
+            "metric": self.rule.metric,
+            "key": self.key,
+            "value": self.value,
+            "status": self.status,
+        }
+
+
+@dataclass
+class SloReport:
+    """All checks from one evaluation, with the CI exit-code contract."""
+
+    checks: List[SloCheck] = field(default_factory=list)
+
+    def by_status(self, status: str) -> List[SloCheck]:
+        return [c for c in self.checks if c.status == status]
+
+    @property
+    def failed(self) -> List[SloCheck]:
+        return self.by_status("fail")
+
+    @property
+    def warned(self) -> List[SloCheck]:
+        return self.by_status("warn")
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def exit_code(self) -> int:
+        if self.failed:
+            return EXIT_FAIL
+        if self.warned:
+            return EXIT_WARN
+        return EXIT_PASS
+
+    def render_text(self) -> str:
+        lines = [check.describe() for check in self.checks]
+        evaluated = [c for c in self.checks if c.status != "skipped"]
+        lines.append(
+            f"{len(evaluated)} checks: "
+            f"{len(self.by_status('pass'))} pass, "
+            f"{len(self.warned)} warn, {len(self.failed)} fail "
+            f"({len(self.by_status('skipped'))} skipped)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "exit_code": self.exit_code(),
+                "checks": [c.to_dict() for c in self.checks],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+# -- parsing -----------------------------------------------------------------
+
+
+def parse_rules(text: str, source: str = "<rules>") -> List[SloRule]:
+    """Parse a TOML rules document into validated :class:`SloRule`s."""
+    if tomllib is not None:
+        try:
+            doc = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ValueError(f"{source}: invalid TOML: {exc}") from exc
+    else:
+        doc = _parse_toml_subset(text, source)
+    raw_rules = doc.get("rule", [])
+    if not isinstance(raw_rules, list) or not raw_rules:
+        raise ValueError(
+            f"{source}: no [[rule]] tables found; each threshold is one "
+            "[[rule]] with `metric` and `max`/`min`"
+        )
+    rules = []
+    for i, raw in enumerate(raw_rules):
+        known = {"name", "metric", "max", "min", "severity", "model",
+                 "platform"}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ValueError(
+                f"{source}: rule #{i + 1} has unknown keys {unknown}; "
+                f"supported: {sorted(known)}"
+            )
+        if "metric" not in raw:
+            raise ValueError(f"{source}: rule #{i + 1} is missing `metric`")
+        try:
+            rules.append(
+                SloRule(
+                    name=str(raw.get("name", raw["metric"])),
+                    metric=str(raw["metric"]),
+                    max=None if raw.get("max") is None else float(raw["max"]),
+                    min=None if raw.get("min") is None else float(raw["min"]),
+                    severity=str(raw.get("severity", "fail")),
+                    model=str(raw.get("model", "*")),
+                    platform=str(raw.get("platform", "*")),
+                )
+            )
+        except ValueError as exc:
+            raise ValueError(f"{source}: {exc}") from exc
+    return rules
+
+
+def load_rules(path: Union[str, Path]) -> List[SloRule]:
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such rules file: {path}")
+    return parse_rules(path.read_text(encoding="utf-8"), str(path))
+
+
+def _parse_toml_value(raw: str, source: str, lineno: int) -> Any:
+    raw = raw.strip()
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{source}:{lineno}: cannot parse TOML value {raw!r} "
+            "(subset parser: strings, numbers, booleans)"
+        ) from None
+
+
+def _parse_toml_subset(text: str, source: str) -> Dict[str, Any]:
+    """Minimal TOML reader for rules files on Python < 3.11.
+
+    Supports ``[[name]]`` array-of-table headers and ``key = value``
+    pairs with string / number / boolean values; ``#`` comments and
+    blank lines are ignored. Anything else is rejected loudly.
+    """
+    doc: Dict[str, Any] = {}
+    current: Optional[Dict[str, Any]] = None
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            current = {}
+            doc.setdefault(name, []).append(current)
+            continue
+        if line.startswith("["):
+            raise ValueError(
+                f"{source}:{lineno}: plain [tables] are not supported by "
+                "the subset parser; use [[rule]] arrays"
+            )
+        if "=" not in line:
+            raise ValueError(f"{source}:{lineno}: expected `key = value`")
+        key, _, value = line.partition("=")
+        # Strip trailing comments outside of strings.
+        value = value.strip()
+        if not value.startswith('"') and "#" in value:
+            value = value.split("#", 1)[0].strip()
+        target = current if current is not None else doc
+        target[key.strip()] = _parse_toml_value(value, source, lineno)
+    return doc
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def evaluate(
+    rules: Sequence[SloRule],
+    records: Union[RunRecord, Sequence[RunRecord]],
+) -> SloReport:
+    """Check every rule against every record it applies to."""
+    if isinstance(records, RunRecord):
+        records = [records]
+    if not records:
+        raise ValueError("cannot evaluate SLO rules against zero records")
+    report = SloReport()
+    for record in records:
+        key = record.fingerprint.key
+        for rule in rules:
+            if not rule.applies_to(record):
+                continue
+            value = SLO_METRICS[rule.metric](record)
+            if value is None:
+                status = "skipped"
+            elif rule.violated(value):
+                status = rule.severity
+            else:
+                status = "pass"
+            report.checks.append(
+                SloCheck(rule=rule, key=key, value=value, status=status)
+            )
+    return report

@@ -1,0 +1,102 @@
+"""Durable storage for run records: JSONL ledgers and per-record files.
+
+Two layouts, one reader:
+
+* **ledger stream** — ``RunLedger(root).append(record)`` writes one
+  canonical-JSON line to ``<root>/ledger.jsonl``; the natural sink for
+  ongoing measurement (every line is a complete record).
+* **split records** — ``RunLedger(root).write(record)`` writes one
+  pretty-printed ``<slug>.json`` per record; the layout ``baselines/``
+  uses so committed records diff readably in review.
+
+:func:`load_records` reads either (a ``.json`` file, a ``.jsonl`` file,
+or a directory of both) and is what ``repro diff`` / ``repro check``
+hand their path arguments to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.ledger.record import RunRecord
+
+__all__ = ["RunLedger", "load_records", "index_by_key"]
+
+LEDGER_FILENAME = "ledger.jsonl"
+
+
+class RunLedger:
+    """A directory of run records (see module docstring for layouts)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def append(self, record: RunRecord) -> Path:
+        """Append one canonical-JSON line to the ledger stream."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / LEDGER_FILENAME
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(record.to_json() + "\n")
+        return path
+
+    def write(self, record: RunRecord, filename: Optional[str] = None) -> Path:
+        """Write one record as its own pretty-printed JSON file."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / (filename or f"{record.fingerprint.slug}.json")
+        path.write_text(record.to_json(indent=1) + "\n", encoding="utf-8")
+        return path
+
+    def records(self) -> List[RunRecord]:
+        """Every record under the root, in deterministic file order."""
+        return load_records(self.root)
+
+    def latest(self, key: str) -> Optional[RunRecord]:
+        """The last-loaded record whose fingerprint key matches."""
+        found = None
+        for record in self.records():
+            if record.fingerprint.key == key:
+                found = record
+        return found
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+def load_records(path: Union[str, Path]) -> List[RunRecord]:
+    """Read records from a ``.json`` file, ``.jsonl`` file, or directory.
+
+    Directory reads are sorted by filename so ordering is deterministic;
+    a malformed file raises with the offending path named.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such run-record path: {path}")
+    if path.is_dir():
+        records: List[RunRecord] = []
+        files = sorted(
+            p for p in path.iterdir()
+            if p.suffix in (".json", ".jsonl") and p.is_file()
+        )
+        if not files:
+            raise FileNotFoundError(
+                f"{path} contains no .json/.jsonl run records"
+            )
+        for file in files:
+            records.extend(load_records(file))
+        return records
+    try:
+        if path.suffix == ".jsonl":
+            return [
+                RunRecord.from_json(line)
+                for line in path.read_text(encoding="utf-8").splitlines()
+                if line.strip()
+            ]
+        return [RunRecord.from_json(path.read_text(encoding="utf-8"))]
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+
+
+def index_by_key(records: List[RunRecord]) -> Dict[str, RunRecord]:
+    """Index records by fingerprint key; later records win duplicates."""
+    return {record.fingerprint.key: record for record in records}

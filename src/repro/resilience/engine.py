@@ -74,6 +74,32 @@ class ResilientScheduleResult(ScheduleResult):
             and len(self.latencies_s) == self.completed
         )
 
+    def rate_scalars(self) -> Dict[str, float]:
+        """Flat scalar view for run-ledger records and SLO rules.
+
+        Rates are fractions of *issued* queries, so records taken at
+        different query counts stay comparable.
+        """
+        issued = max(self.queries, 1)
+        scalars = {
+            "completed": float(self.completed),
+            "shed": float(self.shed),
+            "dropped": float(self.dropped),
+            "shed_rate": self.shed / issued,
+            "drop_rate": self.dropped / issued,
+            "goodput_qps": self.goodput_qps,
+            "retries": float(self.retries),
+            "timeouts": float(self.timeouts),
+            "hedges": float(self.hedges),
+            "hedge_wins": float(self.hedge_wins),
+            "failovers": float(self.failovers),
+            "degraded_queries": float(self.degraded_queries),
+            "breaker_trips": float(self.breaker_trips),
+        }
+        for key in sorted(self.fault_counts):
+            scalars[f"faults.{key}"] = float(self.fault_counts[key])
+        return scalars
+
 
 class _Outcome:
     COMPLETED = 0

@@ -7,6 +7,7 @@ from repro.runtime.graph_cache import (
     clear_graph_cache,
     get_graph,
     graph_cache_stats,
+    signature_digest,
 )
 from repro.runtime.scheduler import (
     BatchingPolicy,
@@ -40,4 +41,5 @@ __all__ = [
     "clear_graph_cache",
     "graph_cache_stats",
     "bypass_graph_cache",
+    "signature_digest",
 ]

@@ -17,11 +17,12 @@ the cache without bound.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro import telemetry
 from repro.analysis import assert_verified
@@ -34,7 +35,30 @@ __all__ = [
     "clear_graph_cache",
     "graph_cache_stats",
     "bypass_graph_cache",
+    "signature_digest",
 ]
+
+
+def signature_digest(model) -> str:
+    """Stable hex digest of a model's structural graph signature.
+
+    The in-process cache keys on the raw signature tuple; run-ledger
+    records need the same identity *across* processes and checkouts, so
+    this digests the signature's repr with BLAKE2b (process-salt free,
+    unlike ``hash()``). Models falling back to identity signatures get
+    an explicitly unstable ``"id:..."`` digest so records never claim a
+    stable identity they don't have.
+    """
+    signature = (
+        model.graph_signature()
+        if hasattr(model, "graph_signature")
+        else ("id", id(model))
+    )
+    if len(signature) >= 2 and signature[-2] == "id":
+        return f"id:{signature[-1]:x}"
+    return hashlib.blake2b(
+        repr(signature).encode("utf-8"), digest_size=8
+    ).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -47,6 +71,14 @@ class GraphCacheStats:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "size": float(self.size),
+            "hit_rate": self.hit_rate,
+        }
 
 
 class GraphCache:

@@ -204,6 +204,32 @@ class ScheduleResult:
     def meets_sla(self, sla_seconds: float, percentile: float = 99.0) -> bool:
         return self.percentile(percentile) <= sla_seconds
 
+    # -- run-ledger exports --------------------------------------------------
+
+    def latency_histogram(self, exact_cap: int = 4096):
+        """Completed-query latencies as a serializable StreamingHistogram.
+
+        Under ``exact_cap`` observations the histogram's quantiles match
+        ``percentile()`` exactly, so a persisted
+        :class:`~repro.ledger.RunRecord` reproduces this run's p50/p95/
+        p99 from histogram state alone — and shard records merge.
+        """
+        from repro.telemetry import StreamingHistogram
+
+        hist = StreamingHistogram(exact_cap=exact_cap)
+        hist.observe_many(self.latencies_s)
+        return hist
+
+    def occupancy_histogram(self, max_batch: int):
+        """Dispatched batch sizes as a histogram (queue-depth regime)."""
+        from repro.telemetry import StreamingHistogram
+
+        hist = StreamingHistogram(
+            min_value=1.0, max_value=float(max(max_batch, 2)) * 2.0
+        )
+        hist.observe_many(np.asarray(self.batch_sizes, dtype=float))
+        return hist
+
 
 class QueryScheduler:
     """Discrete-event simulation of one batching server.

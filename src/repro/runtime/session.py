@@ -74,6 +74,29 @@ class InferenceProfile:
             return ""
         return max(self.op_time_by_kind.items(), key=lambda kv: kv[1])[0]
 
+    def summary_scalars(self) -> Dict[str, float]:
+        """End-to-end scalars for run-ledger records and SLO rules.
+
+        PMU-derived metrics (i-MPKI, branch MPKI, AVX fraction, IPC)
+        appear only on CPU platforms, matching :attr:`events`.
+        """
+        scalars = {
+            "total_seconds": self.total_seconds,
+            "compute_seconds": self.compute_seconds,
+            "data_comm_seconds": self.data_comm_seconds,
+            "data_comm_fraction": self.data_comm_fraction,
+            "throughput_qps": self.throughput_qps,
+        }
+        if self.events is not None:
+            scalars.update(
+                i_mpki=self.events.i_mpki,
+                branch_mpki=self.events.branch_mpki,
+                avx_fraction=self.events.avx_fraction,
+                ipc=self.events.ipc,
+                dram_congested_fraction=self.events.dram_congested_fraction,
+            )
+        return scalars
+
 
 def data_comm_span(profile: InferenceProfile, t0: float = 0.0) -> Optional[Span]:
     """The leading data-load / transfer phase as a tracer span."""

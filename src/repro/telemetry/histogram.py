@@ -13,6 +13,13 @@ Two quantile regimes:
 * past the cap the raw values are dropped and quantiles are
   interpolated within log buckets, with relative error bounded by the
   bucket ``growth`` factor (5 % by default).
+
+Histograms serialize losslessly (:meth:`StreamingHistogram.to_state` /
+:meth:`StreamingHistogram.from_state`): the state carries the bucket
+configuration, sparse bucket counts, and — while still in the exact
+regime — the retained raw values, so a deserialized histogram answers
+every quantile query identically to the original, and per-shard run
+records can be merged into one fleet-wide distribution.
 """
 
 from __future__ import annotations
@@ -243,6 +250,66 @@ class StreamingHistogram:
             quantiles=qs,
         )
 
+    # -- serialization ------------------------------------------------------
+
+    #: Version tag written into every serialized state dict.
+    STATE_VERSION = 1
+
+    def to_state(self) -> Dict[str, object]:
+        """Lossless, JSON-safe dump of the full histogram state.
+
+        Bucket counts are stored sparsely as ``[index, count]`` pairs;
+        raw values survive while the histogram is still in the exact
+        regime, so ``from_state(h.to_state())`` answers every
+        :meth:`quantile` query identically to ``h``.
+        """
+        with self._lock:
+            return {
+                "version": self.STATE_VERSION,
+                "min_value": self.min_value,
+                "max_value": self.max_value,
+                "growth": self.growth,
+                "exact_cap": self.exact_cap,
+                "counts": [
+                    [i, c] for i, c in enumerate(self._counts) if c
+                ],
+                "count": self._count,
+                "total": self._total,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "exact": list(self._exact) if self._exact is not None else None,
+            }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "StreamingHistogram":
+        """Rebuild a histogram from :meth:`to_state` output."""
+        version = state.get("version")
+        if version != cls.STATE_VERSION:
+            raise ValueError(
+                f"unsupported histogram state version {version!r}; this "
+                f"build reads version {cls.STATE_VERSION}"
+            )
+        hist = cls(
+            min_value=float(state["min_value"]),
+            max_value=float(state["max_value"]),
+            growth=float(state["growth"]),
+            exact_cap=int(state["exact_cap"]),
+        )
+        for index, count in state["counts"]:
+            if not 0 <= index < hist._num_buckets:
+                raise ValueError(
+                    f"bucket index {index} out of range for "
+                    f"{hist._num_buckets} buckets"
+                )
+            hist._counts[index] = int(count)
+        hist._count = int(state["count"])
+        hist._total = float(state["total"])
+        hist._min = math.inf if state["min"] is None else float(state["min"])
+        hist._max = -math.inf if state["max"] is None else float(state["max"])
+        exact = state["exact"]
+        hist._exact = None if exact is None else [float(v) for v in exact]
+        return hist
+
     # -- lifecycle ----------------------------------------------------------
 
     def reset(self) -> None:
@@ -263,6 +330,10 @@ class StreamingHistogram:
         ):
             raise ValueError("cannot merge histograms with different buckets")
         with self._lock:
+            if other._count == 0:
+                # Nothing to fold in — and crucially, merging an empty
+                # shard must not degrade this histogram's exact regime.
+                return self
             for i, c in enumerate(other._counts):
                 self._counts[i] += c
             self._count += other._count

@@ -217,6 +217,13 @@ class MetricsRegistry:
 
         Each record has ``name``, ``type``, ``labels`` and type-specific
         value fields — the exchange format the exporters consume.
+
+        Ordering is deterministic and registration-independent: records
+        sort by metric name, then the canonicalized label tuple, then
+        type, and label dicts themselves are built in sorted key order —
+        so two processes that recorded the same metrics serialize
+        byte-identical snapshots regardless of registration order
+        (run-ledger records rely on this).
         """
         records: List[Dict[str, Any]] = []
         with self._lock:
@@ -238,7 +245,13 @@ class MetricsRegistry:
                 }
                 record.update(h.snapshot().as_dict())
                 records.append(record)
-        records.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        records.sort(
+            key=lambda r: (
+                r["name"],
+                tuple(sorted(r["labels"].items())),
+                r["type"],
+            )
+        )
         return records
 
     def reset(self) -> None:

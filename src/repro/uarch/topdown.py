@@ -40,6 +40,19 @@ class TopDownBreakdown:
             "backend_bound": self.backend_bound,
         }
 
+    def as_dict(self) -> Dict[str, float]:
+        """Both hierarchy levels as one flat dict (run-ledger exchange form)."""
+        return {
+            "retiring": self.retiring,
+            "bad_speculation": self.bad_speculation,
+            "frontend_bound": self.frontend_bound,
+            "backend_bound": self.backend_bound,
+            "frontend_latency": self.frontend_latency,
+            "frontend_bandwidth": self.frontend_bandwidth,
+            "core_bound": self.core_bound,
+            "memory_bound": self.memory_bound,
+        }
+
     @property
     def core_to_memory_ratio(self) -> float:
         """Core:Memory backend-bound ratio (Fig 10 top)."""

@@ -180,3 +180,185 @@ class TestResilienceCommand:
     def test_unknown_model_exits_cleanly(self):
         with pytest.raises(SystemExit, match="unknown model"):
             main(["resilience", "--model", "bert", "--queries", "50"])
+
+
+class TestLedgerCommands:
+    def _record(self, out_dir, split=False, models=("rm1",)):
+        argv = [
+            "record", "--models", *models, "--platforms", "broadwell",
+            "--batch-size", "64", "--queries", "200", "--seed", "2020",
+            "--out", str(out_dir),
+        ]
+        if split:
+            argv.append("--split")
+        return main(argv)
+
+    def test_record_appends_jsonl(self, capsys, tmp_path):
+        assert self._record(tmp_path / "runs") == 0
+        out = capsys.readouterr().out
+        assert "rm1|broadwell|b64" in out
+        assert (tmp_path / "runs" / "ledger.jsonl").exists()
+
+    def test_record_split_writes_per_record_files(self, capsys, tmp_path):
+        assert self._record(tmp_path, split=True) == 0
+        assert (tmp_path / "rm1_broadwell_b64.json").exists()
+
+    def test_record_unknown_platform_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown platform"):
+            main(["record", "--platforms", "tpu", "--out", str(tmp_path)])
+
+    def test_diff_two_paths_clean(self, capsys, tmp_path):
+        self._record(tmp_path / "a")
+        capsys.readouterr()
+        self._record(tmp_path / "b")
+        capsys.readouterr()
+        assert main([
+            "diff", str(tmp_path / "a"), str(tmp_path / "b"),
+            "--fail-on-regression",
+        ]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_diff_against_flags_perturbed_record(self, capsys, tmp_path):
+        import json
+
+        self._record(tmp_path / "base", split=True)
+        self._record(tmp_path / "cand", split=True)
+        capsys.readouterr()
+        path = tmp_path / "cand" / "rm1_broadwell_b64.json"
+        doc = json.loads(path.read_text())
+        doc["scalars"]["total_seconds"] *= 2.0
+        path.write_text(json.dumps(doc))
+        assert main([
+            "diff", str(tmp_path / "cand"), "--against",
+            str(tmp_path / "base"), "--fail-on-regression",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        # Without the gate flag the same diff is informational.
+        assert main([
+            "diff", str(tmp_path / "cand"), "--against", str(tmp_path / "base"),
+        ]) == 0
+
+    def test_diff_gate_trips_on_coverage_gap(self, capsys, tmp_path):
+        self._record(tmp_path / "base", models=("rm1", "ncf"))
+        self._record(tmp_path / "cand", models=("rm1",))
+        capsys.readouterr()
+        assert main([
+            "diff", str(tmp_path / "cand"), "--against",
+            str(tmp_path / "base"), "--fail-on-regression",
+        ]) == 1
+        assert "not covered" in capsys.readouterr().out
+
+    def test_diff_json_format(self, capsys, tmp_path):
+        import json
+
+        self._record(tmp_path / "a")
+        capsys.readouterr()
+        assert main([
+            "diff", str(tmp_path / "a"), str(tmp_path / "a"),
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"] == 0
+
+    def test_diff_needs_candidate_or_against(self, tmp_path):
+        self._record(tmp_path / "a")
+        with pytest.raises(SystemExit):
+            main(["diff", str(tmp_path / "a")])
+
+    def test_diff_missing_path_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such"):
+            main(["diff", str(tmp_path / "nope"), str(tmp_path / "nope")])
+
+    def test_check_pass_warn_fail_exit_codes(self, capsys, tmp_path):
+        self._record(tmp_path / "runs")
+        capsys.readouterr()
+        rules = tmp_path / "slo.toml"
+        rules.write_text(
+            '[[rule]]\nmetric = "p99_latency_s"\nmax = 1.0\n'
+        )
+        assert main([
+            "check", str(tmp_path / "runs"), "--rules", str(rules),
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+        rules.write_text(
+            '[[rule]]\nmetric = "p99_latency_s"\nmax = 1e-12\n'
+            'severity = "warn"\n'
+        )
+        assert main([
+            "check", str(tmp_path / "runs"), "--rules", str(rules),
+        ]) == 1
+        capsys.readouterr()
+        rules.write_text(
+            '[[rule]]\nmetric = "p99_latency_s"\nmax = 1e-12\n'
+        )
+        assert main([
+            "check", str(tmp_path / "runs"), "--rules", str(rules),
+        ]) == 2
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_bad_rules_exit_cleanly(self, tmp_path):
+        self._record(tmp_path / "runs")
+        rules = tmp_path / "bad.toml"
+        rules.write_text('[[rule]]\nmetric = "nope"\nmax = 1\n')
+        with pytest.raises(SystemExit, match="unknown metric"):
+            main(["check", str(tmp_path / "runs"), "--rules", str(rules)])
+
+    def test_committed_ci_gate_passes(self, capsys):
+        # The exact gate CI runs, against the committed artifacts.
+        assert main([
+            "check", "baselines", "--rules", "ci/slo.toml",
+        ]) == 0
+
+    def test_sweep_record_dir(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--models", "rm1", "--batches", "1", "64",
+            "--record-dir", str(tmp_path / "led"),
+        ]) == 0
+        assert "recorded 8 run records" in capsys.readouterr().out
+        assert (tmp_path / "led" / "ledger.jsonl").exists()
+
+    def test_resilience_record_dir(self, capsys, tmp_path):
+        assert main([
+            "resilience", "--model", "rm1", "--queries", "200",
+            "--record-dir", str(tmp_path / "led"),
+        ]) == 0
+        assert "recorded all-policies run" in capsys.readouterr().out
+        from repro.ledger import load_records
+
+        records = load_records(tmp_path / "led")
+        assert records[0].kind == "resilience"
+        assert records[0].has_latency()
+
+
+class TestTraceSchedulerModes:
+    def test_scheduler_mode_exports_batch_spans(self, capsys, tmp_path):
+        import json
+
+        out = str(tmp_path / "sched.trace.json")
+        assert main([
+            "trace", "--scheduler", "--model", "rm1", "--queries", "200",
+            "-o", out,
+        ]) == 0
+        doc = json.loads(open(out).read())
+        names = {e.get("name", "") for e in doc["traceEvents"]}
+        assert any(".batch" in n for n in names)
+        assert "scheduler:" in capsys.readouterr().out
+
+    def test_resilience_mode_exports_fault_spans(self, capsys, tmp_path):
+        import json
+
+        out = str(tmp_path / "res.trace.json")
+        assert main([
+            "trace", "--resilience", "--model", "rm1", "--queries", "200",
+            "-o", out,
+        ]) == 0
+        doc = json.loads(open(out).read())
+        names = {e.get("name", "") for e in doc["traceEvents"]}
+        assert any(".batch" in n for n in names)
+        assert any(".slowdown" in n or ".straggler" in n for n in names)
+        assert "injected" in capsys.readouterr().out
+
+    def test_modes_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--scheduler", "--resilience"])

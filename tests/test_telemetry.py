@@ -314,3 +314,132 @@ class TestGlobalState:
     def test_span_equality_for_noop_add(self):
         span = Span(name="n", category="c", start_s=0.0, end_s=1.0)
         assert span.duration_s == 1.0
+
+
+class TestHistogramState:
+    """Lossless serialize / merge surface added for the run ledger."""
+
+    def test_round_trip_exact_regime(self):
+        h = StreamingHistogram()
+        h.observe_many([0.001, 0.004, 0.0002, 0.9])
+        restored = StreamingHistogram.from_state(h.to_state())
+        for q in (1, 25, 50, 75, 99):
+            assert restored.quantile(q) == h.quantile(q)
+        assert restored.count == h.count
+        assert restored.mean == h.mean
+        assert restored.min == h.min
+        assert restored.max == h.max
+
+    def test_round_trip_bucketed_regime(self):
+        rng = np.random.default_rng(7)
+        h = StreamingHistogram(exact_cap=16)
+        h.observe_many(rng.lognormal(-6, 0.5, size=500))
+        restored = StreamingHistogram.from_state(h.to_state())
+        for q in (5, 50, 95, 99):
+            assert restored.quantile(q) == h.quantile(q)
+        assert restored.count == h.count
+        assert restored.total == h.total
+
+    def test_empty_round_trip(self):
+        restored = StreamingHistogram.from_state(StreamingHistogram().to_state())
+        assert restored.count == 0
+        with pytest.raises(ValueError):
+            restored.quantile(50)
+        # And an empty restored histogram still accepts observations.
+        restored.observe(0.001)
+        assert restored.quantile(50) == pytest.approx(0.001)
+
+    def test_state_is_json_serializable(self):
+        h = StreamingHistogram()
+        h.observe_many([0.001, 0.002])
+        state = json.loads(json.dumps(h.to_state()))
+        assert StreamingHistogram.from_state(state).quantile(50) == h.quantile(50)
+
+    def test_observe_many_empty_is_noop(self):
+        h = StreamingHistogram()
+        h.observe_many([])
+        h.observe_many(np.array([]))
+        assert h.count == 0
+
+    def test_version_mismatch_rejected(self):
+        state = StreamingHistogram().to_state()
+        state["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            StreamingHistogram.from_state(state)
+
+    def test_bad_bucket_index_rejected(self):
+        h = StreamingHistogram(exact_cap=0)
+        h.observe(0.001)
+        state = h.to_state()
+        state["counts"] = [[10**9, 1]]
+        with pytest.raises(ValueError):
+            StreamingHistogram.from_state(state)
+
+    def test_merge_empty_preserves_exact_regime(self):
+        a = StreamingHistogram()
+        a.observe_many([0.001, 0.002, 0.003])
+        empty = StreamingHistogram(exact_cap=0)  # exact list is None
+        a.merge(empty)
+        # Merging an empty shard must not degrade a to the bucket regime.
+        assert a.quantile(50) == pytest.approx(0.002, rel=1e-12)
+        assert a.count == 3
+
+    def test_merge_matches_concatenated_stream(self):
+        """Percentiles of a merge == percentiles of the combined stream."""
+        rng = np.random.default_rng(2020)
+        shards = [rng.lognormal(-6, 0.7, size=n) for n in (50, 200, 7)]
+        merged = StreamingHistogram()
+        for shard in shards:
+            h = StreamingHistogram()
+            h.observe_many(shard)
+            merged.merge(StreamingHistogram.from_state(h.to_state()))
+        combined = np.concatenate(shards)
+        assert merged.count == combined.size
+        for q in (1, 10, 50, 90, 99):
+            assert merged.quantile(q) == pytest.approx(
+                float(np.percentile(combined, q)), rel=1e-12
+            )
+
+    def test_merge_matches_concatenated_stream_bucketed(self):
+        rng = np.random.default_rng(11)
+        shards = [rng.lognormal(-6, 0.7, size=n) for n in (300, 500)]
+        merged = StreamingHistogram(exact_cap=32)
+        for shard in shards:
+            h = StreamingHistogram(exact_cap=32)
+            h.observe_many(shard)
+            merged.merge(h)
+        combined = np.concatenate(shards)
+        one_pass = StreamingHistogram(exact_cap=32)
+        one_pass.observe_many(combined)
+        # Beyond the exact cap both sides land in identical buckets, so
+        # the merge is indistinguishable from one pass over the stream.
+        for q in (5, 50, 95, 99):
+            assert merged.quantile(q) == one_pass.quantile(q)
+
+
+class TestSnapshotOrdering:
+    def test_snapshot_order_is_registration_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("zeta").inc(1)
+        a.counter("alpha", labels={"k": "2"}).inc(2)
+        a.counter("alpha", labels={"k": "1"}).inc(3)
+        a.gauge("alpha").set(4)
+        # Same metrics, reversed registration order.
+        b.gauge("alpha").set(4)
+        b.counter("alpha", labels={"k": "1"}).inc(3)
+        b.counter("alpha", labels={"k": "2"}).inc(2)
+        b.counter("zeta").inc(1)
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        assert snap_a == snap_b
+        assert json.dumps(snap_a, sort_keys=True) == json.dumps(
+            snap_b, sort_keys=True
+        )
+
+    def test_snapshot_sorted_by_name_then_labels(self):
+        r = MetricsRegistry()
+        r.counter("b").inc()
+        r.counter("a", labels={"x": "2"}).inc()
+        r.counter("a", labels={"x": "10"}).inc()
+        names = [(m["name"], tuple(sorted(m["labels"].items())))
+                 for m in r.snapshot()]
+        assert names == sorted(names)
