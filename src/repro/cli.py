@@ -22,6 +22,11 @@ Commands mirror the characterization workflow:
 * ``resilience`` — inject a fault scenario into the scheduler
   simulation and compare tail latency with each resilience policy
   on/off.
+* ``monitor`` — run one fault scenario with windowed time-series
+  telemetry attached: per-window timeline, regime-shift / tail-
+  excursion detection, and SLO burn-rate alerts (``--rules``).
+* ``report`` — render the time-series section of a persisted run
+  record as a markdown or self-contained HTML dashboard.
 * ``lint`` — run the REPnnn determinism/concurrency linter over source
   paths (text/JSON output; nonzero exit for CI gating).
 * ``verify`` — statically verify every zoo model graph (raw and
@@ -46,6 +51,7 @@ from repro.core import (
 )
 from repro.hw import PLATFORM_ORDER, PLATFORMS
 from repro.models import MODEL_ORDER, build_all_models, build_model
+from repro.monitor.scenario import SCENARIOS as _MONITOR_SCENARIOS
 from repro.runtime import (
     BatchingPolicy,
     InferenceSession,
@@ -55,6 +61,9 @@ from repro.runtime import (
 )
 
 __all__ = ["main", "build_parser"]
+
+#: Shared by the ``resilience`` and ``monitor`` subcommands.
+_SCENARIO_NAMES = tuple(_MONITOR_SCENARIOS)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,8 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=2020)
     p.add_argument(
-        "--scenario", default="slowdown",
-        choices=["slowdown", "crash", "drops", "stragglers", "pcie", "mixed"],
+        "--scenario", default="slowdown", choices=sorted(_SCENARIO_NAMES),
     )
     p.add_argument(
         "--deadline-ms", type=float, default=None, dest="deadline_ms",
@@ -173,6 +181,84 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--record-dir", default=None, dest="record_dir",
         help="append a run record of the all-policies run to this ledger",
+    )
+
+    p = sub.add_parser(
+        "monitor",
+        help="windowed serving timeline with regime/tail/burn-rate alerts",
+    )
+    p.add_argument("--model", default="rm1", help="model name (aliases ok)")
+    p.add_argument("--platform", default="t4", help="primary platform")
+    p.add_argument(
+        "--fallback", default=None,
+        help="standby platform for failover/hedging (default: none)",
+    )
+    p.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    p.add_argument("--queries", type=int, default=1200)
+    p.add_argument(
+        "--qps", type=float, default=None,
+        help="arrival rate (default: 40%% of the primary's peak capacity)",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument(
+        "--scenario", default="slowdown", choices=sorted(_SCENARIO_NAMES),
+    )
+    p.add_argument(
+        "--slowdown-multiplier", type=float, default=None,
+        dest="slowdown_multiplier",
+        help="override the scenario's GPU-throttle multiplier",
+    )
+    p.add_argument(
+        "--window-ms", type=float, default=None, dest="window_ms",
+        help="telemetry window (default: horizon / 24 windows)",
+    )
+    p.add_argument(
+        "--rules", default=None,
+        help="TOML SLO rules file; latency rules get windowed "
+        "fast/slow burn-rate evaluation",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--trace", default=None,
+        help="write a Perfetto trace (spans + time-series counter "
+        "tracks) to this path",
+    )
+    p.add_argument(
+        "--record-dir", default=None, dest="record_dir",
+        help="append a run record (with its compact time-series "
+        "section) to this ledger",
+    )
+    p.add_argument(
+        "--report", default=None, dest="report",
+        help="also write a dashboard to this path (.html -> HTML, "
+        "else markdown)",
+    )
+    p.add_argument(
+        "--expect-fault-alert", action="store_true",
+        dest="expect_fault_alert",
+        help="exit nonzero unless at least one fault-correlated alert "
+        "fires (CI smoke gate)",
+    )
+
+    p = sub.add_parser(
+        "report",
+        help="render a recorded time-series section as a dashboard",
+    )
+    p.add_argument(
+        "records", help="run-record file (.json/.jsonl) or ledger directory",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="dashboard path (default: stdout)",
+    )
+    p.add_argument(
+        "--format", choices=["md", "html", "text", "json"], default=None,
+        help="default: from the output extension, else md",
+    )
+    p.add_argument(
+        "--rules", default=None,
+        help="TOML SLO rules file for burn-rate re-evaluation "
+        "(lower-bound error fractions from the compact summary)",
     )
 
     p = sub.add_parser(
@@ -674,19 +760,12 @@ def _cmd_resilience(args) -> str:
     budget = SlaBudget(deadline, queue_fraction=0.5)
     horizon = args.queries / qps
 
+    from repro.monitor.scenario import scenario_kwargs
+
     names = [args.platform] + ([args.fallback] if fallback_stm else [])
-    scenario_kwargs = {
-        "slowdown": dict(slowdown_windows=1, slowdown_multiplier=4.0),
-        "crash": dict(slowdown_windows=0, crash_windows=1,
-                      crash_duration_frac=0.15),
-        "drops": dict(slowdown_windows=0, drop_probability=0.05),
-        "stragglers": dict(slowdown_windows=0, straggler_probability=0.08),
-        "pcie": dict(slowdown_windows=0, pcie_windows=1, pcie_scale=0.2),
-        "mixed": dict(slowdown_windows=1, slowdown_multiplier=3.0,
-                      crash_windows=1, crash_duration_frac=0.08,
-                      drop_probability=0.02, straggler_probability=0.04),
-    }[args.scenario]
-    plan = FaultPlan.synthesize(args.seed, names, horizon, **scenario_kwargs)
+    plan = FaultPlan.synthesize(
+        args.seed, names, horizon, **scenario_kwargs(args.scenario)
+    )
 
     retry = RetryPolicy(deadline_s=deadline, max_retries=2)
     hedge = HedgePolicy(delay_s=0.5 * budget.queue_budget_s)
@@ -785,6 +864,229 @@ def _cmd_resilience(args) -> str:
         path = RunLedger(args.record_dir).append(record)
         lines.append(f"recorded all-policies run -> {path}")
     return "\n".join(lines)
+
+
+def _monitor_alerts(summary, source, rules):
+    """All windowed analyses over one summary, in a stable order."""
+    from repro.monitor import (
+        detect_regime_shifts,
+        detect_tail_excursions,
+        evaluate_burn_rates,
+    )
+
+    alerts = list(detect_regime_shifts(summary))
+    alerts += detect_tail_excursions(summary)
+    if rules:
+        alerts += evaluate_burn_rates(source, rules)
+    return alerts
+
+
+def _cmd_monitor(args) -> Tuple[str, int]:
+    from repro.monitor import MonitorReport, run_monitored_scenario
+
+    rules = []
+    if args.rules:
+        from repro.ledger import load_rules
+
+        try:
+            rules = load_rules(args.rules)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
+
+    overrides = {}
+    if args.slowdown_multiplier is not None:
+        overrides["slowdown_multiplier"] = args.slowdown_multiplier
+    kwargs = dict(
+        batch_size=args.batch_size, queries=args.queries, qps=args.qps,
+        seed=args.seed,
+        window_s=args.window_ms * 1e-3 if args.window_ms else None,
+        fallback=args.fallback, scenario_overrides=overrides or None,
+    )
+    try:
+        if args.trace:
+            # Capture spans for the Perfetto export; telemetry is
+            # read-only w.r.t. the simulation, so results are identical
+            # either way.
+            with telemetry.capture() as (tracer, registry):
+                ms = run_monitored_scenario(
+                    args.model, args.platform, args.scenario, **kwargs
+                )
+        else:
+            tracer = registry = None
+            ms = run_monitored_scenario(
+                args.model, args.platform, args.scenario, **kwargs
+            )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+    summary = ms.timeseries.summary()
+    # Burn rates read the live TimeSeries: per-window histograms make
+    # the error fractions exact rather than percentile lower bounds.
+    alerts = _monitor_alerts(summary, ms.timeseries, rules)
+    result = ms.result
+    report = MonitorReport(
+        summary,
+        alerts,
+        meta={
+            "model": ms.model, "platform": ms.platform,
+            "fallback": ms.fallback, "scenario": ms.scenario,
+            "qps": ms.qps, "seed": ms.seed, "queries": ms.queries,
+            "batch_size": args.batch_size,
+            "deadline_s": ms.deadline_s,
+        },
+        scalars={
+            "completed": float(result.completed),
+            "shed": float(result.shed),
+            "dropped": float(result.dropped),
+            "p50_s": result.p50 if result.completed else float("nan"),
+            "p99_s": result.p99 if result.completed else float("nan"),
+        },
+        fault_windows=ms.fault_windows(),
+    )
+
+    extra = []
+    if args.trace:
+        try:
+            telemetry.write_chrome_trace(
+                args.trace, tracer.sorted_spans(),
+                process_name=f"repro monitor: {ms.model} on {ms.platform}",
+                metrics=registry.snapshot(),
+                timeseries=ms.timeseries,
+            )
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace output: {exc}")
+        extra.append(
+            f"trace: {args.trace}  (open in chrome://tracing or "
+            "ui.perfetto.dev)"
+        )
+    if args.record_dir:
+        from repro.ledger import RunLedger, fingerprint_for, record_schedule
+
+        record = record_schedule(
+            result,
+            fingerprint_for(
+                args.model, args.platform, args.batch_size, args.seed
+            ),
+            max_batch=args.batch_size,
+            kind="monitor",
+            timeseries=ms.timeseries,
+        )
+        record.scalars["arrival_qps"] = ms.qps
+        path = RunLedger(args.record_dir).append(record)
+        extra.append(f"recorded monitored run -> {path}")
+    if args.report:
+        doc = (
+            report.render_html() if args.report.endswith(".html")
+            else report.render_markdown()
+        )
+        try:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(doc)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write report output: {exc}")
+        extra.append(f"dashboard: {args.report}")
+
+    fault_alerts = sum(1 for a in alerts if a.fault_correlated)
+    code = 0
+    if args.expect_fault_alert and not fault_alerts:
+        extra.append("FAIL: no fault-correlated alert fired")
+        code = 1
+    if args.format == "json":
+        return report.to_json(), code
+    text = report.render_text()
+    if extra:
+        text += "\n" + "\n".join(extra)
+    return text, code
+
+
+def _cmd_report(args) -> str:
+    from repro.ledger import load_records
+    from repro.monitor import MonitorReport
+
+    rules = []
+    if args.rules:
+        from repro.ledger import load_rules
+
+        try:
+            rules = load_rules(args.rules)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
+    try:
+        records = load_records(args.records)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    windowed = [r for r in records if r.has_timeseries()]
+    if not windowed:
+        raise SystemExit(
+            f"error: no record under {args.records!r} carries a "
+            "time-series section (record one with `repro monitor "
+            "--record-dir`)"
+        )
+    record = windowed[0]
+
+    summary = record.timeseries_summary()
+    alerts = _monitor_alerts(summary, summary, rules)
+    # Injected windows are not persisted; reconstruct coarse
+    # (window-aligned) spans from the recorded fault-activity tracks.
+    fault_windows = []
+    for track in summary.fault_tracks():
+        active = [
+            i for i in summary.window_indices()
+            if summary.counter(track, i) > 0
+        ]
+        for start, end in _window_ranges(active):
+            fault_windows.append(
+                (
+                    summary.window_start(start),
+                    summary.window_start(end) + summary.window_s,
+                    track,
+                )
+            )
+    report = MonitorReport(
+        summary,
+        alerts,
+        meta={
+            "model": record.fingerprint.model,
+            "platform": record.fingerprint.platform,
+            "seed": record.fingerprint.seed,
+            "batch_size": record.fingerprint.batch_size,
+            "qps": record.scalars.get("arrival_qps"),
+            "kind": record.kind,
+        },
+        scalars=dict(record.scalars),
+        fault_windows=sorted(fault_windows),
+    )
+
+    fmt = args.format
+    if fmt is None:
+        fmt = "html" if (args.output or "").endswith(".html") else "md"
+    doc = {
+        "md": report.render_markdown,
+        "html": report.render_html,
+        "text": report.render_text,
+        "json": report.to_json,
+    }[fmt]()
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(doc)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write report output: {exc}")
+        extras = len(windowed) - 1
+        note = f" (+{extras} more windowed record(s) ignored)" if extras else ""
+        return f"dashboard: {args.output}  [{record.fingerprint.key}]{note}"
+    return doc
+
+
+def _window_ranges(indices):
+    """Consecutive ints -> inclusive (start, end) ranges."""
+    ranges = []
+    for i in sorted(indices):
+        if ranges and i == ranges[-1][1] + 1:
+            ranges[-1][1] = i
+        else:
+            ranges.append([i, i])
+    return [(a, b) for a, b in ranges]
 
 
 def _cmd_record(args) -> str:
@@ -986,6 +1288,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": lambda: _cmd_trace(args),
         "metrics": lambda: _cmd_metrics(args),
         "resilience": lambda: _cmd_resilience(args),
+        "monitor": lambda: _cmd_monitor(args),
+        "report": lambda: _cmd_report(args),
         "record": lambda: _cmd_record(args),
         "diff": lambda: _cmd_diff(args),
         "check": lambda: _cmd_check(args),

@@ -28,9 +28,18 @@ __all__ = [
     "SweepResult",
     "SpeedupStudy",
     "OptimalCell",
+    "PROCESS_POOL_MIN_WORK",
 ]
 
 BASELINE_PLATFORM = "broadwell"
+
+#: Minimum per-cell work (sum of profiled batch sizes) for ``mode=
+#: "auto"`` to pick the process pool. Below this, pickling models /
+#: profiles across process boundaries costs more than the profiling
+#: itself — BENCH_sweep.json measured the full paper grid (per-cell
+#: work ~2.1e4) at 0.46 s under the process pool vs 0.26 s serial —
+#: so auto stays on threads, which share the graph cache for free.
+PROCESS_POOL_MIN_WORK = 200_000
 
 
 @dataclass
@@ -102,8 +111,13 @@ class SpeedupStudy:
           be rebuildable by name (``repro.models.build_model``), since
           workers reconstruct their models. Stable content-digest seeds
           guarantee identical parameters in every process.
-        * ``"auto"`` — ``"process"`` when all models are canonical zoo
-          builds, else ``"thread"``.
+        * ``"auto"`` — ``"process"`` only when all models are canonical
+          zoo builds *and* the per-cell work (sum of profiled batch
+          sizes) clears :data:`PROCESS_POOL_MIN_WORK`; otherwise
+          ``"thread"``, since below that threshold serialization
+          overhead dominates the profiling work. The decision lands in
+          the ``sweep.pool_mode`` telemetry counter when telemetry is
+          enabled.
 
         Results are merged in the canonical serial order, so parallel
         and serial sweeps are profile-for-profile identical.
@@ -130,6 +144,20 @@ class SpeedupStudy:
         session = InferenceSession(self.models[model_name], platform)
         return [(batch, session.profile(batch)) for batch in self.batch_sizes]
 
+    def _cell_work(self) -> int:
+        """Per-cell work proxy: total queries profiled in one cell."""
+        return sum(self.batch_sizes)
+
+    @staticmethod
+    def _note_pool_mode(mode: str) -> None:
+        """Record the auto-resolved pool choice as a telemetry counter."""
+        from repro import telemetry
+
+        if telemetry.enabled():
+            telemetry.get_registry().counter(
+                "sweep.pool_mode", mode=mode
+            ).inc()
+
     def _process_safe(self) -> bool:
         """Whether every model can be rebuilt by name in a worker process."""
         for name, model in self.models.items():
@@ -148,7 +176,13 @@ class SpeedupStudy:
         if mode not in ("auto", "thread", "process"):
             raise ValueError(f"unknown sweep mode {mode!r}")
         if mode == "auto":
-            mode = "process" if self._process_safe() else "thread"
+            mode = (
+                "process"
+                if self._process_safe()
+                and self._cell_work() >= PROCESS_POOL_MIN_WORK
+                else "thread"
+            )
+            self._note_pool_mode(mode)
         elif mode == "process" and not self._process_safe():
             raise ValueError(
                 "process-mode sweeps require canonical zoo models "

@@ -47,7 +47,8 @@ __all__ = [
 
 #: Bump when the record layout changes incompatibly; readers refuse
 #: records from a different version with a clear error.
-SCHEMA_VERSION = 1
+#: v2: optional compact windowed time-series section (``timeseries``).
+SCHEMA_VERSION = 2
 
 #: Histogram names a record may carry.
 LATENCY_HISTOGRAM = "query_latency_s"
@@ -125,6 +126,11 @@ class RunRecord:
     topdown: Optional[Dict[str, float]] = None
     histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     metrics: List[Dict[str, Any]] = field(default_factory=list)
+    #: Optional compact windowed telemetry
+    #: (:meth:`repro.telemetry.TimeSeries.compact_state`): per-window
+    #: counters/gauges in full, histograms as [count, sum, p50, p95,
+    #: p99]. Rehydrate with :meth:`timeseries_summary`.
+    timeseries: Optional[Dict[str, Any]] = None
 
     # -- distribution access -------------------------------------------------
 
@@ -144,6 +150,21 @@ class RunRecord:
     def has_latency(self) -> bool:
         state = self.histograms.get(LATENCY_HISTOGRAM)
         return bool(state) and int(state.get("count", 0)) > 0
+
+    def has_timeseries(self) -> bool:
+        return bool(self.timeseries)
+
+    def timeseries_summary(self):
+        """The stored windowed telemetry as a
+        :class:`~repro.telemetry.TimeSeriesSummary` view."""
+        from repro.telemetry import TimeSeriesSummary
+
+        if not self.timeseries:
+            raise KeyError(
+                f"record {self.fingerprint.key} carries no time-series "
+                "section (recorded without windowed telemetry)"
+            )
+        return TimeSeriesSummary.from_compact_state(self.timeseries)
 
     # -- serialization -------------------------------------------------------
 
@@ -166,6 +187,7 @@ class RunRecord:
                 k: self.histograms[k] for k in sorted(self.histograms)
             },
             "metrics": self.metrics,
+            "timeseries": self.timeseries,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -204,6 +226,7 @@ class RunRecord:
             ),
             histograms=dict(data.get("histograms", {})),
             metrics=list(data.get("metrics", [])),
+            timeseries=data.get("timeseries"),
         )
 
     @classmethod
@@ -316,6 +339,7 @@ def record_schedule(
     kind: str = "serve",
     timestamp: Optional[float] = None,
     base: Optional[RunRecord] = None,
+    timeseries=None,
 ) -> RunRecord:
     """Freeze a scheduler / resilience run into a record.
 
@@ -323,7 +347,9 @@ def record_schedule(
     resilient subclass, whose policy/fault counters are folded into the
     scalars). When ``base`` is given (a profile record of the same
     fingerprint), its operator breakdown, TopDown stack, and scalars are
-    carried over so one record spans the whole stack.
+    carried over so one record spans the whole stack. ``timeseries``
+    (a :class:`~repro.telemetry.TimeSeries` or an already-compact state
+    dict) embeds the run's windowed telemetry.
     """
     scalars: Dict[str, float] = dict(base.scalars) if base is not None else {}
     op_seconds = dict(base.op_seconds) if base is not None else {}
@@ -342,6 +368,13 @@ def record_schedule(
     if latency_hist.count:
         for p in (50.0, 95.0, 99.0):
             scalars[f"p{p:g}_latency_s"] = latency_hist.quantile(p)
+    ts_state = None
+    if timeseries is not None:
+        ts_state = (
+            timeseries.compact_state()
+            if hasattr(timeseries, "compact_state")
+            else dict(timeseries)
+        )
     return RunRecord(
         fingerprint=fingerprint,
         kind=kind,
@@ -356,6 +389,7 @@ def record_schedule(
             ).to_state(),
         },
         metrics=metrics,
+        timeseries=ts_state,
     )
 
 

@@ -125,8 +125,18 @@ class SloRule:
     severity: str = "fail"
     model: str = "*"
     platform: str = "*"
+    #: Error budget for windowed burn-rate monitoring: the allowed
+    #: fraction of queries violating this rule's bound. None lets the
+    #: monitor derive a default (1 - q/100 for pXX latency rules).
+    #: End-of-run evaluation ignores it.
+    budget: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.budget is not None and not 0.0 < self.budget < 1.0:
+            raise ValueError(
+                f"rule {self.name!r}: budget must be in (0, 1), got "
+                f"{self.budget!r}"
+            )
         if self.metric not in SLO_METRICS:
             raise ValueError(
                 f"rule {self.name!r}: unknown metric {self.metric!r}; "
@@ -266,7 +276,7 @@ def parse_rules(text: str, source: str = "<rules>") -> List[SloRule]:
     rules = []
     for i, raw in enumerate(raw_rules):
         known = {"name", "metric", "max", "min", "severity", "model",
-                 "platform"}
+                 "platform", "budget"}
         unknown = sorted(set(raw) - known)
         if unknown:
             raise ValueError(
@@ -285,6 +295,10 @@ def parse_rules(text: str, source: str = "<rules>") -> List[SloRule]:
                     severity=str(raw.get("severity", "fail")),
                     model=str(raw.get("model", "*")),
                     platform=str(raw.get("platform", "*")),
+                    budget=(
+                        None if raw.get("budget") is None
+                        else float(raw["budget"])
+                    ),
                 )
             )
         except ValueError as exc:

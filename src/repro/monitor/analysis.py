@@ -1,0 +1,222 @@
+"""Windowed timeline analyses: utilization regimes and tail excursions.
+
+Both analyses read only the plain per-window summary
+(:class:`~repro.telemetry.timeseries.TimeSeriesSummary`), so they work
+identically on a live simulation and on a persisted ledger record.
+
+*Regimes* follow the M/M/1 intuition the serving simulation embodies:
+per-window utilization ``rho = busy seconds / window seconds`` places
+the server in idle / light / busy / saturated territory, and latency
+behavior changes qualitatively across those boundaries (the
+1/(1-rho) blow-up). A window-over-window regime change — or a large
+utilization step — is exactly the drift an at-scale tuner must react
+to, so it surfaces as an alert.
+
+*Tail excursions* compare each window's p99 against the run's median
+per-window p99: a window (or consecutive run of windows) beyond
+``factor`` times the median is an excursion, and it is flagged
+*fault-correlated* when fault-injection activity lands in the same
+windows (one window of slack either side, since a batch started inside
+a fault window can finish — and record its latency — just after it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.timeseries import TimeSeriesSummary
+
+__all__ = [
+    "Alert",
+    "REGIME_THRESHOLDS",
+    "classify_regime",
+    "utilization_series",
+    "detect_regime_shifts",
+    "detect_tail_excursions",
+]
+
+#: (upper rho bound, regime name); the last entry catches everything.
+REGIME_THRESHOLDS: Tuple[Tuple[float, str], ...] = (
+    (0.05, "idle"),
+    (0.70, "light"),
+    (0.95, "busy"),
+    (float("inf"), "saturated"),
+)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detected anomaly over a contiguous window range.
+
+    ``kind`` is one of ``fast_burn`` / ``slow_burn`` (burn-rate rules),
+    ``tail_excursion``, or ``regime_shift``. ``start_s`` / ``end_s``
+    are simulated-clock bounds of the affected windows;
+    ``fault_correlated`` marks overlap with fault-injection activity.
+    """
+
+    kind: str
+    start_window: int
+    end_window: int
+    start_s: float
+    end_s: float
+    detail: str
+    rule: Optional[str] = None
+    value: float = 0.0
+    threshold: float = 0.0
+    severity: str = "warn"
+    fault_correlated: bool = False
+
+    def describe(self) -> str:
+        tag = " [fault-correlated]" if self.fault_correlated else ""
+        rule = f" rule={self.rule}" if self.rule else ""
+        return (
+            f"{self.severity.upper():4s} {self.kind}{rule} "
+            f"windows {self.start_window}-{self.end_window} "
+            f"({self.start_s:.2f}s-{self.end_s:.2f}s): {self.detail}{tag}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "rule": self.rule,
+            "start_window": self.start_window,
+            "end_window": self.end_window,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "value": self.value,
+            "threshold": self.threshold,
+            "severity": self.severity,
+            "fault_correlated": self.fault_correlated,
+            "detail": self.detail,
+        }
+
+
+def classify_regime(rho: float) -> str:
+    """Utilization -> queueing regime name."""
+    for bound, name in REGIME_THRESHOLDS:
+        if rho < bound:
+            return name
+    return REGIME_THRESHOLDS[-1][1]
+
+
+def utilization_series(
+    summary: TimeSeriesSummary, busy_track: str = "busy_s"
+) -> List[Tuple[int, float]]:
+    """Per-window (index, rho) for every observed window."""
+    return [
+        (i, summary.utilization(i, busy_track))
+        for i in summary.window_indices()
+    ]
+
+
+def _fault_correlated(
+    summary: TimeSeriesSummary, start: int, end: int, slack: int = 1
+) -> bool:
+    return any(
+        summary.fault_activity(i) > 0
+        for i in range(start - slack, end + slack + 1)
+    )
+
+
+def _group_windows(flagged: List[int]) -> List[Tuple[int, int]]:
+    """Consecutive flagged indices -> inclusive (start, end) ranges."""
+    ranges: List[Tuple[int, int]] = []
+    for i in flagged:
+        if ranges and i == ranges[-1][1] + 1:
+            ranges[-1] = (ranges[-1][0], i)
+        else:
+            ranges.append((i, i))
+    return ranges
+
+
+def detect_regime_shifts(
+    summary: TimeSeriesSummary,
+    busy_track: str = "busy_s",
+    min_delta: float = 0.2,
+) -> List[Alert]:
+    """Window-over-window utilization drift.
+
+    A window alerts when its regime class differs from the previous
+    window's *and* utilization moved by at least ``min_delta`` — the
+    class check gives qualitative meaning, the delta check suppresses
+    chatter from windows straddling a boundary.
+    """
+    series = utilization_series(summary, busy_track)
+    flagged: List[int] = []
+    details: Dict[int, Tuple[float, float]] = {}
+    for (_, prev_rho), (idx, rho) in zip(series, series[1:]):
+        if classify_regime(rho) != classify_regime(prev_rho) and (
+            abs(rho - prev_rho) >= min_delta
+        ):
+            flagged.append(idx)
+            details[idx] = (prev_rho, rho)
+    alerts = []
+    for start, end in _group_windows(flagged):
+        first_prev, _ = details[start]
+        _, last_rho = details[end]
+        alerts.append(
+            Alert(
+                kind="regime_shift",
+                start_window=start,
+                end_window=end,
+                start_s=summary.window_start(start),
+                end_s=summary.window_start(end) + summary.window_s,
+                value=last_rho,
+                threshold=min_delta,
+                severity="warn",
+                fault_correlated=_fault_correlated(summary, start, end),
+                detail=(
+                    f"utilization {first_prev:.2f} -> {last_rho:.2f} "
+                    f"({classify_regime(first_prev)} -> "
+                    f"{classify_regime(last_rho)})"
+                ),
+            )
+        )
+    return alerts
+
+
+def detect_tail_excursions(
+    summary: TimeSeriesSummary,
+    track: str = "latency_s",
+    percentile: float = 99.0,
+    factor: float = 2.0,
+) -> List[Alert]:
+    """Windows whose p99 exceeds ``factor`` x the median window p99."""
+    indices = summary.window_indices()
+    values: Dict[int, float] = {}
+    for i in indices:
+        v = summary.percentile(track, i, percentile)
+        if v is not None:
+            values[i] = v
+    if len(values) < 2:
+        return []
+    ordered = sorted(values.values())
+    baseline = ordered[len(ordered) // 2]
+    if baseline <= 0:
+        return []
+    threshold = factor * baseline
+    flagged = [i for i in sorted(values) if values[i] > threshold]
+    alerts = []
+    for start, end in _group_windows(flagged):
+        peak = max(values[i] for i in range(start, end + 1) if i in values)
+        alerts.append(
+            Alert(
+                kind="tail_excursion",
+                start_window=start,
+                end_window=end,
+                start_s=summary.window_start(start),
+                end_s=summary.window_start(end) + summary.window_s,
+                rule=f"p{percentile:g}({track})",
+                value=peak,
+                threshold=threshold,
+                severity="warn",
+                fault_correlated=_fault_correlated(summary, start, end),
+                detail=(
+                    f"p{percentile:g} peaked at {peak * 1e3:.2f} ms vs "
+                    f"median-window {baseline * 1e3:.2f} ms "
+                    f"(x{peak / baseline:.1f})"
+                ),
+            )
+        )
+    return alerts

@@ -1,0 +1,335 @@
+"""Render windowed monitor output: text timeline, JSON, dashboards.
+
+A :class:`MonitorReport` bundles one run's per-window summary, the
+alerts every analysis produced, and the run metadata, then renders it
+four ways:
+
+* ``render_text`` — the ``repro monitor`` terminal timeline: one row
+  per window (QPS, utilization+regime, occupancy, p50/p99, faults,
+  health), alert list underneath;
+* ``to_json`` — the machine-readable form (golden-pinned in tests);
+* ``render_markdown`` — the same timeline as a GitHub-flavored table
+  with unicode sparklines, for ``repro report -o dash.md``;
+* ``render_html`` — a self-contained dashboard (inline CSS + SVG
+  charts, zero external assets) CI uploads as a build artifact.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import render_table
+from repro.monitor.analysis import Alert, classify_regime
+from repro.telemetry.timeseries import TimeSeriesSummary
+
+__all__ = ["MonitorReport", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Values -> a fixed-height unicode sparkline (empty-safe)."""
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    out = []
+    for v in values:
+        if v is None:
+            out.append(" ")
+            continue
+        t = 0.0 if span <= 0 else (v - lo) / span
+        out.append(_SPARK_CHARS[min(int(t * len(_SPARK_CHARS)),
+                                    len(_SPARK_CHARS) - 1)])
+    return "".join(out)
+
+
+class MonitorReport:
+    """One monitored run, ready to render."""
+
+    def __init__(
+        self,
+        summary: TimeSeriesSummary,
+        alerts: Sequence[Alert],
+        meta: Optional[Dict[str, Any]] = None,
+        scalars: Optional[Dict[str, float]] = None,
+        fault_windows: Optional[Sequence[Tuple[float, float, str]]] = None,
+    ) -> None:
+        self.summary = summary
+        self.alerts = list(alerts)
+        self.meta = dict(meta or {})
+        self.scalars = dict(scalars or {})
+        self.fault_windows = list(fault_windows or [])
+
+    # -- row extraction ------------------------------------------------------
+
+    def _rows(self) -> List[Dict[str, Any]]:
+        s = self.summary
+        alert_windows: Dict[int, List[str]] = {}
+        for a in self.alerts:
+            for i in range(a.start_window, a.end_window + 1):
+                alert_windows.setdefault(i, []).append(a.kind)
+        rows = []
+        for i in s.window_indices():
+            lat = s.histogram_summary("latency_s", i)
+            occ = s.gauge("batch_occupancy", i)
+            queue = s.gauge("queue_depth", i)
+            rho = s.utilization(i)
+            states: Dict[str, int] = {}
+            for track in s.track_names("state"):
+                for state, count in s.states(track, i).items():
+                    states[state] = states.get(state, 0) + count
+            rows.append(
+                {
+                    "window": i,
+                    "start_s": s.window_start(i),
+                    "qps": s.counter("arrivals", i) / s.window_s,
+                    "completions": s.counter("completions", i),
+                    "utilization": rho,
+                    "regime": classify_regime(rho),
+                    "occupancy": occ["mean"] if occ else None,
+                    "queue_depth": queue["max"] if queue else None,
+                    "p50_ms": lat["p50"] * 1e3 if lat else None,
+                    "p99_ms": lat["p99"] * 1e3 if lat else None,
+                    "fault_activity": s.fault_activity(i),
+                    "health": states,
+                    "alerts": sorted(set(alert_windows.get(i, []))),
+                }
+            )
+        return rows
+
+    # -- renderers -----------------------------------------------------------
+
+    def _header_line(self) -> str:
+        m = self.meta
+        bits = []
+        if m.get("model"):
+            target = m["model"]
+            if m.get("platform"):
+                target += f"/{m['platform']}"
+                if m.get("fallback"):
+                    target += f"+{m['fallback']}"
+            bits.append(target)
+        if m.get("scenario"):
+            bits.append(f"scenario '{m['scenario']}'")
+        if m.get("qps"):
+            bits.append(f"{m['qps']:.0f} QPS")
+        if m.get("seed") is not None:
+            bits.append(f"seed {m['seed']}")
+        bits.append(f"window {self.summary.window_s * 1e3:.0f} ms")
+        return "monitor: " + ", ".join(bits)
+
+    def render_text(self) -> str:
+        rows = self._rows()
+        table_rows = []
+        for r in rows:
+            health = ",".join(
+                f"{k}:{v}" for k, v in sorted(r["health"].items())
+            )
+            table_rows.append(
+                [
+                    r["window"],
+                    f"{r['start_s']:.2f}",
+                    f"{r['qps']:.0f}",
+                    f"{r['utilization']:.2f}",
+                    r["regime"],
+                    "-" if r["occupancy"] is None else f"{r['occupancy']:.1f}",
+                    "-" if r["p50_ms"] is None else f"{r['p50_ms']:.2f}",
+                    "-" if r["p99_ms"] is None else f"{r['p99_ms']:.2f}",
+                    f"{r['fault_activity']:.1f}" if r["fault_activity"] else "-",
+                    health or "-",
+                    " ".join(r["alerts"]) or "-",
+                ]
+            )
+        lines = [
+            self._header_line(),
+            render_table(
+                ["w", "t (s)", "QPS", "rho", "regime", "occ",
+                 "p50 ms", "p99 ms", "faults", "health", "alerts"],
+                table_rows,
+            ),
+        ]
+        if self.fault_windows:
+            lines.append("injected fault windows:")
+            for start, end, kind in self.fault_windows:
+                lines.append(f"  {kind}: {start:.2f}s - {end:.2f}s")
+        lines.append(
+            f"{len(self.alerts)} alert(s)"
+            + (
+                f", {sum(1 for a in self.alerts if a.fault_correlated)} "
+                "fault-correlated"
+                if self.alerts else ""
+            )
+        )
+        for a in self.alerts:
+            lines.append("  " + a.describe())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "meta": self.meta,
+            "window_s": self.summary.window_s,
+            "origin_s": self.summary.origin_s,
+            "scalars": self.scalars,
+            "fault_windows": [
+                {"start_s": s, "end_s": e, "kind": k}
+                for s, e, k in self.fault_windows
+            ],
+            "windows": self._rows(),
+            "alerts": [a.to_dict() for a in self.alerts],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_markdown(self) -> str:
+        rows = self._rows()
+        p99s = [r["p99_ms"] for r in rows]
+        qpss = [r["qps"] for r in rows]
+        rhos = [r["utilization"] for r in rows]
+        lines = [
+            f"# {self._header_line()}",
+            "",
+            f"- QPS `{sparkline(qpss)}`",
+            f"- utilization `{sparkline(rhos)}`",
+            f"- p99 latency `{sparkline(p99s)}`",
+            "",
+            "| w | t (s) | QPS | rho | regime | p50 ms | p99 ms | faults "
+            "| health | alerts |",
+            "|---|-------|-----|-----|--------|--------|--------|--------"
+            "|--------|--------|",
+        ]
+        for r in rows:
+            health = ", ".join(
+                f"{k}:{v}" for k, v in sorted(r["health"].items())
+            )
+            p50 = "-" if r["p50_ms"] is None else f"{r['p50_ms']:.2f}"
+            p99 = "-" if r["p99_ms"] is None else f"{r['p99_ms']:.2f}"
+            lines.append(
+                f"| {r['window']} | {r['start_s']:.2f} | {r['qps']:.0f} "
+                f"| {r['utilization']:.2f} | {r['regime']} "
+                f"| {p50} | {p99} "
+                f"| {r['fault_activity']:.1f} | {health or '-'} "
+                f"| {' '.join(r['alerts']) or '-'} |"
+            )
+        if self.fault_windows:
+            lines += ["", "## Injected fault windows", ""]
+            for start, end, kind in self.fault_windows:
+                lines.append(f"- `{kind}`: {start:.2f}s – {end:.2f}s")
+        lines += ["", f"## Alerts ({len(self.alerts)})", ""]
+        if self.alerts:
+            for a in self.alerts:
+                lines.append(f"- {a.describe()}")
+        else:
+            lines.append("- none")
+        return "\n".join(lines) + "\n"
+
+    # -- HTML dashboard ------------------------------------------------------
+
+    def _svg_chart(
+        self,
+        values: Sequence[Optional[float]],
+        label: str,
+        color: str = "#2b6cb0",
+        width: int = 720,
+        height: int = 120,
+    ) -> str:
+        pts = [(i, v) for i, v in enumerate(values) if v is not None]
+        if not pts:
+            return ""
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        lo, hi = min(ys), max(ys)
+        span = (hi - lo) or 1.0
+        xspan = (max(xs) - min(xs)) or 1
+        pad = 8
+        coords = " ".join(
+            f"{pad + (x - min(xs)) / xspan * (width - 2 * pad):.1f},"
+            f"{height - pad - (y - lo) / span * (height - 2 * pad):.1f}"
+            for x, y in pts
+        )
+        # Shade injected fault windows behind the series.
+        shades = []
+        horizon = (len(values)) * self.summary.window_s
+        for start, end, kind in self.fault_windows:
+            x0 = pad + max(start, 0) / horizon * (width - 2 * pad)
+            x1 = pad + min(end, horizon) / horizon * (width - 2 * pad)
+            if x1 > x0:
+                shades.append(
+                    f'<rect x="{x0:.1f}" y="0" width="{x1 - x0:.1f}" '
+                    f'height="{height}" fill="#feb2b2" opacity="0.35">'
+                    f"<title>{_html.escape(kind)}</title></rect>"
+                )
+        return (
+            f'<figure><figcaption>{_html.escape(label)} '
+            f"(min {lo:.4g}, max {hi:.4g})</figcaption>"
+            f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+            f'height="{height}" role="img">'
+            + "".join(shades)
+            + f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            'stroke-width="2"/></svg></figure>'
+        )
+
+    def render_html(self) -> str:
+        rows = self._rows()
+        charts = "".join(
+            self._svg_chart([r[key] for r in rows], label, color)
+            for key, label, color in (
+                ("qps", "arrival QPS per window", "#2b6cb0"),
+                ("utilization", "server utilization (rho)", "#2f855a"),
+                ("p99_ms", "p99 latency (ms)", "#c05621"),
+                ("fault_activity", "fault-injection activity", "#c53030"),
+            )
+        )
+        body_rows = "".join(
+            "<tr>"
+            + "".join(
+                f"<td>{_html.escape(str(cell))}</td>"
+                for cell in (
+                    r["window"], f"{r['start_s']:.2f}", f"{r['qps']:.0f}",
+                    f"{r['utilization']:.2f}", r["regime"],
+                    "-" if r["p50_ms"] is None else f"{r['p50_ms']:.2f}",
+                    "-" if r["p99_ms"] is None else f"{r['p99_ms']:.2f}",
+                    f"{r['fault_activity']:.1f}",
+                    ", ".join(
+                        f"{k}:{v}" for k, v in sorted(r["health"].items())
+                    ) or "-",
+                    " ".join(r["alerts"]) or "-",
+                )
+            )
+            + "</tr>"
+            for r in rows
+        )
+        alert_items = "".join(
+            '<li class="{cls}">{text}</li>'.format(
+                cls="fault" if a.fault_correlated else "plain",
+                text=_html.escape(a.describe()),
+            )
+            for a in self.alerts
+        ) or "<li>none</li>"
+        return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{_html.escape(self._header_line())}</title>
+<style>
+body {{ font: 14px/1.4 system-ui, sans-serif; margin: 2rem; color: #1a202c; }}
+table {{ border-collapse: collapse; margin: 1rem 0; }}
+td, th {{ border: 1px solid #cbd5e0; padding: 2px 8px; text-align: right; }}
+th {{ background: #edf2f7; }}
+figure {{ margin: 1rem 0; }}
+figcaption {{ font-weight: 600; margin-bottom: 4px; }}
+li.fault {{ color: #c53030; font-weight: 600; }}
+</style></head><body>
+<h1>{_html.escape(self._header_line())}</h1>
+{charts}
+<h2>Windowed timeline</h2>
+<table><thead><tr><th>w</th><th>t (s)</th><th>QPS</th><th>rho</th>
+<th>regime</th><th>p50 ms</th><th>p99 ms</th><th>faults</th>
+<th>health</th><th>alerts</th></tr></thead>
+<tbody>{body_rows}</tbody></table>
+<h2>Alerts ({len(self.alerts)})</h2>
+<ul>{alert_items}</ul>
+</body></html>
+"""

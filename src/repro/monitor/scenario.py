@@ -1,0 +1,211 @@
+"""Named fault scenarios and the monitored-run harness.
+
+The scenario table is the single source of truth for what ``repro
+resilience`` and ``repro monitor`` inject (the CLI imports it from
+here), and :func:`run_monitored_scenario` is the shared glue the CLI
+and the golden tests both call: build the service-time models,
+synthesize the seeded fault plan, attach a
+:class:`~repro.telemetry.timeseries.TimeSeries`, and run the resilient
+engine once under the full policy set. Everything downstream — the
+timeline, the alerts, the dashboard — derives from the returned
+bundle, so CLI output and test pins cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.telemetry.timeseries import TimeSeries
+
+__all__ = [
+    "SCENARIOS",
+    "scenario_kwargs",
+    "service_model_for",
+    "MonitoredScenario",
+    "run_monitored_scenario",
+]
+
+#: FaultPlan.synthesize kwargs per named scenario. ``slowdown`` is the
+#: canonical GPU-throttle case the acceptance tests pin (one window at
+#: a high multiplier -> a tail excursion confined to that window).
+SCENARIOS: Dict[str, Dict[str, Any]] = {
+    "slowdown": dict(slowdown_windows=1, slowdown_multiplier=4.0),
+    "crash": dict(slowdown_windows=0, crash_windows=1,
+                  crash_duration_frac=0.15),
+    "drops": dict(slowdown_windows=0, drop_probability=0.05),
+    "stragglers": dict(slowdown_windows=0, straggler_probability=0.08),
+    "pcie": dict(slowdown_windows=0, pcie_windows=1, pcie_scale=0.2),
+    "mixed": dict(slowdown_windows=1, slowdown_multiplier=3.0,
+                  crash_windows=1, crash_duration_frac=0.08,
+                  drop_probability=0.02, straggler_probability=0.04),
+}
+
+
+def scenario_kwargs(name: str, **overrides: Any) -> Dict[str, Any]:
+    """The synthesize kwargs for one named scenario (plus overrides)."""
+    try:
+        base = dict(SCENARIOS[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    base.update(overrides)
+    return base
+
+
+def service_model_for(model, platform: str, batch: int):
+    """Calibrate a ServiceTimeModel from a handful of targeted profiles."""
+    from repro.runtime import InferenceSession, ServiceTimeModel
+
+    session = InferenceSession(model, platform)
+    calibration = sorted({1, max(2, batch // 4), batch, 2 * batch})
+    return ServiceTimeModel.from_profiles(
+        [session.profile(b) for b in calibration]
+    )
+
+
+@dataclass
+class MonitoredScenario:
+    """One monitored run: the result plus everything needed to explain it."""
+
+    model: str
+    platform: str
+    scenario: str
+    seed: int
+    queries: int
+    qps: float
+    deadline_s: float
+    window_s: float
+    horizon_s: float
+    result: Any  # ResilientScheduleResult
+    timeseries: TimeSeries
+    plan: Any  # FaultPlan
+    fallback: Optional[str] = None
+
+    def fault_windows(self):
+        """All injected (start_s, end_s, kind) windows, sorted by start."""
+        windows = []
+        for name, faults in self.plan.servers.items():
+            for w in faults.slowdowns:
+                windows.append((w.start_s, w.end_s, f"{name}.slowdown"))
+            for w in faults.crashes:
+                windows.append((w.start_s, w.end_s, f"{name}.crash"))
+            for w in faults.pcie:
+                windows.append((w.start_s, w.end_s, f"{name}.pcie"))
+        return sorted(windows)
+
+
+def run_monitored_scenario(
+    model_name: str,
+    platform: str,
+    scenario: str,
+    *,
+    batch_size: int = 64,
+    queries: int = 2000,
+    qps: Optional[float] = None,
+    seed: int = 2020,
+    window_s: Optional[float] = None,
+    fallback: Optional[str] = None,
+    scenario_overrides: Optional[Dict[str, Any]] = None,
+    target_windows: int = 24,
+) -> MonitoredScenario:
+    """Run one fault scenario with windowed telemetry attached.
+
+    Mirrors the ``repro resilience`` "faults + all" row: the full
+    policy set (retry, shedding, degradation; hedging and breaker
+    failover when a ``fallback`` platform is given) over the seeded
+    fault plan — but instrumented with a :class:`TimeSeries` whose
+    window size defaults to the horizon split into ``target_windows``
+    windows (deterministic, so golden outputs are stable).
+    """
+    from repro.core import SlaBudget
+    from repro.models import build_model
+    from repro.models.dlrm import DLRM
+    from repro.models.variants import degraded_variant
+    from repro.resilience import (
+        CircuitBreakerPolicy,
+        DegradationPolicy,
+        FaultPlan,
+        HedgePolicy,
+        Replica,
+        ResiliencePolicy,
+        ResilientScheduler,
+        RetryPolicy,
+        SheddingPolicy,
+    )
+    from repro.runtime import BatchingPolicy
+
+    model = build_model(model_name)
+    primary_stm = service_model_for(model, platform, batch_size)
+    fallback_stm = None
+    if fallback and fallback.lower() != "none":
+        fallback_stm = service_model_for(model, fallback, batch_size)
+    degraded_stm = None
+    if isinstance(model, DLRM):
+        degraded_stm = service_model_for(
+            degraded_variant(model), platform, batch_size
+        )
+
+    peak = batch_size / primary_stm.seconds(batch_size)
+    qps = qps if qps else 0.4 * peak
+    deadline = max(10.0 * primary_stm.seconds(batch_size), 0.02)
+    budget = SlaBudget(deadline, queue_fraction=0.5)
+    horizon = queries / qps
+    if window_s is None:
+        window_s = horizon / target_windows
+
+    names = [platform] + ([fallback] if fallback_stm is not None else [])
+    plan = FaultPlan.synthesize(
+        seed, names, horizon, **scenario_kwargs(
+            scenario, **(scenario_overrides or {})
+        )
+    )
+
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(deadline_s=deadline, max_retries=2),
+        hedge=(
+            HedgePolicy(delay_s=0.5 * budget.queue_budget_s)
+            if fallback_stm is not None else None
+        ),
+        breaker=(
+            CircuitBreakerPolicy(failure_threshold=2, cooldown_s=deadline)
+            if fallback_stm is not None else None
+        ),
+        shed=SheddingPolicy(deadline_s=deadline),
+        degrade=(
+            DegradationPolicy(queue_budget_s=budget.queue_budget_s)
+            if degraded_stm is not None else None
+        ),
+    )
+
+    replicas = [Replica(platform, primary_stm, degraded_model=degraded_stm)]
+    if fallback_stm is not None:
+        replicas.append(Replica(fallback, fallback_stm))
+
+    timeseries = TimeSeries(window_s=window_s)
+    scheduler = ResilientScheduler(
+        replicas,
+        BatchingPolicy(max_batch=batch_size),
+        resilience=policy,
+        fault_plan=plan,
+        seed=seed,
+        timeseries=timeseries,
+    )
+    result = scheduler.run(qps, num_queries=queries)
+
+    return MonitoredScenario(
+        model=model_name,
+        platform=platform,
+        scenario=scenario,
+        seed=seed,
+        queries=queries,
+        qps=qps,
+        deadline_s=deadline,
+        window_s=window_s,
+        horizon_s=horizon,
+        result=result,
+        timeseries=timeseries,
+        plan=plan,
+        fallback=fallback if fallback_stm is not None else None,
+    )

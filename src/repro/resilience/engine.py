@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,10 +33,22 @@ from repro.resilience.faults import FaultPlan
 from repro.resilience.policies import ResiliencePolicy
 from repro.resilience.server import Replica, ServerState
 from repro.runtime.scheduler import BatchingPolicy, ScheduleResult
+from repro.telemetry.chrome_trace import (
+    REPLICA_LANE_FAULT,
+    REPLICA_LANE_HEDGE,
+    REPLICA_LANE_RETRY,
+    REPLICA_LANE_SERVE,
+    REPLICA_PID_BASE,
+)
+
+if TYPE_CHECKING:
+    from repro.telemetry import TimeSeries
 
 __all__ = ["ResilientScheduler", "ResilientScheduleResult"]
 
-#: Virtual trace thread-id base for per-replica server tracks.
+#: Legacy virtual thread-id base, kept for external readers; exported
+#: spans now carry a per-replica *pid* (REPLICA_PID_BASE + index) with
+#: lane tids, so replica activity renders as its own named process.
 _REPLICA_TID_BASE = 2000
 
 
@@ -122,6 +134,7 @@ class ResilientScheduler:
         resilience: Optional[ResiliencePolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         seed: int = 2020,
+        timeseries: Optional["TimeSeries"] = None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -133,6 +146,9 @@ class ResilientScheduler:
         self.resilience = resilience or ResiliencePolicy.none()
         self.fault_plan = fault_plan or FaultPlan.none()
         self.seed = seed
+        # Optional windowed sink; emission never feeds back into the
+        # simulation (same bit-identical contract as QueryScheduler).
+        self.timeseries = timeseries
 
     # -- simulation ----------------------------------------------------------
 
@@ -161,6 +177,10 @@ class ResilientScheduler:
         tracing = telemetry.enabled()
         if tracing:
             self._trace_fault_windows(tracer, servers)
+        ts = self.timeseries
+        if ts is not None:
+            ts.count_many("arrivals", arrivals)
+            self._emit_fault_windows(ts, servers)
 
         latencies = np.full(num_queries, np.nan)
         outcome = np.full(num_queries, -1, dtype=np.int8)
@@ -223,6 +243,8 @@ class ResilientScheduler:
                     if start + floor_s > arrivals[m[1]] + res.shed.deadline_s:
                         outcome[m[1]] = _Outcome.SHED
                         counters["shed"] += 1
+                        if ts is not None:
+                            ts.count("shed", start)
                     else:
                         kept.append(m)
                 members = kept
@@ -245,10 +267,16 @@ class ResilientScheduler:
             finish = start + service
             if faults.slowdown:
                 counters["slowdown_batches"] += 1
+                if ts is not None:
+                    ts.count("faults.slowdown", start)
             if faults.straggler:
                 counters["straggler_batches"] += 1
+                if ts is not None:
+                    ts.count("faults.straggler", start)
             if faults.pcie:
                 counters["pcie_batches"] += 1
+                if ts is not None:
+                    ts.count("faults.pcie", start)
 
             # -- crash in flight --------------------------------------------
             crash = server.injector.crash_during(start, finish)
@@ -257,7 +285,14 @@ class ResilientScheduler:
                 crash_at = max(start, crash.start_s)
                 counters["crashed_batches"] += 1
                 server.free_at = crash.end_s
-                server.record_failure(crash_at, res.breaker)
+                tripped = server.record_failure(crash_at, res.breaker)
+                if ts is not None:
+                    ts.count("faults.crash", crash_at)
+                    ts.mark_state(f"replica.{server.name}", crash_at, "crashed")
+                    if tripped:
+                        ts.mark_state(
+                            f"replica.{server.name}", crash_at, "breaker_open"
+                        )
             else:
                 server.free_at = finish
 
@@ -288,12 +323,26 @@ class ResilientScheduler:
                         h_start, h_finish
                     )
                     counters["hedges"] += batch
+                    if ts is not None:
+                        ts.count("hedges", h_start, batch)
                     if h_crash is not None:
                         counters["crashed_batches"] += 1
                         hedge_server.free_at = h_crash.end_s
-                        hedge_server.record_failure(
-                            max(h_start, h_crash.start_s), res.breaker
+                        h_crash_at = max(h_start, h_crash.start_s)
+                        tripped = hedge_server.record_failure(
+                            h_crash_at, res.breaker
                         )
+                        if ts is not None:
+                            ts.count("faults.crash", h_crash_at)
+                            ts.mark_state(
+                                f"replica.{hedge_server.name}", h_crash_at,
+                                "crashed",
+                            )
+                            if tripped:
+                                ts.mark_state(
+                                    f"replica.{hedge_server.name}",
+                                    h_crash_at, "breaker_open",
+                                )
                         hedge_server = None
                     else:
                         hedge_server.free_at = h_finish
@@ -303,20 +352,44 @@ class ResilientScheduler:
                                 f"{hedge_server.name}.hedge", h_start,
                                 h_service,
                                 category="resilience.hedge",
-                                tid=_REPLICA_TID_BASE + hedge_server.index,
+                                tid=REPLICA_LANE_HEDGE,
+                                pid=REPLICA_PID_BASE + hedge_server.index,
+                                process=hedge_server.name,
                                 batch=batch,
                             )
 
             batch_sizes.append(batch)
             if tracing:
                 span_end = crash_at if crash_at is not None else finish
+                # Retried work (a batch whose head attempt > 0) gets its
+                # own lane so reissues don't overlap first-try serving.
+                lane = (
+                    REPLICA_LANE_RETRY if head_attempt > 0
+                    else REPLICA_LANE_SERVE
+                )
                 tracer.add_span(
                     f"{server.name}.batch", start, span_end - start,
                     category="resilience.server",
-                    tid=_REPLICA_TID_BASE + server.index,
+                    tid=lane,
+                    pid=REPLICA_PID_BASE + server.index,
+                    process=server.name,
                     batch=batch, degraded=degraded,
                     crashed=crash_at is not None,
                 )
+            if ts is not None:
+                span_end = crash_at if crash_at is not None else finish
+                ts.count("batches", start)
+                ts.sample("batch_occupancy", start, batch)
+                ts.sample("queue_depth", start, len(members))
+                ts.count_interval("busy_s", start, span_end)
+                ts.count_interval(
+                    f"replica.{server.name}.busy_s", start, span_end
+                )
+                if crash_at is None:
+                    ts.mark_state(
+                        f"replica.{server.name}", start,
+                        "degraded" if degraded else "healthy",
+                    )
 
             # -- per-query settlement ---------------------------------------
             primary_ok = crash_at is None
@@ -330,12 +403,20 @@ class ResilientScheduler:
             for ready, qid, attempt in members:
                 if not primary_ok and not hedge_ok:
                     self._fail(
-                        heap, outcome, counters, qid, attempt, crash_at, res
+                        heap, outcome, counters, qid, attempt, crash_at, res,
+                        ts,
                     )
                     continue
                 if winner.injector.should_drop(qid, attempt):
                     counters["dropped_responses"] += 1
-                    winner.record_failure(completion, res.breaker)
+                    tripped = winner.record_failure(completion, res.breaker)
+                    if ts is not None:
+                        ts.count("faults.dropped_response", completion)
+                        if tripped:
+                            ts.mark_state(
+                                f"replica.{winner.name}", completion,
+                                "breaker_open",
+                            )
                     detect = (
                         ready + res.retry.deadline_s
                         if res.retry is not None
@@ -343,7 +424,7 @@ class ResilientScheduler:
                     )
                     self._fail(
                         heap, outcome, counters, qid, attempt,
-                        max(detect, completion), res,
+                        max(detect, completion), res, ts,
                     )
                     continue
                 if (
@@ -353,13 +434,16 @@ class ResilientScheduler:
                     counters["timeouts"] += 1
                     self._fail(
                         heap, outcome, counters, qid, attempt,
-                        ready + res.retry.deadline_s, res,
+                        ready + res.retry.deadline_s, res, ts,
                     )
                     continue
                 latencies[qid] = completion - arrivals[qid]
                 outcome[qid] = _Outcome.COMPLETED
                 counters["completed"] += 1
                 winner.record_success()
+                if ts is not None:
+                    ts.count("completions", completion)
+                    ts.observe("latency_s", completion, latencies[qid])
 
         end = max(s.free_at for s in servers)
         duration = max(float(end - arrivals[0] + inter_arrivals[0]), 0.0)
@@ -415,6 +499,7 @@ class ResilientScheduler:
         attempt: int,
         at: float,
         res: ResiliencePolicy,
+        ts: Optional["TimeSeries"] = None,
     ) -> None:
         """One attempt failed at ``at``: schedule a retry or drop the query."""
         if res.retry is not None and attempt < res.retry.max_retries:
@@ -422,29 +507,58 @@ class ResilientScheduler:
                 heap, (at + res.retry.backoff_s(attempt), qid, attempt + 1)
             )
             counters["retries"] += 1
+            if ts is not None:
+                ts.count("retries", at)
         else:
             outcome[qid] = _Outcome.DROPPED
             counters["dropped"] += 1
+            if ts is not None:
+                ts.count("dropped", at)
 
     def _trace_fault_windows(self, tracer, servers: List[ServerState]) -> None:
         for s in servers:
-            tid = _REPLICA_TID_BASE + s.index
+            pid = REPLICA_PID_BASE + s.index
             faults = s.injector.faults
             for w in faults.slowdowns:
                 tracer.add_span(
                     f"{s.name}.slowdown x{w.multiplier:g}", w.start_s,
-                    w.end_s - w.start_s, category="resilience.fault", tid=tid,
+                    w.end_s - w.start_s, category="resilience.fault",
+                    tid=REPLICA_LANE_FAULT, pid=pid, process=s.name,
                 )
             for w in faults.crashes:
                 tracer.add_span(
                     f"{s.name}.crash", w.start_s, w.end_s - w.start_s,
-                    category="resilience.fault", tid=tid,
+                    category="resilience.fault",
+                    tid=REPLICA_LANE_FAULT, pid=pid, process=s.name,
                 )
             for w in faults.pcie:
                 tracer.add_span(
                     f"{s.name}.pcie x{w.bandwidth_scale:g}", w.start_s,
-                    w.end_s - w.start_s, category="resilience.fault", tid=tid,
+                    w.end_s - w.start_s, category="resilience.fault",
+                    tid=REPLICA_LANE_FAULT, pid=pid, process=s.name,
                 )
+
+    def _emit_fault_windows(
+        self, ts: "TimeSeries", servers: List[ServerState]
+    ) -> None:
+        """Record injected fault windows as per-window active seconds.
+
+        ``faults.window_active_s`` integrates how much of each window
+        lies inside *any* injected window, so the monitor can correlate
+        tail excursions with injected faults even in windows where no
+        dispatched batch happened to sample the fault.
+        """
+        for s in servers:
+            faults = s.injector.faults
+            for w in faults.slowdowns:
+                ts.count_interval("faults.window_active_s", w.start_s, w.end_s)
+            for w in faults.crashes:
+                ts.count_interval("faults.window_active_s", w.start_s, w.end_s)
+                ts.mark_state_interval(
+                    f"replica.{s.name}", w.start_s, w.end_s, "crashed"
+                )
+            for w in faults.pcie:
+                ts.count_interval("faults.window_active_s", w.start_s, w.end_s)
 
     def _record_metrics(self, result: ResilientScheduleResult) -> None:
         registry = telemetry.get_registry()

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # avoid runtime circularity with repro.core / resilience
     from repro.core.speedup import SweepResult
     from repro.resilience import FaultPlan, ResiliencePolicy, ResilientScheduler
     from repro.runtime.session import InferenceProfile
+    from repro.telemetry import TimeSeries
 
 __all__ = ["ServiceTimeModel", "BatchingPolicy", "ScheduleResult", "QueryScheduler"]
 
@@ -252,6 +253,7 @@ class QueryScheduler:
         resilience: Optional["ResiliencePolicy"] = None,
         standbys: Optional[Sequence[ServiceTimeModel]] = None,
         degraded_model: Optional[ServiceTimeModel] = None,
+        timeseries: Optional["TimeSeries"] = None,
     ) -> None:
         self.service_model = service_model
         self.policy = policy
@@ -261,6 +263,11 @@ class QueryScheduler:
         self.resilience = resilience
         self.standbys = list(standbys) if standbys else []
         self.degraded_model = degraded_model
+        # Optional windowed telemetry sink. Emission is read-only with
+        # respect to simulation state (no RNG draws, no arithmetic on
+        # the sim's floats), so results with a sink attached are
+        # bit-identical to runs without one — pinned in tests.
+        self.timeseries = timeseries
         self._resilient = (
             fault_plan is not None
             or resilience is not None
@@ -297,6 +304,7 @@ class QueryScheduler:
             resilience=self.resilience,
             fault_plan=self.fault_plan,
             seed=self.seed,
+            timeseries=self.timeseries,
         )
 
     def _validate_run(self, arrival_qps: float, num_queries: int) -> None:
@@ -354,6 +362,10 @@ class QueryScheduler:
             )
             registry.counter("scheduler.runs", **labels).inc()
 
+        ts = self.timeseries
+        if ts is not None:
+            ts.count_many("arrivals", arrivals)
+
         policy = self.policy
         latencies = np.empty(num_queries)
         batch_sizes: List[int] = []
@@ -388,6 +400,18 @@ class QueryScheduler:
                 queue_gauge.set(max(waiting, batch))
                 occupancy_hist.observe(batch)
                 latency_hist.observe_many(latencies[i:j])
+            if ts is not None:
+                waiting_ts = (
+                    int(np.searchsorted(arrivals, start, side="right")) - i
+                )
+                ts.count("batches", start)
+                ts.sample("batch_occupancy", start, batch)
+                ts.sample("queue_depth", start, max(waiting_ts, batch))
+                ts.count_interval("busy_s", start, finish)
+                ts.observe_many(
+                    "latency_s", np.full(batch, finish), latencies[i:j]
+                )
+                ts.count("completions", finish, batch)
             server_free_at = finish
             i = j
 

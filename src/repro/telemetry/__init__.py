@@ -29,10 +29,12 @@ from repro.telemetry.chrome_trace import (
     chrome_trace_document,
     load_chrome_trace,
     spans_to_trace_events,
+    timeseries_to_counter_events,
     write_chrome_trace,
 )
 from repro.telemetry.histogram import HistogramSnapshot, StreamingHistogram
 from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry
+from repro.telemetry.timeseries import TimeSeries, TimeSeriesSummary
 from repro.telemetry.report import (
     metrics_csv,
     metrics_json,
@@ -62,8 +64,11 @@ __all__ = [
     "Gauge",
     "StreamingHistogram",
     "HistogramSnapshot",
+    "TimeSeries",
+    "TimeSeriesSummary",
     # exporters
     "spans_to_trace_events",
+    "timeseries_to_counter_events",
     "chrome_trace_document",
     "write_chrome_trace",
     "load_chrome_trace",

@@ -5,6 +5,17 @@ Serializes tracer spans to the Trace Event Format (the JSON that
 complete events (``ph: "X"``) with microsecond ``ts``/``dur``, plus
 process/thread metadata events so tracks get readable names.
 
+Spans may carry a per-replica ``pid`` (0 means the default trace
+process, exported as :data:`TRACE_PID`): the resilient scheduler gives
+each replica its own process so its serve / hedge / retry / fault
+lanes render as separate named tracks instead of overlapping in one
+row. A replica span names its process via the ``process`` attr; the
+exporter collects those into per-pid ``process_name`` metadata.
+
+Windowed time-series tracks additionally export as counter events
+(``ph: "C"``) via :func:`timeseries_to_counter_events`, so Perfetto
+draws QPS / queue depth / p99 as counter charts above the span tracks.
+
 Every event keeps the span's exact duration in seconds under
 ``args.seconds`` — the microsecond fields are for the viewer; analysis
 code should prefer the seconds field (no unit round-trip).
@@ -19,18 +30,44 @@ from repro.telemetry.tracer import MODELED_TID, Span
 
 __all__ = [
     "spans_to_trace_events",
+    "timeseries_to_counter_events",
     "chrome_trace_document",
     "write_chrome_trace",
     "load_chrome_trace",
 ]
 
-#: Single-process trace; pid is constant by construction.
+#: Default trace process (spans with pid 0 land here).
 TRACE_PID = 1
+
+#: Counter tracks (ph:"C" events) get their own process so they group
+#: together at the top of the Perfetto timeline.
+COUNTER_PID = 2
+
+#: Replica k's spans carry pid = _REPLICA_PID_BASE + k (see
+#: repro.resilience.engine); anything at or above this is a replica.
+REPLICA_PID_BASE = 10
 
 _THREAD_NAMES = {
     0: "wall-clock",
     MODELED_TID: "modeled-timeline",
 }
+
+#: Lane tids within one replica process (engine emits these).
+REPLICA_LANE_SERVE = 0
+REPLICA_LANE_HEDGE = 1
+REPLICA_LANE_RETRY = 2
+REPLICA_LANE_FAULT = 3
+
+_REPLICA_THREAD_NAMES = {
+    REPLICA_LANE_SERVE: "serve",
+    REPLICA_LANE_HEDGE: "hedges",
+    REPLICA_LANE_RETRY: "retries",
+    REPLICA_LANE_FAULT: "faults",
+}
+
+
+def _event_pid(span: Span) -> int:
+    return span.pid if span.pid else TRACE_PID
 
 
 def spans_to_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
@@ -46,7 +83,7 @@ def spans_to_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
                 "ph": "X",
                 "ts": span.start_s * 1e6,
                 "dur": span.duration_s * 1e6,
-                "pid": TRACE_PID,
+                "pid": _event_pid(span),
                 "tid": span.tid,
                 "args": args,
             }
@@ -54,26 +91,101 @@ def spans_to_trace_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
     return events
 
 
-def _metadata_events(spans: Sequence[Span], process_name: str) -> List[Dict[str, Any]]:
-    events: List[Dict[str, Any]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": TRACE_PID,
-            "tid": 0,
-            "args": {"name": process_name},
-        }
-    ]
-    for tid in sorted({s.tid for s in spans}):
+def timeseries_to_counter_events(
+    summary: Any,
+    tracks: Optional[Sequence[str]] = None,
+    pid: int = COUNTER_PID,
+) -> List[Dict[str, Any]]:
+    """Windowed summary -> Perfetto counter events (``ph: "C"``).
+
+    ``summary`` is a :class:`repro.telemetry.timeseries.TimeSeriesSummary`
+    (or a live :class:`~repro.telemetry.timeseries.TimeSeries`, which is
+    summarized first). One counter event per (track, window) at the
+    window start: counters export their per-window total, gauges their
+    mean, histograms their p50/p95/p99 as one multi-series counter.
+    State tracks are skipped (categorical; they render as spans).
+    """
+    if hasattr(summary, "summary"):  # live TimeSeries
+        summary = summary.summary()
+    events: List[Dict[str, Any]] = []
+    names = list(tracks) if tracks is not None else summary.track_names()
+    for name in names:
+        kind = summary.track_kinds.get(name)
+        if kind == "state" or kind is None:
+            continue
+        for index in summary.window_indices():
+            ts_us = summary.window_start(index) * 1e6
+            if kind == "counter":
+                args = {name: summary.counter(name, index)}
+            elif kind == "gauge":
+                cell = summary.gauge(name, index)
+                args = {name: cell["mean"] if cell else 0.0}
+            else:  # histogram
+                cell = summary.histogram_summary(name, index)
+                if cell:
+                    args = {
+                        k: v for k, v in cell.items() if k.startswith("p")
+                    }
+                else:
+                    args = {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+            events.append(
+                {
+                    "name": name,
+                    "cat": "timeseries",
+                    "ph": "C",
+                    "ts": ts_us,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def _metadata_events(
+    spans: Sequence[Span],
+    process_name: str,
+    extra_processes: Optional[Mapping[int, str]] = None,
+) -> List[Dict[str, Any]]:
+    # Per-pid process names: the default process plus any replica
+    # processes named via span attrs / extra_processes.
+    process_names: Dict[int, str] = {TRACE_PID: process_name}
+    if extra_processes:
+        process_names.update(extra_processes)
+    tids_by_pid: Dict[int, set] = {}
+    for span in spans:
+        pid = _event_pid(span)
+        tids_by_pid.setdefault(pid, set()).add(span.tid)
+        if pid != TRACE_PID and "process" in span.attrs:
+            label = str(span.attrs["process"])
+            if pid >= REPLICA_PID_BASE:
+                label = f"replica: {label}"
+            process_names.setdefault(pid, label)
+    events: List[Dict[str, Any]] = []
+    for pid in sorted(set(process_names) | set(tids_by_pid)):
         events.append(
             {
-                "name": "thread_name",
+                "name": "process_name",
                 "ph": "M",
-                "pid": TRACE_PID,
-                "tid": tid,
-                "args": {"name": _THREAD_NAMES.get(tid, f"thread-{tid}")},
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_names.get(pid, f"process-{pid}")},
             }
         )
+        for tid in sorted(tids_by_pid.get(pid, ())):
+            if pid >= REPLICA_PID_BASE and pid != MODELED_TID:
+                tname = _REPLICA_THREAD_NAMES.get(tid, f"lane-{tid}")
+            else:
+                tname = _THREAD_NAMES.get(tid, f"thread-{tid}")
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": tname},
+                }
+            )
     return events
 
 
@@ -81,15 +193,33 @@ def chrome_trace_document(
     spans: Sequence[Span],
     process_name: str = "repro",
     metrics: Optional[List[Mapping[str, Any]]] = None,
+    timeseries: Optional[Any] = None,
+    counter_tracks: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """Build the full JSON-object trace document.
 
     ``metrics`` (a registry snapshot) rides along under ``otherData``
     so one file carries both the timeline and the counters.
+    ``timeseries`` (a TimeSeries or TimeSeriesSummary) adds ph:"C"
+    counter events under their own process.
     """
+    events = _metadata_events(spans, process_name)
+    if timeseries is not None:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": COUNTER_PID,
+                "tid": 0,
+                "args": {"name": f"{process_name} counters"},
+            }
+        )
+        events.extend(
+            timeseries_to_counter_events(timeseries, tracks=counter_tracks)
+        )
+    events.extend(spans_to_trace_events(spans))
     doc: Dict[str, Any] = {
-        "traceEvents": _metadata_events(spans, process_name)
-        + spans_to_trace_events(spans),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"exporter": "repro.telemetry"},
     }
@@ -103,9 +233,17 @@ def write_chrome_trace(
     spans: Sequence[Span],
     process_name: str = "repro",
     metrics: Optional[List[Mapping[str, Any]]] = None,
+    timeseries: Optional[Any] = None,
+    counter_tracks: Optional[Sequence[str]] = None,
 ) -> str:
     """Write the trace document to ``path``; returns the path."""
-    doc = chrome_trace_document(spans, process_name=process_name, metrics=metrics)
+    doc = chrome_trace_document(
+        spans,
+        process_name=process_name,
+        metrics=metrics,
+        timeseries=timeseries,
+        counter_tracks=counter_tracks,
+    )
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=1)
     return path
@@ -116,20 +254,27 @@ def load_chrome_trace(path: str) -> Dict[str, Any]:
 
     Checks the invariants consumers rely on: a ``traceEvents`` list
     whose complete events all carry ``ph``/``ts``/``dur``/``pid``/
-    ``tid``/``name``.
+    ``tid``/``name`` and whose counter events carry ``ph``/``ts``/
+    ``pid``/``name``/``args``.
     """
     with open(path) as fh:
         doc = json.load(fh)
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError(f"{path}: missing traceEvents list")
-    required = ("ph", "ts", "dur", "pid", "tid", "name")
+    required_x = ("ph", "ts", "dur", "pid", "tid", "name")
+    required_c = ("ph", "ts", "pid", "name", "args")
     for event in events:
-        if event.get("ph") != "X":
+        ph = event.get("ph")
+        if ph == "X":
+            required = required_x
+        elif ph == "C":
+            required = required_c
+        else:
             continue
         missing = [k for k in required if k not in event]
         if missing:
             raise ValueError(
-                f"{path}: complete event {event.get('name')!r} missing {missing}"
+                f"{path}: {ph} event {event.get('name')!r} missing {missing}"
             )
     return doc

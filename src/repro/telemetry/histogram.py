@@ -234,6 +234,34 @@ class StreamingHistogram:
             cumulative += count
         return self._max
 
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of observations strictly above ``threshold``.
+
+        The burn-rate monitor's per-window error rate for latency SLOs:
+        exact while raw values are retained, otherwise interpolated
+        within the bucket containing the threshold (error bounded by
+        the bucket ``growth`` factor).
+        """
+        if self._count == 0:
+            return 0.0
+        threshold = float(threshold)
+        if self._exact is not None:
+            return sum(1 for v in self._exact if v > threshold) / self._count
+        if threshold < self._min:
+            return 1.0
+        if threshold >= self._max:
+            return 0.0
+        cut = self._bucket_index(threshold)
+        above = sum(self._counts[cut + 1:])
+        in_bucket = self._counts[cut]
+        if in_bucket:
+            lo, hi = self._bucket_bounds(cut)
+            lo = max(lo, self._min)
+            hi = min(hi, self._max) if hi > lo else hi
+            if hi > lo:
+                above += in_bucket * max(0.0, min(1.0, (hi - threshold) / (hi - lo)))
+        return min(above / self._count, 1.0)
+
     def snapshot(
         self, quantiles: Sequence[float] = DEFAULT_QUANTILES
     ) -> HistogramSnapshot:

@@ -42,6 +42,7 @@ class Span:
     depth: int = 0
     span_id: int = 0
     parent_id: Optional[int] = None
+    pid: int = 0  # 0 = the default trace process; replicas get their own
     attrs: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -133,6 +134,7 @@ class Tracer:
         tid: int = MODELED_TID,
         depth: int = 0,
         parent_id: Optional[int] = None,
+        pid: int = 0,
         **attrs: Any,
     ) -> Span:
         """Record a span with an externally supplied (modeled) clock."""
@@ -145,6 +147,7 @@ class Tracer:
             depth=depth,
             span_id=self._next_id(),
             parent_id=parent_id,
+            pid=pid,
             attrs=attrs,
         )
         self._append(span)
@@ -221,7 +224,8 @@ class NoopTracer:
 
     def add_span(self, name: str, start_s: float, duration_s: float,
                  category: str = "", tid: int = MODELED_TID, depth: int = 0,
-                 parent_id: Optional[int] = None, **attrs: Any) -> None:
+                 parent_id: Optional[int] = None, pid: int = 0,
+                 **attrs: Any) -> None:
         return None
 
     def add_spans(self, spans: Iterable[Span]) -> None:

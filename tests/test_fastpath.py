@@ -202,6 +202,40 @@ class TestParallelSweep:
         for name, factory in MODEL_FACTORIES.items():
             assert factory().graph_signature() == factory().graph_signature(), name
 
+    def _auto_pool_modes(self, study, workers=2):
+        from repro import telemetry
+
+        with telemetry.capture() as (_, registry):
+            study.run(workers=workers, mode="auto")
+        return [
+            (m["labels"].get("mode"), m["value"])
+            for m in registry.snapshot()
+            if m["name"] == "sweep.pool_mode"
+        ]
+
+    def test_auto_stays_on_threads_when_serialization_dominates(self):
+        # Cell work here (sum of batches = 273) is far below the
+        # threshold: pickling models across a process pool would cost
+        # more than the profiling itself, so auto must pick threads —
+        # and record the decision.
+        from repro.core.speedup import PROCESS_POOL_MIN_WORK
+
+        study = self._study()
+        assert sum(study.batch_sizes) < PROCESS_POOL_MIN_WORK
+        assert self._auto_pool_modes(study) == [("thread", 1.0)]
+
+    def test_auto_picks_processes_above_work_threshold(self, monkeypatch):
+        # Lower the threshold instead of profiling a 200k-query cell;
+        # the decision reads the module global at run time.
+        from repro.core import speedup as speedup_mod
+
+        monkeypatch.setattr(speedup_mod, "PROCESS_POOL_MIN_WORK", 10)
+        assert self._auto_pool_modes(self._study()) == [("process", 1.0)]
+
+    def test_auto_serial_run_records_no_pool_mode(self):
+        # workers=1 never consults the pool heuristic.
+        assert self._auto_pool_modes(self._study(), workers=1) == []
+
 
 class TestObserveMany:
     def test_matches_looped_observe(self):

@@ -131,7 +131,7 @@ class TestRunRecord:
             rec.histogram(LATENCY_HISTOGRAM)
 
 
-SCHEMA_VERSION_EXPECTED = 1
+SCHEMA_VERSION_EXPECTED = 2  # v2: optional compact time-series section
 
 
 class TestStore:
