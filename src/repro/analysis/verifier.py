@@ -25,6 +25,8 @@ Verifier rules (``GVnnn``):
 
 from __future__ import annotations
 
+import threading
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.diagnostics import (
@@ -49,6 +51,8 @@ __all__ = [
     "inferred_output_specs",
     "check_equivalence",
     "assert_equivalent",
+    "analysis_memo_stats",
+    "clear_analysis_memo",
 ]
 
 
@@ -74,7 +78,81 @@ def _infer_binding(graph: Graph) -> Optional[int]:
     return None
 
 
+# Memoized per-(graph, mutation_count, batch) analysis results. Graph
+# construction runs the verifier (GraphBuilder.build), the graph cache
+# re-verifies before sharing, and the spec-mode profiler walks the same
+# symbolic env — without the memo each of those repeats the full
+# SHAPE_RULES inference. Keyed weakly so cached graphs can be collected;
+# the mutation counter invalidates entries if a graph is edited.
+_ANALYSIS_MEMO: "weakref.WeakKeyDictionary[Graph, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_MEMO_LOCK = threading.Lock()
+
+
 def _analyze(
+    graph: Graph, batch: Optional[int]
+) -> Tuple[DiagnosticReport, Dict[str, SymSpec], int]:
+    """Memoizing front for :func:`_analyze_uncached`.
+
+    Results are immutable in practice (reports are only read after
+    analysis), so returning the cached tuple to every caller is safe.
+    Graphs that don't expose ``mutation_count`` (stubs in tests) skip
+    the memo entirely.
+    """
+    version = getattr(graph, "mutation_count", None)
+    if version is None:
+        return _analyze_uncached(graph, batch)
+    key = (version, batch, _structure_fingerprint(graph))
+    with _MEMO_LOCK:
+        try:
+            per_graph = _ANALYSIS_MEMO.setdefault(graph, {})
+        except TypeError:  # non-weakrefable graph stand-in
+            return _analyze_uncached(graph, batch)
+        cached = per_graph.get(key)
+    if cached is not None:
+        return cached
+    result = _analyze_uncached(graph, batch)
+    with _MEMO_LOCK:
+        per_graph = _ANALYSIS_MEMO.setdefault(graph, {})
+        # A mutated graph gets a fresh version key; stale entries for
+        # old versions are dropped so the per-graph dict stays tiny.
+        for stale in [k for k in per_graph if k[0] != version]:
+            del per_graph[stale]
+        per_graph[key] = result
+    return result
+
+
+def _structure_fingerprint(graph: Graph) -> Tuple:
+    """Identity fingerprint of the graph's current node/spec objects.
+
+    The mutation counter covers the public construction API; tests (and
+    hypothetical passes) also swap node objects in place via the private
+    dicts. A swapped-in node is a fresh object allocated while the old
+    one is still referenced, so comparing object identities catches
+    every such in-place edit without hashing any spec contents.
+    """
+    return (
+        tuple(graph.output_names),
+        tuple((name, id(spec)) for name, spec in graph.input_specs.items()),
+        tuple((node.name, id(node)) for node in graph.nodes),
+    )
+
+
+def analysis_memo_stats() -> Dict[str, int]:
+    """Number of graphs and entries currently memoized (for tests)."""
+    with _MEMO_LOCK:
+        graphs = len(_ANALYSIS_MEMO)
+        entries = sum(len(v) for v in _ANALYSIS_MEMO.values())
+    return {"graphs": graphs, "entries": entries}
+
+
+def clear_analysis_memo() -> None:
+    with _MEMO_LOCK:
+        _ANALYSIS_MEMO.clear()
+
+
+def _analyze_uncached(
     graph: Graph, batch: Optional[int]
 ) -> Tuple[DiagnosticReport, Dict[str, SymSpec], int]:
     report = DiagnosticReport()

@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_arg(p)
     p.add_argument(
+        "--mode", choices=["numeric", "spec"], default="numeric",
+        help="profile mode: 'numeric' walks the scalar cost models, "
+        "'spec' evaluates cached workload tables (identical results, "
+        "no tensor data)",
+    )
+    p.add_argument(
         "--record-dir", default=None, dest="record_dir",
         help="also append one run record per sweep cell to this ledger",
     )
@@ -437,7 +443,7 @@ def _cmd_sweep(args) -> str:
     names = args.models if args.models else MODEL_ORDER
     models = {n: build_model(n) for n in names}
     sweep = SpeedupStudy(models=models, batch_sizes=args.batches).run(
-        workers=args.workers
+        workers=args.workers, profile_mode=args.mode
     )
     rows = []
     for model in names:

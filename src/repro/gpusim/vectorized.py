@@ -1,0 +1,244 @@
+"""Vectorized GPU cost evaluation over stacked workload tables.
+
+Mirrors :class:`repro.gpusim.kernels.KernelCostModel` and
+:class:`repro.gpusim.device.GpuModel` term for term on
+``(cells, nodes)`` arrays — association order preserved so results are
+bit-identical to the scalar path (pinned in ``tests/test_specmode.py``).
+Two pieces intentionally reuse the original scalar code:
+
+* the occupancy curve's ``fill ** 0.6`` (NumPy's float pow is not
+  bit-equal to CPython's) runs as a per-node Python loop;
+* PCIe transfers run through the real
+  :meth:`~repro.gpusim.pcie.PcieModel.batch_transfer` per cell (one
+  call per cell; the per-tensor latency sum is not worth mirroring).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.gpusim import kernels as _kernels
+from repro.gpusim.device import _SYNC_OVERHEAD_S, GpuOpProfile
+from repro.gpusim.kernels import KernelCostModel, OpDeviceProfile
+from repro.gpusim.pcie import PcieModel, TransferProfile
+from repro.hw.platform import GpuSpec
+
+__all__ = ["SpecGpuGraphProfile", "profile_cells_gpu"]
+
+
+class _GpuArrays:
+    """Bag of (cells, nodes) result arrays for lazy materialization."""
+
+    def __init__(self, **arrays: np.ndarray) -> None:
+        for name, arr in arrays.items():
+            setattr(self, name, arr)
+
+
+class SpecGpuGraphProfile:
+    """Duck-typed :class:`~repro.gpusim.device.GpuGraphProfile`.
+
+    ``compute_seconds`` and per-kind times are eager; per-op
+    :class:`~repro.gpusim.device.GpuOpProfile` rows materialize lazily.
+    """
+
+    def __init__(
+        self,
+        platform: str,
+        graph_name: str,
+        transfer: TransferProfile,
+        sync_seconds: float,
+        compute_seconds: float,
+        time_by_kind: Dict[str, float],
+        arrays: "_GpuArrays",
+        cell_index: int,
+        names: List[str],
+        kinds: List[str],
+        wl_kinds: List[str],
+    ) -> None:
+        self.platform = platform
+        self.graph_name = graph_name
+        self.transfer = transfer
+        self.sync_seconds = sync_seconds
+        self.compute_seconds = compute_seconds
+        self._time_by_kind = time_by_kind
+        self._arrays = arrays
+        self._cell = cell_index
+        self._names = names
+        self._kinds = kinds
+        self._wl_kinds = wl_kinds
+        self._op_profiles: Optional[List[GpuOpProfile]] = None
+
+    @property
+    def data_comm_seconds(self) -> float:
+        return self.transfer.seconds + self.sync_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.data_comm_seconds
+
+    @property
+    def data_comm_fraction(self) -> float:
+        total = self.total_seconds
+        return self.data_comm_seconds / total if total else 0.0
+
+    def time_by_kind(self) -> Dict[str, float]:
+        return dict(self._time_by_kind)
+
+    @property
+    def op_profiles(self) -> List[GpuOpProfile]:
+        if self._op_profiles is None:
+            self._op_profiles = self._materialize()
+        return self._op_profiles
+
+    @property
+    def kernel_launches(self) -> int:
+        return sum(p.device.kernel_count for p in self.op_profiles)
+
+    @property
+    def launch_seconds(self) -> float:
+        return sum(p.device.launch_seconds for p in self.op_profiles)
+
+    def time_decomposition(self) -> Dict[str, float]:
+        out = {"launch": 0.0, "compute": 0.0, "memory": 0.0}
+        for p in self.op_profiles:
+            out["launch"] += p.device.launch_seconds
+            if p.device.compute_seconds >= p.device.memory_seconds:
+                out["compute"] += p.device.compute_seconds
+            else:
+                out["memory"] += p.device.memory_seconds
+        return out
+
+    def _materialize(self) -> List[GpuOpProfile]:
+        a, i = self._arrays, self._cell
+        n = len(self._names)
+        kernels = a.kernels[i, :n].tolist()
+        launch = a.launch[i, :n].tolist()
+        compute = a.compute[i, :n].tolist()
+        memory = a.memory[i, :n].tolist()
+        profiles = []
+        for j, (name, kind, wl_kind) in enumerate(
+            zip(self._names, self._kinds, self._wl_kinds)
+        ):
+            if kernels[j] == 0:
+                device = OpDeviceProfile(wl_kind, 0, 0.0, 0.0, 0.0)
+            else:
+                device = OpDeviceProfile(
+                    op_kind=wl_kind,
+                    kernel_count=int(kernels[j]),
+                    launch_seconds=launch[j],
+                    compute_seconds=compute[j],
+                    memory_seconds=memory[j],
+                )
+            profiles.append(
+                GpuOpProfile(node_name=name, op_kind=kind, device=device)
+            )
+        return profiles
+
+
+def profile_cells_gpu(stacked, spec: GpuSpec) -> List[SpecGpuGraphProfile]:
+    """Profile every stacked cell on one GPU spec."""
+    st = stacked
+    valid = st.valid
+    cost_model = KernelCostModel(spec)
+    pcie = PcieModel(spec)
+
+    # Per-node class efficiency x architecture factor (dict lookups per
+    # node; COMPUTE_EFFICIENCY is consulted at call time like the
+    # scalar model, so registered kinds take effect immediately).
+    ce_arch = np.zeros(valid.shape, dtype=np.float64)
+    for i, cell in enumerate(st.cells):
+        ce_arch[i, : cell.n] = [
+            cost_model.class_efficiency(k) * cost_model.arch_factor
+            for k in cell.wl_kinds
+        ]
+
+    with np.errstate(all="ignore"):
+        kernels = np.maximum(st.kernel_launches, 0)
+        active = valid & (kernels > 0)
+        launch = (kernels * spec.kernel_launch_us) * 1e-6
+
+        # parallel_items: output fp32 words per kernel, flop fallback.
+        written = st.bytes_written / 4.0
+        written = np.where(written <= 0, st.flops / 64.0, written)
+        parallel_items = np.maximum(
+            written / np.maximum(st.kernel_launches, 1), 1.0
+        )
+        capacity = spec.sm_count * _kernels._THREADS_PER_SM
+        fill = parallel_items / (parallel_items + capacity)
+
+    # occupancy: scalar pow, exactly KernelCostModel.occupancy.
+    occ = np.zeros(valid.shape, dtype=np.float64)
+    for i, cell in enumerate(st.cells):
+        fill_row = fill[i, : cell.n].tolist()
+        occ[i, : cell.n] = [f ** 0.6 for f in fill_row]
+
+    with np.errstate(all="ignore"):
+        efficiency = ce_arch * occ
+        peak_flops = spec.peak_fp32_tflops * 1e12
+        compute = np.where(
+            st.flops > 0, st.flops / (peak_flops * efficiency), 0.0
+        )
+
+        # Stream traffic is platform-independent; computed once per
+        # stack and shared across every GPU spec (and repeated sweeps).
+        seq_bytes, rand_bytes, has_gather = st.gpu_traffic()
+
+        bw = spec.dram_bandwidth_gbps * 1e9
+        rand_eff = _kernels._RANDOM_BW_EFFICIENCY.get(
+            spec.ddr_type, _kernels._DEFAULT_RANDOM_BW_EFFICIENCY
+        )
+        memory = seq_bytes / (bw * _kernels._SEQUENTIAL_BW_EFFICIENCY) + (
+            rand_bytes / (bw * rand_eff)
+        )
+        gather_latency = _kernels._GATHER_LATENCY_US.get(
+            spec.ddr_type, _kernels._DEFAULT_GATHER_LATENCY_US
+        )
+        memory = np.where(
+            has_gather, memory + (kernels * gather_latency) * 1e-6, memory
+        )
+
+        seconds = np.where(active, launch + np.maximum(compute, memory), 0.0)
+        total_seconds = np.where(valid, seconds, 0.0).cumsum(axis=1)[:, -1]
+
+    arrays = _GpuArrays(
+        kernels=np.where(active, kernels, 0),
+        launch=launch,
+        compute=np.where(active, compute, 0.0),
+        memory=np.where(active, memory, 0.0),
+    )
+
+    profiles: List[SpecGpuGraphProfile] = []
+    for i, cell in enumerate(st.cells):
+        transfer = pcie.batch_transfer(list(cell.input_nbytes))
+        secs_row = seconds[i, : cell.n].tolist()
+        time_by_kind: Dict[str, float] = {}
+        for kind, sec in zip(cell.kinds, secs_row):
+            time_by_kind[kind] = time_by_kind.get(kind, 0.0) + sec
+        profile = SpecGpuGraphProfile(
+            platform=spec.microarchitecture,
+            graph_name=cell.graph_name,
+            transfer=transfer,
+            sync_seconds=_SYNC_OVERHEAD_S,
+            compute_seconds=float(total_seconds[i]),
+            time_by_kind=time_by_kind,
+            arrays=arrays,
+            cell_index=i,
+            names=cell.names,
+            kinds=cell.kinds,
+            wl_kinds=cell.wl_kinds,
+        )
+        profiles.append(profile)
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            labels = dict(platform=spec.microarchitecture, graph=cell.graph_name)
+            registry.counter("gpusim.graphs_profiled", **labels).inc()
+            registry.counter(
+                "gpusim.kernel_launches", **labels
+            ).inc(profile.kernel_launches)
+            registry.counter(
+                "gpusim.pcie_bytes", **labels
+            ).inc(cell.total_input_bytes)
+    return profiles

@@ -55,6 +55,8 @@ def execute(graph: Graph, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarr
     recording = telemetry.enabled()
     tracer = telemetry.get_tracer() if recording else None
     bytes_freed = 0
+    live_bytes = sum(v.nbytes for v in values.values())
+    peak_live_bytes = live_bytes
 
     remaining = _consumer_counts(graph)
     for node in graph.nodes:
@@ -74,12 +76,17 @@ def execute(graph: Graph, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarr
                 f"{tuple(out.shape)}, inferred {expected}"
             )
         values[node.name] = out
+        live_bytes += out.nbytes
+        if live_bytes > peak_live_bytes:
+            peak_live_bytes = live_bytes
         for src in node.inputs:
             remaining[src] -= 1
             if remaining[src] == 0 and src not in graph.output_names:
                 freed = values.pop(src, None)
-                if recording and freed is not None:
-                    bytes_freed += freed.nbytes
+                if freed is not None:
+                    live_bytes -= freed.nbytes
+                    if recording:
+                        bytes_freed += freed.nbytes
 
     if recording:
         registry = telemetry.get_registry()
@@ -87,6 +94,11 @@ def execute(graph: Graph, feeds: Mapping[str, np.ndarray]) -> Dict[str, np.ndarr
             len(graph.nodes)
         )
         registry.gauge("executor.bytes_freed", graph=graph.name).set(bytes_freed)
+        # Matches BufferPlan.peak_live_bytes (pinned in tests): the
+        # activation working set reference-counted freeing sustains.
+        registry.gauge(
+            "executor.peak_live_bytes", graph=graph.name
+        ).set(peak_live_bytes)
 
     return {out: values[out] for out in graph.output_names}
 

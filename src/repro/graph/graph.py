@@ -65,6 +65,7 @@ class Graph:
         self._nodes: Dict[str, Node] = {}
         self._order: List[str] = []
         self._outputs: List[str] = []
+        self._version = 0
 
     # -- construction ------------------------------------------------------
 
@@ -72,6 +73,7 @@ class Graph:
         if name in self._inputs or name in self._nodes:
             raise GraphError(f"duplicate name {name!r}", node=name)
         self._inputs[name] = spec
+        self._version += 1
         return name
 
     def add_node(self, name: str, op, inputs: Sequence[str]) -> str:
@@ -83,6 +85,7 @@ class Graph:
         node = Node(name=name, op=op, inputs=tuple(inputs), output_spec=output_spec)
         self._nodes[name] = node
         self._order.append(name)
+        self._version += 1
         return name
 
     def mark_output(self, name: str) -> None:
@@ -90,8 +93,15 @@ class Graph:
             raise GraphError(f"unknown tensor {name!r}", edge=name)
         if name not in self._outputs:
             self._outputs.append(name)
+            self._version += 1
 
     # -- inspection --------------------------------------------------------
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic edit counter; memo keys (e.g. the static verifier's
+        per-graph analysis cache) use it to detect structural changes."""
+        return self._version
 
     @property
     def input_names(self) -> List[str]:

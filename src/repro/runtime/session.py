@@ -167,6 +167,7 @@ class InferenceSession:
         self.platform = (
             platform_by_name(platform) if isinstance(platform, str) else platform
         )
+        self._constants = constants
         if self.platform.kind == "cpu":
             self._cpu_model: Optional[CpuModel] = CpuModel(self.platform, constants)
             self._gpu_model: Optional[GpuModel] = None
@@ -206,7 +207,39 @@ class InferenceSession:
 
     # -- performance modeling --------------------------------------------------
 
-    def profile(self, batch_size: int) -> InferenceProfile:
+    def profile(
+        self, batch_size: int, mode: str = "numeric"
+    ) -> InferenceProfile:
+        """Model one inference.
+
+        ``mode="numeric"`` walks the graph through the scalar uarch /
+        gpusim models. ``mode="spec"`` evaluates the same costs from
+        the cached workload table (:mod:`repro.runtime.specmode`) —
+        bit-identical results, no per-node Python model walk, and no
+        tensor data ever allocated.
+        """
+        if mode not in ("numeric", "spec"):
+            raise ValueError(f"unknown profile mode {mode!r}")
+        if mode == "spec":
+            from repro.runtime import specmode
+
+            with telemetry.get_tracer().span(
+                "session.profile",
+                category="session",
+                model=self.model.name,
+                platform=self.platform.name,
+                batch_size=batch_size,
+                mode="spec",
+            ):
+                profile = specmode.profile_spec(
+                    self.model,
+                    self.platform,
+                    batch_size,
+                    constants=self._constants,
+                )
+            if telemetry.enabled():
+                self._record_profile_telemetry(profile)
+            return profile
         with telemetry.get_tracer().span(
             "session.profile",
             category="session",

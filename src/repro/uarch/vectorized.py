@@ -1,0 +1,605 @@
+"""Vectorized CPU pipeline evaluation over stacked workload tables.
+
+Evaluates :mod:`repro.uarch`'s whole analytical stack — synthesis,
+branch, backend, memory, frontend, assembly — for *all* sweep cells of
+one CPU at once, on ``(cells, nodes)`` float64 arrays.
+
+Bit-identity contract: every arithmetic expression here mirrors the
+scalar models (:mod:`~repro.uarch.synth`, :mod:`~repro.uarch.branch`,
+:mod:`~repro.uarch.backend`, :mod:`~repro.uarch.memory`,
+:mod:`~repro.uarch.pipeline`) term for term, preserving association
+order, so IEEE-754 float64 results match the scalar path bit for bit
+(pinned in ``tests/test_specmode.py``). Two pieces intentionally stay
+on the original scalar code because their arithmetic is not
+reproducible with vectorized primitives:
+
+* the shared frontend (:meth:`~repro.uarch.frontend.FrontendModel.analyze`)
+  — a sorted greedy capacity budget across the whole graph — runs once
+  per cell on :class:`~repro.uarch.frontend.CodeRegion` objects rebuilt
+  from the table (cheap: one call per cell, not per node);
+* the port-occupancy binomial (``p**k`` — NumPy's pow is not bit-equal
+  to CPython's for float bases) runs as a per-node Python loop
+  replicating :meth:`~repro.uarch.backend.BackendModel.port_histogram`.
+
+Per-node accumulations (stream loops, event totals) use masked adds of
+exact ``0.0`` in the original visit order: ``x + 0.0 == x`` for the
+non-negative quantities involved, so the scalar add sequence is
+preserved. Padding lanes may hold inf/nan (``np.errstate`` suppressed);
+they are excluded by the validity mask at every accumulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.hw.platform import CpuSpec
+from repro.uarch.caches import AnalyticalHierarchy
+from repro.uarch.constants import DEFAULT_CONSTANTS, UarchConstants
+from repro.uarch.events import PmuEvents
+from repro.uarch.frontend import CodeRegion, FrontendModel
+from repro.uarch.pipeline import CpuOpProfile
+
+__all__ = ["SpecCpuGraphProfile", "profile_cells_cpu"]
+
+#: Per-node event/cycle arrays shared by all cells of one evaluation;
+#: SpecCpuGraphProfile materializes CpuOpProfile rows from these lazily.
+_OP_ARRAY_FIELDS = (
+    "cycles",
+    "execution",
+    "mem_stall",
+    "fe_total",
+    "bad_spec",
+    "core_bound",
+    "seconds",
+    "instructions",
+    "uops",
+    "avx",
+    "branch_inst",
+    "mispredicts",
+    "fe_icache",
+    "fe_dsb_uops",
+    "fe_mite_uops",
+    "fe_dsb_cycles",
+    "fe_mite_cycles",
+    "fe_latency",
+    "fe_bandwidth",
+    "l1a",
+    "l2a",
+    "l3a",
+    "drama",
+    "dramb",
+    "congested",
+    "port0",
+    "port12",
+    "port3",
+)
+
+
+class _CpuArrays:
+    """Bag of (cells, nodes) result arrays for lazy materialization."""
+
+    def __init__(self, **arrays: np.ndarray) -> None:
+        for name, arr in arrays.items():
+            setattr(self, name, arr)
+
+
+class SpecCpuGraphProfile:
+    """Duck-typed :class:`~repro.uarch.pipeline.CpuGraphProfile`.
+
+    Aggregates (events, compute/data-load seconds, per-kind times) are
+    eager; the per-op :class:`CpuOpProfile` list is materialized lazily
+    from the evaluation arrays, since only span/trace consumers need it.
+    """
+
+    def __init__(
+        self,
+        platform: str,
+        graph_name: str,
+        events: PmuEvents,
+        compute_seconds: float,
+        data_load_seconds: float,
+        time_by_kind: Dict[str, float],
+        arrays: _CpuArrays,
+        cell_index: int,
+        names: List[str],
+        kinds: List[str],
+    ) -> None:
+        self.platform = platform
+        self.graph_name = graph_name
+        self.events = events
+        self.compute_seconds = compute_seconds
+        self.data_load_seconds = data_load_seconds
+        self._time_by_kind = time_by_kind
+        self._arrays = arrays
+        self._cell = cell_index
+        self._names = names
+        self._kinds = kinds
+        self._op_profiles: Optional[List[CpuOpProfile]] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.data_load_seconds
+
+    def time_by_kind(self) -> Dict[str, float]:
+        return dict(self._time_by_kind)
+
+    @property
+    def op_profiles(self) -> List[CpuOpProfile]:
+        if self._op_profiles is None:
+            self._op_profiles = self._materialize()
+        return self._op_profiles
+
+    def _materialize(self) -> List[CpuOpProfile]:
+        a, i = self._arrays, self._cell
+        n = len(self._names)
+        rows = {name: getattr(a, name)[i, :n].tolist() for name in _OP_ARRAY_FIELDS}
+        profiles = []
+        for j, (name, kind) in enumerate(zip(self._names, self._kinds)):
+            events = PmuEvents(
+                cycles=rows["cycles"][j],
+                instructions=rows["instructions"][j],
+                uops_retired=rows["uops"][j],
+                avx_instructions=rows["avx"][j],
+                branch_instructions=rows["branch_inst"][j],
+                branch_mispredicts=rows["mispredicts"][j],
+                icache_misses=rows["fe_icache"][j],
+                dsb_uops=rows["fe_dsb_uops"][j],
+                mite_uops=rows["fe_mite_uops"][j],
+                dsb_limited_cycles=rows["fe_dsb_cycles"][j],
+                mite_limited_cycles=rows["fe_mite_cycles"][j],
+                frontend_latency_cycles=rows["fe_latency"][j],
+                frontend_bandwidth_cycles=rows["fe_bandwidth"][j],
+                core_bound_cycles=rows["core_bound"][j],
+                memory_bound_cycles=rows["mem_stall"][j],
+                bad_speculation_cycles=rows["bad_spec"][j],
+                l1d_accesses=rows["l1a"][j],
+                l2_accesses=rows["l2a"][j],
+                l3_accesses=rows["l3a"][j],
+                dram_accesses=rows["drama"][j],
+                dram_bytes=rows["dramb"][j],
+                dram_congested_cycles=rows["congested"][j],
+                port_cycles_0=rows["port0"][j],
+                port_cycles_1_2=rows["port12"][j],
+                port_cycles_3_plus=rows["port3"][j],
+            )
+            profile = CpuOpProfile(
+                node_name=name,
+                op_kind=kind,
+                cycles=rows["cycles"][j],
+                execution_cycles=rows["execution"][j],
+                memory_stall_cycles=rows["mem_stall"][j],
+                frontend_stall_cycles=rows["fe_total"][j],
+                bad_speculation_cycles=rows["bad_spec"][j],
+                core_bound_cycles=rows["core_bound"][j],
+                events=events,
+            )
+            profile._time_seconds = rows["seconds"][j]
+            profiles.append(profile)
+        return profiles
+
+
+def _masked_totals(valid: np.ndarray, arr: np.ndarray) -> np.ndarray:
+    """Left-to-right per-cell node sums (the scalar merge order)."""
+    return np.where(valid, arr, 0.0).cumsum(axis=1)[:, -1]
+
+
+def profile_cells_cpu(
+    stacked, spec: CpuSpec, constants: Optional[UarchConstants] = None
+) -> List[SpecCpuGraphProfile]:
+    """Profile every stacked cell on one CPU spec."""
+    c = constants if constants is not None else DEFAULT_CONSTANTS
+    st = stacked
+    valid = st.valid
+
+    with np.errstate(all="ignore"):
+        # ---- synth (repro.uarch.synth.synthesize) -------------------------
+        lanes = spec.simd_fp32_lanes
+        flops_per_vector_inst = np.where(st.uses_fma, lanes * 2, lanes)
+        scalar_fraction = 1.0 - st.vector_fraction
+        fma_scale = 256.0 / spec.simd_width_bits
+        scalar_fraction = np.where(
+            st.uses_fma, scalar_fraction * fma_scale, scalar_fraction
+        )
+        vector_flops = st.flops * (1.0 - scalar_fraction)
+        scalar_flop_inst = st.flops * scalar_fraction
+        vector_flop_inst = vector_flops / np.maximum(flops_per_vector_inst, 1)
+        if spec.has_vnni:
+            vector_flop_inst = np.where(
+                st.uses_fma,
+                vector_flop_inst * c.vnni_instruction_factor,
+                vector_flop_inst,
+            )
+        # Stream terms iterate slot-major contiguous slices (shared,
+        # platform-independent masks precomputed once on the stack).
+        # Masked adds of exact 0.0 in slot order preserve the scalar add
+        # sequence; r/q are mutually exclusive so their two adds fold
+        # into one nested selection. Slots with no valid lane contribute
+        # exactly +0.0 everywhere and are skipped.
+        simd_bytes = spec.simd_width_bits // 8
+        slots = st.stream_slots()
+        stores = np.zeros(valid.shape, dtype=np.float64)
+        vector_mem = np.zeros(valid.shape, dtype=np.float64)
+        for slot in slots:
+            if not slot.any_valid:
+                continue
+            stores = stores + np.where(
+                slot.w, np.ceil(slot.total / simd_bytes), 0.0
+            )
+            per_access = np.maximum(1.0, np.ceil(slot.granule / simd_bytes))
+            vector_mem = vector_mem + np.where(
+                slot.r,
+                slot.accesses * per_access,
+                np.where(slot.q, slot.total / simd_bytes, 0.0),
+            )
+        branch_inst = st.branches.astype(np.float64)
+        bookkeeping = st.scalar_ops.astype(np.float64)
+        # scalar_memory_instructions is always 0.0, so load == vector_mem
+        # and the mix total's "+ 0.0" term is the float identity.
+        load_inst = vector_mem
+        avx = vector_flop_inst + vector_mem
+        mix_total = (
+            (((vector_flop_inst + scalar_flop_inst) + vector_mem) + stores)
+            + branch_inst
+        ) + bookkeeping
+        mix_uops = mix_total * c.uops_per_instruction
+
+        # ---- branch (repro.uarch.branch.BranchModel) ----------------------
+        mrate = st.branch_entropy * (1.0 - spec.predictor_quality)
+        mispredicts = branch_inst * mrate
+        bad_spec = (mispredicts * spec.branch_penalty) * c.badspec_slot_fraction
+
+        # ---- backend (repro.uarch.backend.BackendModel) -------------------
+        fma_uops = vector_flop_inst * c.uops_per_instruction
+        scalar_alu_uops = (
+            (scalar_flop_inst + bookkeeping) + branch_inst
+        ) * c.uops_per_instruction
+        load_uops = load_inst * c.uops_per_instruction
+        store_uops = stores * c.uops_per_instruction
+        total_uops = ((fma_uops + scalar_alu_uops) + load_uops) + store_uops
+        fma_cycles = fma_uops / (spec.fma_ports * c.fma_port_efficiency)
+        alu_cycles = scalar_alu_uops / (spec.alu_ports * c.alu_port_efficiency)
+        load_cycles = load_uops / spec.load_ports
+        store_cycles = store_uops / spec.store_ports
+        be_exec = np.maximum(
+            np.maximum(
+                np.maximum(fma_cycles + alu_cycles * 0.5, alu_cycles), load_cycles
+            ),
+            store_cycles,
+        )
+        issue_cycles = total_uops / spec.issue_width
+        be_exec = np.maximum(be_exec, issue_cycles)
+        be_core_bound = np.maximum(0.0, be_exec - issue_cycles)
+        port_uops = total_uops
+
+        # ---- memory (repro.uarch.memory / repro.uarch.caches) -------------
+        hier = AnalyticalHierarchy(spec)
+        l1b, l2b, l3b = hier.l1_bytes, hier.l2_bytes, hier.l3_bytes
+        dram_latency_cycles = spec.dram_latency_ns * spec.frequency_ghz
+        bytes_per_cycle = spec.dram_bandwidth_gbps / spec.frequency_ghz
+        uncovered = 1.0 - c.prefetch_coverage
+        max_offcore = float(spec.max_offcore_requests)
+        zeros = np.zeros(valid.shape, dtype=np.float64)
+        l1a, l2a, l3a = zeros.copy(), zeros.copy(), zeros.copy()
+        drama, dramb = zeros.copy(), zeros.copy()
+        latency, occ_weight = zeros.copy(), zeros.copy()
+        for slot in slots:
+            if not slot.any_live:
+                continue
+            fp = slot.footprint
+            acc = slot.accesses
+            gran = slot.granule
+            loc = slot.locality
+            live = slot.live_acc
+            is_rand = slot.is_random
+            # _classify_random: residence-fraction chain + Zipf hot split.
+            # min(remaining, capacity/footprint) handles footprint == 0
+            # too: capacity/0 -> inf, so share == remaining, exactly the
+            # scalar branch.
+            share1 = np.minimum(1.0, l1b / fp)
+            rem = 1.0 - share1
+            rem = np.where(rem <= 0, 0.0, rem)
+            share2 = np.minimum(rem, l2b / fp)
+            rem = rem - share2
+            rem = np.where(rem <= 0, 0.0, rem)
+            share3 = np.minimum(rem, l3b / fp)
+            hot = loc
+            om = 1 - hot
+            acc_loc = acc * loc
+            acc_om = acc * om
+            r_l1 = (acc * share1) * om
+            r_l2 = acc * (share2 * om + hot * 0.35)
+            r_l3 = acc * (share3 * om + hot * 0.65)
+            r_dram = np.maximum(0.0, ((acc - r_l1) - r_l2) - r_l3)
+            # _classify_sequential: smallest level holding the footprint.
+            in_l1 = fp <= l1b
+            in_l2 = fp <= l2b
+            in_l3 = fp <= l3b
+            s_l1 = np.where(in_l1, slot.acc_f, np.where(in_l2, acc_loc, 0.0))
+            s_l2 = np.where(
+                in_l1,
+                0.0,
+                np.where(in_l2, acc_om, np.where(in_l3, acc_loc, 0.0)),
+            )
+            s_l3 = np.where(in_l2, 0.0, np.where(in_l3, acc_om, acc_loc))
+            s_dram = np.where(in_l3, 0.0, acc_om)
+            lvl1 = np.where(live, np.where(is_rand, r_l1, s_l1), 0.0)
+            lvl2 = np.where(live, np.where(is_rand, r_l2, s_l2), 0.0)
+            lvl3 = np.where(live, np.where(is_rand, r_l3, s_l3), 0.0)
+            lvld = np.where(live, np.where(is_rand, r_dram, s_dram), 0.0)
+            l1a = l1a + lvl1
+            l2a = l2a + lvl2
+            l3a = l3a + lvl3
+            drama = drama + lvld
+            dramb = dramb + lvld * gran
+            # Stall terms (reads only; writes hide behind store buffers).
+            mlp = c.gather_mlp_base * slot.sqrt_par
+            mlp = np.minimum(np.maximum(mlp, 1.0), max_offcore)
+            dram_term = (lvld * dram_latency_cycles) * c.dram_visible_fraction
+            rand_stall = (
+                dram_term / mlp
+                + ((lvl3 * spec.l3_latency) * c.l3_hit_visible_fraction)
+                / np.minimum(mlp, 4.0)
+            ) + (lvl2 * spec.l2_latency) * c.l2_hit_visible_fraction
+            occ_term = rand_stall * np.minimum(
+                1.0, mlp / spec.max_offcore_requests
+            )
+            seq_stall = dram_term * uncovered
+            seq_stall = (
+                seq_stall
+                + ((lvl2 * gran) / spec.l2_bandwidth_bpc)
+                * c.l2_stream_visible_fraction
+            )
+            seq_stall = (
+                seq_stall
+                + ((lvl3 * gran) / spec.l3_bandwidth_bpc)
+                * c.l3_stream_visible_fraction
+            )
+            seq_stall = (
+                seq_stall
+                + ((lvld * gran) / bytes_per_cycle)
+                * c.l3_stream_visible_fraction
+            )
+            latency = latency + np.where(
+                slot.rmask, rand_stall, np.where(slot.smask, seq_stall, 0.0)
+            )
+            occ_weight = occ_weight + np.where(slot.rmask, occ_term, 0.0)
+        dram_bw_cycles = dramb / max(bytes_per_cycle, 1e-9)
+        mem_stall = np.maximum(latency, dram_bw_cycles)
+        occupancy = np.where(
+            mem_stall > 0, np.minimum(1.0, occ_weight / mem_stall), 0.0
+        )
+
+    # ---- frontend: the original scalar greedy-budget analysis ------------
+    frontend_model = FrontendModel(spec, c)
+    fe_arrays = {
+        name: np.zeros(valid.shape, dtype=np.float64)
+        for name in (
+            "fe_dispatch",
+            "fe_total",
+            "fe_latency",
+            "fe_bandwidth",
+            "fe_icache",
+            "fe_dsb_uops",
+            "fe_mite_uops",
+            "fe_dsb_cycles",
+            "fe_mite_cycles",
+        )
+    }
+    for i, cell in enumerate(st.cells):
+        n = cell.n
+        inst_row = mix_total[i, :n].tolist()
+        uops_row = mix_uops[i, :n].tolist()
+        misp_row = mispredicts[i, :n].tolist()
+        code_row = cell.code_bytes.tolist()
+        entries_row = cell.entries.tolist()
+        branches_row = cell.branches.tolist()
+        entropy_row = cell.branch_entropy.tolist()
+        regions = [
+            CodeRegion(
+                name=cell.names[j],
+                code_bytes=float(code_row[j]),
+                unique_blocks=cell.unique_blocks[j],
+                entries=float(entries_row[j]),
+                instructions=inst_row[j],
+                uops=uops_row[j],
+                branches=float(branches_row[j]),
+                mispredicts=misp_row[j],
+                branch_entropy=entropy_row[j],
+            )
+            for j in range(n)
+        ]
+        profiles_by_name = frontend_model.analyze(regions)
+        fes = [profiles_by_name[name] for name in cell.names]
+        fe_arrays["fe_dispatch"][i, :n] = [f.dispatch_instructions for f in fes]
+        fe_arrays["fe_total"][i, :n] = [f.total_cycles for f in fes]
+        fe_arrays["fe_latency"][i, :n] = [f.latency_cycles for f in fes]
+        fe_arrays["fe_bandwidth"][i, :n] = [f.bandwidth_cycles for f in fes]
+        fe_arrays["fe_icache"][i, :n] = [f.icache_misses for f in fes]
+        fe_arrays["fe_dsb_uops"][i, :n] = [f.dsb_uops for f in fes]
+        fe_arrays["fe_mite_uops"][i, :n] = [f.mite_uops for f in fes]
+        fe_arrays["fe_dsb_cycles"][i, :n] = [f.dsb_limited_cycles for f in fes]
+        fe_arrays["fe_mite_cycles"][i, :n] = [f.mite_limited_cycles for f in fes]
+
+    with np.errstate(all="ignore"):
+        # ---- assembly (repro.uarch.pipeline.profile_workloads) ------------
+        fe_dispatch = fe_arrays["fe_dispatch"]
+        fe_total = fe_arrays["fe_total"]
+        instructions = mix_total + fe_dispatch
+        uops = mix_uops + fe_dispatch * c.uops_per_instruction
+        execution = np.maximum(be_exec, uops / spec.issue_width)
+        cycles = ((execution + mem_stall) + fe_total) + bad_spec
+        thr = c.dram_congestion_threshold
+        congested = np.where(
+            occupancy <= thr,
+            0.0,
+            np.minimum(cycles, mem_stall) * ((occupancy - thr) / (1.0 - thr)),
+        )
+        seconds = cycles / (spec.frequency_ghz * 1e9)
+        seconds = seconds + (
+            (np.maximum(st.kernel_launches, 1) * c.cpu_dispatch_us) * 1e-6
+        ) * 0.1
+        seconds = seconds + c.cpu_dispatch_us * 1e-6
+
+    # ---- port histogram: scalar pow, exactly BackendModel.port_histogram --
+    num_units = spec.alu_ports + spec.load_ports + spec.store_ports
+    nu_f = float(num_units)
+    comb1 = math.comb(num_units, 1)
+    comb2 = math.comb(num_units, 2)
+    e1, e2 = num_units - 1, num_units - 2
+    port0 = np.zeros(valid.shape, dtype=np.float64)
+    port12 = np.zeros(valid.shape, dtype=np.float64)
+    port3 = np.zeros(valid.shape, dtype=np.float64)
+    for i, cell in enumerate(st.cells):
+        n = cell.n
+        cyc_row = cycles[i, :n].tolist()
+        pu_row = port_uops[i, :n].tolist()
+        p0_row, p12_row, p3_row = [], [], []
+        for j in range(n):
+            clamped = max(cyc_row[j], 1e-9)
+            mean_busy = min(nu_f, pu_row[j] / clamped)
+            p = mean_busy / num_units
+            # pmf(k) = comb(n, k) * p**k * (1-p)**(n-k); comb(n, 0) and
+            # p**0 are exactly 1, so pmf(0) reduces to the last factor.
+            q = 1.0 - p
+            p0 = q**num_units
+            p12 = (comb1 * p**1) * q**e1 + (comb2 * p**2) * q**e2
+            p0_row.append(p0)
+            p12_row.append(p12)
+            p3_row.append(max(0.0, 1.0 - p0 - p12))
+        port0[i, :n] = p0_row
+        port12[i, :n] = p12_row
+        port3[i, :n] = p3_row
+    with np.errstate(all="ignore"):
+        port_cycles_0 = port0 * cycles
+        port_cycles_1_2 = port12 * cycles
+        port_cycles_3_plus = port3 * cycles
+
+    arrays = _CpuArrays(
+        cycles=cycles,
+        execution=execution,
+        mem_stall=mem_stall,
+        fe_total=fe_total,
+        bad_spec=bad_spec,
+        core_bound=be_core_bound,
+        seconds=seconds,
+        instructions=instructions,
+        uops=uops,
+        avx=avx,
+        branch_inst=branch_inst,
+        mispredicts=mispredicts,
+        fe_icache=fe_arrays["fe_icache"],
+        fe_dsb_uops=fe_arrays["fe_dsb_uops"],
+        fe_mite_uops=fe_arrays["fe_mite_uops"],
+        fe_dsb_cycles=fe_arrays["fe_dsb_cycles"],
+        fe_mite_cycles=fe_arrays["fe_mite_cycles"],
+        fe_latency=fe_arrays["fe_latency"],
+        fe_bandwidth=fe_arrays["fe_bandwidth"],
+        l1a=l1a,
+        l2a=l2a,
+        l3a=l3a,
+        drama=drama,
+        dramb=dramb,
+        congested=congested,
+        port0=port_cycles_0,
+        port12=port_cycles_1_2,
+        port3=port_cycles_3_plus,
+    )
+
+    totals = {
+        name: _masked_totals(valid, getattr(arrays, name)).tolist()
+        for name in (
+            "cycles",
+            "instructions",
+            "uops",
+            "avx",
+            "branch_inst",
+            "mispredicts",
+            "fe_icache",
+            "fe_dsb_uops",
+            "fe_mite_uops",
+            "fe_dsb_cycles",
+            "fe_mite_cycles",
+            "fe_latency",
+            "fe_bandwidth",
+            "core_bound",
+            "mem_stall",
+            "bad_spec",
+            "l1a",
+            "l2a",
+            "l3a",
+            "drama",
+            "dramb",
+            "congested",
+            "port0",
+            "port12",
+            "port3",
+            "seconds",
+        )
+    }
+
+    staging = c.host_staging_gbps * 1e9
+    staging_latency = c.host_staging_latency_us * 1e-6
+    profiles: List[SpecCpuGraphProfile] = []
+    for i, cell in enumerate(st.cells):
+        events = PmuEvents(
+            cycles=totals["cycles"][i],
+            instructions=totals["instructions"][i],
+            uops_retired=totals["uops"][i],
+            avx_instructions=totals["avx"][i],
+            branch_instructions=totals["branch_inst"][i],
+            branch_mispredicts=totals["mispredicts"][i],
+            icache_misses=totals["fe_icache"][i],
+            dsb_uops=totals["fe_dsb_uops"][i],
+            mite_uops=totals["fe_mite_uops"][i],
+            dsb_limited_cycles=totals["fe_dsb_cycles"][i],
+            mite_limited_cycles=totals["fe_mite_cycles"][i],
+            frontend_latency_cycles=totals["fe_latency"][i],
+            frontend_bandwidth_cycles=totals["fe_bandwidth"][i],
+            core_bound_cycles=totals["core_bound"][i],
+            memory_bound_cycles=totals["mem_stall"][i],
+            bad_speculation_cycles=totals["bad_spec"][i],
+            l1d_accesses=totals["l1a"][i],
+            l2_accesses=totals["l2a"][i],
+            l3_accesses=totals["l3a"][i],
+            dram_accesses=totals["drama"][i],
+            dram_bytes=totals["dramb"][i],
+            dram_congested_cycles=totals["congested"][i],
+            port_cycles_0=totals["port0"][i],
+            port_cycles_1_2=totals["port12"][i],
+            port_cycles_3_plus=totals["port3"][i],
+        )
+        secs_row = seconds[i, : cell.n].tolist()
+        time_by_kind: Dict[str, float] = {}
+        for kind, sec in zip(cell.kinds, secs_row):
+            time_by_kind[kind] = time_by_kind.get(kind, 0.0) + sec
+        data_load = (
+            cell.total_input_bytes / staging + staging_latency
+        )
+        profiles.append(
+            SpecCpuGraphProfile(
+                platform=spec.microarchitecture,
+                graph_name=cell.graph_name,
+                events=events,
+                compute_seconds=float(totals["seconds"][i]),
+                data_load_seconds=data_load,
+                time_by_kind=time_by_kind,
+                arrays=arrays,
+                cell_index=i,
+                names=cell.names,
+                kinds=cell.kinds,
+            )
+        )
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            labels = dict(platform=spec.microarchitecture, graph=cell.graph_name)
+            registry.counter("uarch.graphs_profiled", **labels).inc()
+            registry.counter("uarch.ops_profiled", **labels).inc(cell.n)
+            registry.counter("uarch.cycles", **labels).inc(events.cycles)
+            registry.counter(
+                "uarch.instructions", **labels
+            ).inc(events.instructions)
+    return profiles
