@@ -51,7 +51,11 @@ from repro.core import (
 )
 from repro.hw import PLATFORM_ORDER, PLATFORMS
 from repro.models import MODEL_ORDER, build_all_models, build_model
-from repro.monitor.scenario import SCENARIOS as _MONITOR_SCENARIOS
+from repro.monitor.scenario import (
+    SCENARIOS as _MONITOR_SCENARIOS,
+    replica_scenario_names as _replica_scenario_names,
+    shard_scenario_names as _shard_scenario_names,
+)
 from repro.runtime import (
     BatchingPolicy,
     InferenceSession,
@@ -62,8 +66,11 @@ from repro.runtime import (
 
 __all__ = ["main", "build_parser"]
 
-#: Shared by the ``resilience`` and ``monitor`` subcommands.
+#: ``monitor`` accepts every scenario; ``resilience`` only the
+#: replica-level ones and ``shard`` only the shard-level ones.
 _SCENARIO_NAMES = tuple(_MONITOR_SCENARIOS)
+_REPLICA_SCENARIOS = _replica_scenario_names()
+_SHARD_SCENARIOS = _shard_scenario_names()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=2020)
     p.add_argument(
-        "--scenario", default="slowdown", choices=sorted(_SCENARIO_NAMES),
+        "--scenario", default="slowdown", choices=sorted(_REPLICA_SCENARIOS),
     )
     p.add_argument(
         "--deadline-ms", type=float, default=None, dest="deadline_ms",
@@ -244,6 +251,60 @@ def build_parser() -> argparse.ArgumentParser:
         dest="expect_fault_alert",
         help="exit nonzero unless at least one fault-correlated alert "
         "fires (CI smoke gate)",
+    )
+
+    p = sub.add_parser(
+        "shard",
+        help="sharded-gather placement x gather-policy matrix under "
+        "injected shard faults",
+    )
+    p.add_argument("--model", default="rm2", help="model name (aliases ok)")
+    p.add_argument("--platform", default="broadwell", help="serving platform")
+    p.add_argument(
+        "--shards", type=int, default=4,
+        help="simulated shard servers holding the embedding tables",
+    )
+    p.add_argument(
+        "--sharding", choices=["row", "table", "column"], default="row",
+    )
+    p.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    p.add_argument("--queries", type=int, default=1500)
+    p.add_argument(
+        "--qps", type=float, default=None,
+        help="arrival rate (default: 80%% of the sharded peak — model "
+        "compute plus the healthy blind gather)",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument(
+        "--scenario", default="shard_slowdown",
+        choices=sorted(_SHARD_SCENARIOS),
+    )
+    p.add_argument(
+        "--alpha", type=float, default=1.1,
+        help="Zipf skew of the embedding index distribution",
+    )
+    p.add_argument(
+        "--hot-k", type=int, default=1024, dest="hot_k",
+        help="hot rows per table replicated by locality-aware placement",
+    )
+    p.add_argument(
+        "--replicas", type=int, default=2,
+        help="holders a replicated read races (fastest-of-R)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--record-dir", default=None, dest="record_dir",
+        help="write one tagged run record per matrix row to this ledger",
+    )
+    p.add_argument(
+        "--split", action="store_true",
+        help="with --record-dir: one file per record (baseline layout)",
+    )
+    p.add_argument(
+        "--expect-locality-win", action="store_true",
+        dest="expect_locality_win",
+        help="exit nonzero unless locality-aware placement + gather "
+        "policies beats blind placement on p99 (CI smoke gate)",
     )
 
     p = sub.add_parser(
@@ -872,6 +933,109 @@ def _cmd_resilience(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_shard(args) -> Tuple[str, int]:
+    from repro.distserve import matrix_records, run_shard_matrix
+
+    try:
+        matrix = run_shard_matrix(
+            args.model,
+            args.platform,
+            args.scenario,
+            shards=args.shards,
+            sharding=args.sharding,
+            batch_size=args.batch_size,
+            queries=args.queries,
+            qps=args.qps,
+            seed=args.seed,
+            alpha=args.alpha,
+            hot_k=args.hot_k,
+            replicas=args.replicas,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+    rows = []
+    for r in matrix.rows:
+        result = r.result
+        p50 = result.p50 * 1e3 if result.completed else float("nan")
+        p99 = result.p99 * 1e3 if result.completed else float("nan")
+        rows.append(
+            [
+                r.label,
+                r.layout.num_shards,
+                result.completed,
+                f"{p50:.2f}",
+                f"{p99:.2f}",
+                f"{r.layout.load_imbalance():.2f}",
+                int(r.gather_count("hedged_rpcs")),
+                int(r.gather_count("replicated_reads")),
+                int(r.gather_count("imputed_lookups")
+                    + r.gather_count("cached_lookups")),
+                int(r.gather_count("blocked_gathers")),
+            ]
+        )
+
+    win = matrix.locality_win()
+    code = 0
+    lines = [
+        f"scenario '{matrix.scenario}' on {matrix.model}/{matrix.platform}: "
+        f"{matrix.queries} queries at {matrix.qps:.0f} QPS across "
+        f"{matrix.shards} {matrix.sharding}-sharded servers "
+        f"(seed {matrix.seed})",
+        render_table(
+            ["placement/policy", "shards", "ok", "p50 ms", "p99 ms",
+             "load imb", "hedges", "repl reads", "degraded", "blocked"],
+            rows,
+        ),
+    ]
+    blind_p99 = matrix.row("blind").p99_ms
+    aware_p99 = matrix.row("locality+policies").p99_ms
+    lines.append(
+        f"p99 blind {blind_p99:.2f} ms vs locality+policies "
+        f"{aware_p99:.2f} ms -> locality win: {'yes' if win else 'NO'}"
+    )
+    if args.record_dir:
+        from repro.ledger import RunLedger
+
+        ledger = RunLedger(args.record_dir)
+        for record in matrix_records(matrix):
+            path = (
+                ledger.write(record) if args.split else ledger.append(record)
+            )
+            lines.append(f"recorded {record.fingerprint.key} -> {path}")
+    if args.expect_locality_win and not win:
+        lines.append(
+            "FAIL: locality-aware placement + gather policies did not "
+            "beat blind placement on p99"
+        )
+        code = 1
+    if args.format == "json":
+        import json as _json
+
+        payload = {
+            "model": matrix.model,
+            "platform": matrix.platform,
+            "scenario": matrix.scenario,
+            "seed": matrix.seed,
+            "qps": matrix.qps,
+            "shards": matrix.shards,
+            "sharding": matrix.sharding,
+            "locality_win": win,
+            "rows": [
+                {
+                    "label": r.label,
+                    "p50_ms": r.p50_ms,
+                    "p99_ms": r.p99_ms,
+                    "gather_counts": dict(r.result.gather_counts),
+                    "layout": r.layout.scalars(),
+                }
+                for r in matrix.rows
+            ],
+        }
+        return _json.dumps(payload, indent=2), code
+    return "\n".join(lines), code
+
+
 def _monitor_alerts(summary, source, rules):
     """All windowed analyses over one summary, in a stable order."""
     from repro.monitor import (
@@ -1295,6 +1459,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": lambda: _cmd_metrics(args),
         "resilience": lambda: _cmd_resilience(args),
         "monitor": lambda: _cmd_monitor(args),
+        "shard": lambda: _cmd_shard(args),
         "report": lambda: _cmd_report(args),
         "record": lambda: _cmd_record(args),
         "diff": lambda: _cmd_diff(args),

@@ -1,0 +1,160 @@
+"""Network/RPC cost model for sharded embedding gathers.
+
+Production embedding tables exceed one node (Lui et al., arXiv
+2011.02084), so each query's pooled gathers fan out as RPCs to shard
+servers and the query cannot complete until the *slowest* shard
+responds. The cost model here is deliberately simple and fully
+deterministic — per-hop latency, serialization per byte, and a
+bandwidth term layered on the same "communication seconds" idea the
+service-time model uses for PCIe — because what the scenarios study is
+the *structure* of the tail (fan-out × max over shards × fault
+windows), not absolute microseconds.
+
+All constants are gigaBYTES per second and seconds; defaults model a
+commodity 100GbE datacenter fabric with kernel-bypass RPC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "ShardHardware"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cost of one shard RPC round trip.
+
+    ``rpc_seconds`` = 2 hops of propagation/switching latency
+    + per-byte serialization of request and response
+    + wire transfer of both at ``bandwidth_gb_s`` (scaled down during
+    network-degradation fault windows) + fixed per-request overhead.
+    """
+
+    #: One-way propagation + switching latency per hop.
+    hop_latency_s: float = 25e-6
+    #: Effective per-flow wire bandwidth, gigabytes/second.
+    bandwidth_gb_s: float = 12.5
+    #: Marshalling/unmarshalling cost per kilobyte (both directions).
+    serialization_s_per_kb: float = 0.2e-6
+    #: Fixed per-RPC overhead on the serving shard (dispatch, framing).
+    request_overhead_s: float = 3e-6
+    #: Client-side cost to issue one RPC (paid once per fan-out leg).
+    client_issue_s: float = 1.5e-6
+    #: Client-side cost to merge one shard response into the pooled
+    #: embedding output.
+    merge_s_per_shard: float = 1e-6
+
+    def __post_init__(self) -> None:
+        for name in ("hop_latency_s", "serialization_s_per_kb",
+                     "request_overhead_s", "client_issue_s",
+                     "merge_s_per_shard"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+        if not (self.bandwidth_gb_s > 0.0):
+            raise ValueError("bandwidth_gb_s must be positive")
+
+    @classmethod
+    def local(cls) -> "NetworkModel":
+        """The colocated (single-node) network: every cost exactly zero.
+
+        This is what makes a one-shard layout bit-identical to the
+        non-distributed scheduler path — gather overhead is ``0.0``,
+        not merely small.
+        """
+        return cls(
+            hop_latency_s=0.0,
+            bandwidth_gb_s=math.inf,
+            serialization_s_per_kb=0.0,
+            request_overhead_s=0.0,
+            client_issue_s=0.0,
+            merge_s_per_shard=0.0,
+        )
+
+    @property
+    def is_local(self) -> bool:
+        return (
+            self.hop_latency_s == 0.0
+            and math.isinf(self.bandwidth_gb_s)
+            and self.serialization_s_per_kb == 0.0
+            and self.request_overhead_s == 0.0
+            and self.client_issue_s == 0.0
+            and self.merge_s_per_shard == 0.0
+        )
+
+    def transfer_seconds(self, nbytes: float, bandwidth_scale: float = 1.0) -> float:
+        """Wire time for ``nbytes`` with an optional degradation scale."""
+        if nbytes <= 0.0 or math.isinf(self.bandwidth_gb_s):
+            return 0.0
+        return nbytes / (self.bandwidth_gb_s * 1e9 * bandwidth_scale)
+
+    def serialize_seconds(self, nbytes: float) -> float:
+        if nbytes <= 0.0:
+            return 0.0
+        return (nbytes / 1024.0) * self.serialization_s_per_kb
+
+    def rpc_seconds(
+        self,
+        request_bytes: float,
+        response_bytes: float,
+        bandwidth_scale: float = 1.0,
+    ) -> float:
+        """Round-trip network cost of one shard RPC (excl. shard compute)."""
+        total_bytes = request_bytes + response_bytes
+        return (
+            2.0 * self.hop_latency_s
+            + self.request_overhead_s
+            + self.serialize_seconds(total_bytes)
+            + self.transfer_seconds(total_bytes, bandwidth_scale)
+        )
+
+
+@dataclass(frozen=True)
+class ShardHardware:
+    """Server-side cost of one embedding-gather RPC on a shard.
+
+    Random pooled gathers are DRAM-latency bound, so per-lookup cost is
+    derived from the shard platform's DRAM bandwidth at a gather
+    efficiency well below streaming peak (the paper's Section IV:
+    irregular embedding access achieves a small fraction of peak).
+    """
+
+    #: Seconds per embedding-row lookup (row fetch + pooling add).
+    seconds_per_lookup: float
+    #: Fixed per-RPC server cost (batch setup, hash-map dispatch).
+    base_s: float = 4e-6
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_lookup < 0.0 or self.base_s < 0.0:
+            raise ValueError("shard hardware costs must be >= 0")
+
+    @classmethod
+    def local(cls) -> "ShardHardware":
+        """Colocated shard: compute is already inside the service-time
+        model, so the shard-side contribution is exactly zero."""
+        return cls(seconds_per_lookup=0.0, base_s=0.0)
+
+    @property
+    def is_local(self) -> bool:
+        return self.seconds_per_lookup == 0.0 and self.base_s == 0.0
+
+    @classmethod
+    def from_platform(
+        cls, platform, row_bytes: float, gather_efficiency: float = 0.15
+    ) -> "ShardHardware":
+        """Derive lookup cost from a platform spec's DRAM bandwidth.
+
+        ``row_bytes`` is the (mass-weighted) embedding row size; random
+        gathers sustain ``gather_efficiency`` of peak DRAM bandwidth.
+        """
+        if not (0.0 < gather_efficiency <= 1.0):
+            raise ValueError("gather_efficiency must be in (0, 1]")
+        bw = platform.dram_bandwidth_gbps * 1e9 * gather_efficiency
+        return cls(seconds_per_lookup=float(row_bytes) / bw)
+
+    def lookup_seconds(self, work_lookups: float) -> float:
+        """Server compute for one RPC doing ``work_lookups`` row fetches."""
+        if work_lookups <= 0.0:
+            return 0.0
+        return self.base_s + work_lookups * self.seconds_per_lookup

@@ -22,6 +22,9 @@ __all__ = [
     "SCENARIOS",
     "scenario_kwargs",
     "service_model_for",
+    "is_shard_scenario",
+    "shard_scenario_names",
+    "replica_scenario_names",
     "MonitoredScenario",
     "run_monitored_scenario",
 ]
@@ -29,6 +32,10 @@ __all__ = [
 #: FaultPlan.synthesize kwargs per named scenario. ``slowdown`` is the
 #: canonical GPU-throttle case the acceptance tests pin (one window at
 #: a high multiplier -> a tail excursion confined to that window).
+#: Entries carrying ``shard_faults=True`` (registered from
+#: ``repro.distserve``) target simulated *shard servers* instead of
+#: replicas; ``repro shard`` runs them as a placement/policy matrix and
+#: ``repro monitor`` runs them with fault-correlated alerting unchanged.
 SCENARIOS: Dict[str, Dict[str, Any]] = {
     "slowdown": dict(slowdown_windows=1, slowdown_multiplier=4.0),
     "crash": dict(slowdown_windows=0, crash_windows=1,
@@ -40,6 +47,29 @@ SCENARIOS: Dict[str, Dict[str, Any]] = {
                   crash_windows=1, crash_duration_frac=0.08,
                   drop_probability=0.02, straggler_probability=0.04),
 }
+
+
+def _register_shard_scenarios() -> None:
+    from repro.distserve.scenario import default_shard_scenarios
+
+    SCENARIOS.update(default_shard_scenarios())
+
+
+_register_shard_scenarios()
+
+
+def is_shard_scenario(name: str) -> bool:
+    """Whether a scenario's faults target shard servers."""
+    entry = SCENARIOS.get(name)
+    return bool(entry and entry.get("shard_faults"))
+
+
+def shard_scenario_names() -> tuple:
+    return tuple(n for n in SCENARIOS if is_shard_scenario(n))
+
+
+def replica_scenario_names() -> tuple:
+    return tuple(n for n in SCENARIOS if not is_shard_scenario(n))
 
 
 def scenario_kwargs(name: str, **overrides: Any) -> Dict[str, Any]:
@@ -155,12 +185,47 @@ def run_monitored_scenario(
     if window_s is None:
         window_s = horizon / target_windows
 
+    synth_kwargs = scenario_kwargs(scenario, **(scenario_overrides or {}))
+    gather = None
     names = [platform] + ([fallback] if fallback_stm is not None else [])
-    plan = FaultPlan.synthesize(
-        seed, names, horizon, **scenario_kwargs(
-            scenario, **(scenario_overrides or {})
+    if synth_kwargs.get("shard_faults"):
+        # Shard scenario: faults live on the shard servers behind the
+        # gather model; the replica fleet itself stays healthy (the
+        # replica-level scenarios cover that axis).
+        from repro.distserve import (
+            GatherPolicy,
+            LocalityAwarePlacement,
+            ShardGatherModel,
+            build_layout,
         )
-    )
+        from repro.distserve.scenario import (
+            split_shard_kwargs,
+            synthesize_shard_plan,
+        )
+        from repro.workloads import ZipfIndices
+
+        _, setup, shard_synth = split_shard_kwargs(synth_kwargs)
+        num_shards = int(setup.get("shards", 4))
+        layout = build_layout(
+            model,
+            num_shards,
+            sharding=str(setup.get("sharding", "row")),
+            placement=LocalityAwarePlacement(
+                hot_k=int(setup.get("hot_k", 1024)),
+            ),
+            distribution=ZipfIndices(alpha=float(setup.get("alpha", 1.1))),
+        )
+        plan = synthesize_shard_plan(
+            seed, layout.names, horizon,
+            target=layout.hottest().name, **shard_synth,
+        )
+        gather = ShardGatherModel(
+            layout, policy=GatherPolicy.none(), fault_plan=plan, seed=seed
+        )
+        replica_plan = FaultPlan.none()
+    else:
+        plan = FaultPlan.synthesize(seed, names, horizon, **synth_kwargs)
+        replica_plan = plan
 
     policy = ResiliencePolicy(
         retry=RetryPolicy(deadline_s=deadline, max_retries=2),
@@ -188,9 +253,10 @@ def run_monitored_scenario(
         replicas,
         BatchingPolicy(max_batch=batch_size),
         resilience=policy,
-        fault_plan=plan,
+        fault_plan=replica_plan,
         seed=seed,
         timeseries=timeseries,
+        gather=gather,
     )
     result = scheduler.run(qps, num_queries=queries)
 

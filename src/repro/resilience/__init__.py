@@ -22,6 +22,7 @@ from repro.resilience.faults import (
     DropSpec,
     FaultInjector,
     FaultPlan,
+    NetworkDegradationWindow,
     PcieDegradationWindow,
     ServerFaults,
     SlowdownWindow,
@@ -45,6 +46,7 @@ __all__ = [
     "SlowdownWindow",
     "CrashWindow",
     "PcieDegradationWindow",
+    "NetworkDegradationWindow",
     "StragglerSpec",
     "DropSpec",
     "FaultInjector",

@@ -42,6 +42,7 @@ from repro.telemetry.chrome_trace import (
 )
 
 if TYPE_CHECKING:
+    from repro.distserve.gather import ShardGatherModel
     from repro.telemetry import TimeSeries
 
 __all__ = ["ResilientScheduler", "ResilientScheduleResult"]
@@ -73,6 +74,9 @@ class ResilientScheduleResult(ScheduleResult):
     breaker_trips: int = 0
     fault_counts: Dict[str, int] = field(default_factory=dict)
     replica_batches: Dict[str, int] = field(default_factory=dict)
+    #: Sharded-gather counters (``repro.distserve``); empty when the
+    #: scheduler runs without a gather model.
+    gather_counts: Dict[str, float] = field(default_factory=dict)
 
     @property
     def goodput_qps(self) -> float:
@@ -110,6 +114,16 @@ class ResilientScheduleResult(ScheduleResult):
         }
         for key in sorted(self.fault_counts):
             scalars[f"faults.{key}"] = float(self.fault_counts[key])
+        for key in sorted(self.gather_counts):
+            scalars[f"distserve.{key}"] = float(self.gather_counts[key])
+        gathers = self.gather_counts.get("gathers", 0)
+        if gathers:
+            scalars["distserve.mean_fanout"] = (
+                self.gather_counts.get("fanout_rpcs", 0) / gathers
+            )
+            scalars["distserve.partial_gather_rate"] = (
+                self.gather_counts.get("partial_gathers", 0) / gathers
+            )
         return scalars
 
 
@@ -135,6 +149,7 @@ class ResilientScheduler:
         fault_plan: Optional[FaultPlan] = None,
         seed: int = 2020,
         timeseries: Optional["TimeSeries"] = None,
+        gather: Optional["ShardGatherModel"] = None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -149,6 +164,11 @@ class ResilientScheduler:
         # Optional windowed sink; emission never feeds back into the
         # simulation (same bit-identical contract as QueryScheduler).
         self.timeseries = timeseries
+        # Optional sharded-embedding gather model (repro.distserve):
+        # adds the distribution overhead of each batch's gather fan-out
+        # to its service time. A colocated single-shard layout adds
+        # exactly 0.0, preserving the bit-identical contract.
+        self.gather = gather
 
     # -- simulation ----------------------------------------------------------
 
@@ -177,10 +197,15 @@ class ResilientScheduler:
         tracing = telemetry.enabled()
         if tracing:
             self._trace_fault_windows(tracer, servers)
+        grun = self.gather.start_run() if self.gather is not None else None
+        if grun is not None and tracing:
+            self.gather.trace_fault_windows(tracer)
         ts = self.timeseries
         if ts is not None:
             ts.count_many("arrivals", arrivals)
             self._emit_fault_windows(ts, servers)
+            if grun is not None:
+                self.gather.emit_fault_windows(ts)
 
         latencies = np.full(num_queries, np.nan)
         outcome = np.full(num_queries, -1, dtype=np.int8)
@@ -263,6 +288,10 @@ class ResilientScheduler:
                 counters["degraded"] += batch
 
             service, faults = server.service_seconds(batch, start, degraded)
+            gout = None
+            if grun is not None:
+                gout = grun.gather(batch, start)
+                service = service + gout.seconds
             server.note_dispatch()
             finish = start + service
             if faults.slowdown:
@@ -317,6 +346,9 @@ class ResilientScheduler:
                     h_start = max(hedge_at, members[-1][0],
                                   hedge_server.free_at)
                     h_service, _ = hedge_server.service_seconds(batch, h_start)
+                    if grun is not None:
+                        h_service = h_service + grun.gather(batch,
+                                                            h_start).seconds
                     hedge_server.note_dispatch()
                     h_finish = h_start + h_service
                     h_crash = hedge_server.injector.crash_during(
@@ -390,6 +422,23 @@ class ResilientScheduler:
                         f"replica.{server.name}", start,
                         "degraded" if degraded else "healthy",
                     )
+                if gout is not None and gout.fanout:
+                    ts.sample("distserve.fanout", start, gout.fanout)
+                    ts.observe("distserve.gather_s", start, gout.seconds)
+                    if gout.hedged:
+                        ts.count("distserve.hedges", start, gout.hedged)
+                    if gout.imputed:
+                        ts.count(
+                            "distserve.imputed_lookups", start, gout.imputed
+                        )
+                    if gout.cached:
+                        ts.count(
+                            "distserve.cached_lookups", start, gout.cached
+                        )
+                    if gout.partial:
+                        ts.count("faults.partial_gather", start)
+                    if gout.blocked:
+                        ts.count("faults.blocked_gather", start)
 
             # -- per-query settlement ---------------------------------------
             primary_ok = crash_at is None
@@ -471,6 +520,11 @@ class ResilientScheduler:
                 "dropped_responses": counters["dropped_responses"],
             },
             replica_batches={s.name: s.batches for s in servers},
+            gather_counts=(
+                {k: v for k, v in grun.counts.items() if v}
+                if grun is not None
+                else {}
+            ),
         )
         if telemetry.enabled():
             self._record_metrics(result)
@@ -586,6 +640,8 @@ class ResilientScheduler:
         bump("resilience.breaker_trips", result.breaker_trips)
         for key, value in result.fault_counts.items():
             bump(f"resilience.faults.{key}", value)
+        for key, value in result.gather_counts.items():
+            bump(f"distserve.{key}", value)
         if len(result.latencies_s):
             registry.histogram(
                 "resilience.query_latency_s", exact_cap=0, **labels

@@ -28,6 +28,7 @@ __all__ = [
     "SlowdownWindow",
     "CrashWindow",
     "PcieDegradationWindow",
+    "NetworkDegradationWindow",
     "StragglerSpec",
     "DropSpec",
     "ServerFaults",
@@ -116,6 +117,12 @@ class PcieDegradationWindow:
         return self.start_s <= t < self.end_s
 
 
+#: For shard servers the same window models NIC/link degradation — the
+#: RPC bandwidth term is divided by ``bandwidth_scale``. Alias so shard
+#: plans read naturally while reusing the injector machinery unchanged.
+NetworkDegradationWindow = PcieDegradationWindow
+
+
 @dataclass(frozen=True)
 class StragglerSpec:
     """Heavy-tailed per-batch stragglers: with ``probability``, a batch's
@@ -191,6 +198,40 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "servers", dict(self.servers))
+        self._validate()
+
+    def _validate(self) -> None:
+        """Reject malformed plans with errors naming the offending window.
+
+        Window dataclasses already validate their own bounds, but plans
+        can be assembled from deserialized or duck-typed windows, so the
+        plan re-checks every window — and crash windows additionally
+        must not overlap on the same target (an overlap would make
+        "which crash killed this batch" ambiguous and silently distort
+        recovery times; slowdown/network windows may overlap, they
+        compound multiplicatively by design).
+        """
+        for name, faults in self.servers.items():
+            for kind, windows in (
+                ("slowdown", faults.slowdowns),
+                ("crash", faults.crashes),
+                ("network", faults.pcie),
+            ):
+                for w in windows:
+                    if not (0.0 <= w.start_s < w.end_s):
+                        raise ValueError(
+                            f"fault plan for target '{name}': {kind} window "
+                            f"[{w.start_s}, {w.end_s}) is negative or "
+                            f"zero-length (need 0 <= start < end)"
+                        )
+            crashes = sorted(faults.crashes, key=lambda w: (w.start_s, w.end_s))
+            for prev, cur in zip(crashes, crashes[1:]):
+                if cur.start_s < prev.end_s:
+                    raise ValueError(
+                        f"fault plan for target '{name}': crash window "
+                        f"[{cur.start_s}, {cur.end_s}) overlaps "
+                        f"[{prev.start_s}, {prev.end_s})"
+                    )
 
     def for_server(self, name: str) -> ServerFaults:
         return self.servers.get(name, _EMPTY_FAULTS)
@@ -254,6 +295,17 @@ class FaultPlan:
                     CrashWindow(start * horizon_s,
                                 (start + crash_duration_frac) * horizon_s)
                 )
+            # Drawn starts may collide; serialize overlapping crashes by
+            # shifting later windows to start at the previous recovery
+            # (plan validation rejects overlapping crashes on a target).
+            crashes.sort(key=lambda w: (w.start_s, w.end_s))
+            serialized: list = []
+            for w in crashes:
+                if serialized and w.start_s < serialized[-1].end_s:
+                    shift = serialized[-1].end_s
+                    w = CrashWindow(shift, shift + (w.end_s - w.start_s))
+                serialized.append(w)
+            crashes = serialized
             pcie = []
             for _ in range(pcie_windows):
                 start = float(rng.uniform(0.1, 0.7)) * horizon_s
@@ -338,18 +390,31 @@ class FaultInjector:
 
     # -- keyed stochastic faults ---------------------------------------------
 
-    def straggler_multiplier(self, batch_index: int) -> float:
-        """Service-time multiplier for one batch (1.0 = no straggler)."""
+    def straggler_multiplier(self, batch_index: int, attempt: int = 0) -> float:
+        """Service-time multiplier for one batch (1.0 = no straggler).
+
+        ``attempt`` > 0 re-rolls independently (hedged/retried RPCs get
+        fresh queue luck); attempt 0 reproduces the legacy keying so
+        existing seeds are unchanged.
+        """
         spec = self.faults.stragglers
         if spec.probability <= 0.0:
             return 1.0
-        u = hashed_uniform(self.seed, self._name_key, _STREAM_STRAGGLER,
-                           batch_index)
+        if attempt == 0:
+            u = hashed_uniform(self.seed, self._name_key, _STREAM_STRAGGLER,
+                               batch_index)
+        else:
+            u = hashed_uniform(self.seed, self._name_key, _STREAM_STRAGGLER,
+                               batch_index, 2, attempt)
         if u >= spec.probability:
             return 1.0
         # Second, decorrelated draw shapes the Pareto tail.
-        v = hashed_uniform(self.seed, self._name_key, _STREAM_STRAGGLER,
-                           batch_index, 1)
+        if attempt == 0:
+            v = hashed_uniform(self.seed, self._name_key, _STREAM_STRAGGLER,
+                               batch_index, 1)
+        else:
+            v = hashed_uniform(self.seed, self._name_key, _STREAM_STRAGGLER,
+                               batch_index, 3, attempt)
         mult = (1.0 - v) ** (-1.0 / spec.alpha)
         return float(min(mult, spec.max_multiplier))
 

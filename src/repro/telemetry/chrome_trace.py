@@ -47,6 +47,10 @@ COUNTER_PID = 2
 #: repro.resilience.engine); anything at or above this is a replica.
 REPLICA_PID_BASE = 10
 
+#: Shard server k's spans carry pid = SHARD_PID_BASE + k (see
+#: repro.distserve); anything at or above this is a shard process.
+SHARD_PID_BASE = 100
+
 _THREAD_NAMES = {
     0: "wall-clock",
     MODELED_TID: "modeled-timeline",
@@ -158,7 +162,9 @@ def _metadata_events(
         tids_by_pid.setdefault(pid, set()).add(span.tid)
         if pid != TRACE_PID and "process" in span.attrs:
             label = str(span.attrs["process"])
-            if pid >= REPLICA_PID_BASE:
+            if pid >= SHARD_PID_BASE:
+                label = f"shard: {label}"
+            elif pid >= REPLICA_PID_BASE:
                 label = f"replica: {label}"
             process_names.setdefault(pid, label)
     events: List[Dict[str, Any]] = []

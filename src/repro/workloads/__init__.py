@@ -4,6 +4,8 @@ from repro.workloads.distributions import (
     IndexDistribution,
     UniformIndices,
     ZipfIndices,
+    hot_keys,
+    hot_mass,
 )
 from repro.workloads.generator import (
     QueryGenerator,
@@ -20,6 +22,8 @@ __all__ = [
     "IndexDistribution",
     "UniformIndices",
     "ZipfIndices",
+    "hot_keys",
+    "hot_mass",
     "QueryGenerator",
     "paper_batch_sizes",
     "operator_breakdown_batch_sizes",

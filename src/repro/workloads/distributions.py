@@ -10,10 +10,39 @@ with a uniform distribution available as the no-locality baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["IndexDistribution", "UniformIndices", "ZipfIndices"]
+__all__ = [
+    "IndexDistribution",
+    "UniformIndices",
+    "ZipfIndices",
+    "hot_keys",
+    "hot_mass",
+]
+
+#: Rank-support cap shared by sampling and the hot-set helpers; ranks
+#: beyond it are spread over the row space in fixed-stride groups.
+_SUPPORT_CAP = 1 << 20
+
+
+@lru_cache(maxsize=8)
+def _zipf_rank_weights(support: int, alpha: float) -> "np.ndarray":
+    """Unnormalized rank weights ``r**-alpha`` for ranks ``1..support``."""
+    ranks = np.arange(1, support + 1, dtype=np.float64)
+    return ranks ** (-alpha)
+
+
+def _zipf_partial_mass(
+    support: int, alpha: float, lo_rank: int, hi_rank: int
+) -> float:
+    """Probability mass of the 0-based rank range ``[lo, hi)``."""
+    weights = _zipf_rank_weights(support, alpha)
+    total = float(weights.sum())
+    lo = max(0, min(lo_rank, support))
+    hi = max(lo, min(hi_rank, support))
+    return float(weights[lo:hi].sum()) / total
 
 
 class IndexDistribution:
@@ -28,6 +57,19 @@ class IndexDistribution:
         """Rough [0, 1] temporal-locality score for the memory model."""
         raise NotImplementedError
 
+    def hot_keys(self, rows: int, k: int) -> np.ndarray:
+        """The ``k`` most popular row indices, hottest first.
+
+        Deterministic (no RNG): derived from the same rank-to-row
+        mapping ``sample`` uses, so the returned rows are exactly the
+        ones a sampled trace hits most often.
+        """
+        raise NotImplementedError
+
+    def hot_mass(self, rows: int, k: int) -> float:
+        """Fraction of lookups expected to land on ``hot_keys(rows, k)``."""
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class UniformIndices(IndexDistribution):
@@ -38,6 +80,14 @@ class UniformIndices(IndexDistribution):
 
     def expected_locality(self, rows: int) -> float:
         return 0.0
+
+    def hot_keys(self, rows: int, k: int) -> np.ndarray:
+        # No popularity skew: every "hot set" is arbitrary; use the
+        # first k rows so the result is still deterministic.
+        return np.arange(min(k, rows), dtype=np.int64)
+
+    def hot_mass(self, rows: int, k: int) -> float:
+        return min(k, rows) / float(rows)
 
 
 @dataclass(frozen=True)
@@ -56,11 +106,10 @@ class ZipfIndices(IndexDistribution):
 
     def sample(self, rng, rows, shape):
         # Inverse-CDF sampling over a truncated Zipf. Computing the full
-        # rank CDF is O(rows); cache nothing and cap the support used
-        # for sampling at 2^20 ranks, mapping ranks onto the row space.
-        support = min(rows, 1 << 20)
-        ranks = np.arange(1, support + 1, dtype=np.float64)
-        weights = ranks ** (-self.alpha)
+        # rank CDF is O(rows); cap the support used for sampling at 2^20
+        # ranks, mapping ranks onto the row space.
+        support = min(rows, _SUPPORT_CAP)
+        weights = _zipf_rank_weights(support, self.alpha)
         cdf = np.cumsum(weights)
         cdf /= cdf[-1]
         u = rng.random(size=int(np.prod(shape)))
@@ -81,3 +130,28 @@ class ZipfIndices(IndexDistribution):
         # calibrated so alpha=0.8 over 1M rows gives ~0.2 (DeepRecSys'
         # observed reuse for production-like traces).
         return float(min(0.6, 0.25 * self.alpha / 0.8 * (1.0 - 1.0 / np.log2(max(rows, 4)))))
+
+    def hot_keys(self, rows: int, k: int) -> np.ndarray:
+        support = min(rows, _SUPPORT_CAP)
+        k = min(k, support)
+        ranks = np.arange(k, dtype=np.int64)
+        if rows > support:
+            # Mirror sample(): rank r maps onto the row group starting
+            # at r * stride; report the group's first row.
+            stride = rows // support
+            return ranks * stride
+        return ranks
+
+    def hot_mass(self, rows: int, k: int) -> float:
+        support = min(rows, _SUPPORT_CAP)
+        return _zipf_partial_mass(support, self.alpha, 0, min(k, support))
+
+
+def hot_keys(distribution: IndexDistribution, rows: int, k: int) -> np.ndarray:
+    """Module-level convenience wrapper over ``distribution.hot_keys``."""
+    return distribution.hot_keys(rows, k)
+
+
+def hot_mass(distribution: IndexDistribution, rows: int, k: int) -> float:
+    """Module-level convenience wrapper over ``distribution.hot_mass``."""
+    return distribution.hot_mass(rows, k)

@@ -10,6 +10,8 @@ from repro.workloads import (
     QueryGenerator,
     UniformIndices,
     ZipfIndices,
+    hot_keys,
+    hot_mass,
     operator_breakdown_batch_sizes,
     paper_batch_sizes,
 )
@@ -129,3 +131,56 @@ class TestQueryGenerator:
         feeds = QueryGenerator(model).generate(batch)
         (out,) = execute(model.build_graph(batch), feeds).values()
         assert out.shape[0] == batch
+
+
+class TestHotKeys:
+    """Satellite: the deterministic hot set matches sampled traces."""
+
+    def test_zipf_hot_keys_match_empirical_frequencies(self):
+        rows, k, n = 10_000, 8, 200_000
+        dist = ZipfIndices(alpha=1.1)
+        rng = np.random.default_rng(2020)
+        trace = dist.sample(rng, rows, (n,))
+        counts = np.bincount(trace, minlength=rows)
+        empirical_order = np.argsort(-counts, kind="stable")
+        hot = hot_keys(dist, rows, k)
+        # the single hottest row is exact, and the whole predicted hot
+        # set sits inside the empirical top set (ordering at the tail
+        # of the hot set can wiggle with sampling noise)
+        assert hot[0] == empirical_order[0]
+        assert set(hot.tolist()) <= set(empirical_order[: 2 * k].tolist())
+        # predicted hot mass matches the trace's observed mass
+        observed = counts[hot].sum() / n
+        assert hot_mass(dist, rows, k) == pytest.approx(observed, abs=0.02)
+
+    def test_zipf_hot_keys_are_rank_prefix(self):
+        dist = ZipfIndices(alpha=0.8)
+        assert np.array_equal(hot_keys(dist, 1000, 4), np.arange(4))
+        # k is clamped to the row count
+        assert len(hot_keys(dist, 3, 10)) == 3
+
+    def test_zipf_hot_keys_huge_table_stride_mapping(self):
+        rows = 4 * (1 << 20)  # beyond the sampling support cap
+        dist = ZipfIndices(alpha=1.1)
+        hot = hot_keys(dist, rows, 16)
+        stride = rows // (1 << 20)
+        assert np.all(hot % stride == 0)
+        # empirical check: the hottest sampled row lands in the first
+        # rank group, whose representative is hot[0] == 0
+        rng = np.random.default_rng(7)
+        trace = dist.sample(rng, rows, (100_000,))
+        values, counts = np.unique(trace, return_counts=True)
+        assert values[np.argmax(counts)] // stride == hot[0] // stride
+
+    def test_hot_mass_monotone_in_k_and_alpha(self):
+        dist = ZipfIndices(alpha=1.1)
+        masses = [hot_mass(dist, 1 << 20, k) for k in (16, 256, 4096)]
+        assert masses == sorted(masses)
+        assert hot_mass(ZipfIndices(alpha=1.4), 1 << 20, 1024) > \
+            hot_mass(ZipfIndices(alpha=0.8), 1 << 20, 1024)
+
+    def test_uniform_hot_set_is_flat(self):
+        dist = UniformIndices()
+        assert np.array_equal(hot_keys(dist, 100, 5), np.arange(5))
+        assert hot_mass(dist, 100, 5) == pytest.approx(0.05)
+        assert hot_mass(dist, 100, 200) == 1.0
