@@ -7,11 +7,20 @@ Two engines share one diagnostics vocabulary:
   dimension — and checks wiring, shapes, dtypes, dead tensors, cycles,
   and output reachability before a graph is cached or simulated;
 * the **codebase linter** (:func:`lint_paths`) enforces the repo's
-  determinism/concurrency invariants (rules ``REP001``–``REP005``) over
-  Python sources via AST analysis.
+  determinism/concurrency invariants (rules ``REP001``–``REP007``) over
+  Python sources via AST analysis;
+* the **twin-drift analyzer** (:func:`analyze_twins`) AST-pairs each
+  scalar cost-model function with its vectorized counterpart and flags
+  one-sided arithmetic edits (rules ``GV201``–``GV203``) at lint time.
 
-Both surface through ``repro lint`` / ``repro verify`` on the CLI and
+All surface through ``repro lint`` / ``repro verify`` on the CLI and
 are documented in ``docs/static_analysis.md``.
+
+The *dynamic* counterpart — the contract registry and differential
+fuzzer behind ``repro fuzz`` — lives in :mod:`repro.analysis.contracts`
+and :mod:`repro.analysis.fuzz`. Those modules import :mod:`hypothesis`
+(a dev/test dependency), so they are deliberately not imported here;
+access them as submodules.
 """
 
 from repro.analysis.diagnostics import (
@@ -22,6 +31,13 @@ from repro.analysis.diagnostics import (
     DiagnosticReport,
 )
 from repro.analysis.linter import LINT_RULES, LintRule, lint_paths, lint_source
+from repro.analysis.twins import (
+    TWIN_PAIRS,
+    TWIN_RULES,
+    TwinFunction,
+    TwinPair,
+    analyze_twins,
+)
 from repro.analysis.shape_rules import (
     BATCH,
     SHAPE_RULES,
@@ -65,4 +81,10 @@ __all__ = [
     "LINT_RULES",
     "lint_source",
     "lint_paths",
+    # twin-drift analyzer
+    "TwinFunction",
+    "TwinPair",
+    "TWIN_PAIRS",
+    "TWIN_RULES",
+    "analyze_twins",
 ]

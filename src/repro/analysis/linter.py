@@ -21,23 +21,38 @@ on hash order. This linter makes those invariants *checkable*:
   or ``set()``/``frozenset()`` call) in a ``for`` loop, comprehension,
   or order-sensitive reduction without ``sorted()``. Set order follows
   the (randomized) string hash, so merged results drift across runs.
+* REP006 env-read — ``os.environ`` / ``os.getenv`` outside sanctioned
+  config entry points. Environment-dependent behavior silently varies
+  model output and breaks record byte-stability; reads belong in the
+  config layer, annotated ``# repro: noqa(REP006)``.
+* REP007 unknown-noqa — a ``# repro: noqa(...)`` comment naming a rule
+  id this toolchain does not define (usually a typo); the suppression
+  is dead and the underlying finding may resurface.
 
 Suppress a finding with an inline comment on the offending line::
 
     value = hash(key)  # repro: noqa(REP003)
 
-``# repro: noqa`` (no argument) suppresses every rule on that line.
+``# repro: noqa`` (no argument) suppresses every rule on that line;
+``# repro: noqa(REP003, REP005)`` suppresses exactly those rules.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.diagnostics import ERROR, Diagnostic, DiagnosticReport
+from repro.analysis.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    DiagnosticReport,
+)
 
 __all__ = ["LintRule", "LINT_RULES", "lint_source", "lint_paths"]
 
@@ -81,6 +96,17 @@ LINT_RULES: Dict[str, LintRule] = {
             "iteration over an unordered set in an order-sensitive context",
             "wrap the set in sorted(...) before iterating or reducing",
         ),
+        LintRule(
+            "REP006", "env-read",
+            "environment read outside a sanctioned config entry point",
+            "route the read through the config layer and annotate it with "
+            "`# repro: noqa(REP006)`",
+        ),
+        LintRule(
+            "REP007", "unknown-noqa",
+            "noqa comment names a rule id this toolchain does not define",
+            "fix the rule id (REPnnn / GVnnn) or drop the dead suppression",
+        ),
     )
 }
 
@@ -110,8 +136,12 @@ _WALL_CLOCK = {
 #: calls whose result depends on the order of a set argument.
 _ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "sum", "reversed"}
 
+#: environment accessors that make behavior host-dependent.
+_ENV_CALLS = {"os.getenv", "os.putenv", "os.unsetenv"}
+
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\(\s*(?P<rules>REP\d+(?:\s*,\s*REP\d+)*)\s*\))?",
+    r"#\s*repro:\s*noqa"
+    r"(?:\(\s*(?P<rules>[A-Z]{2,5}\d+(?:\s*,\s*[A-Z]{2,5}\d+)*)\s*\))?",
     re.IGNORECASE,
 )
 
@@ -219,6 +249,11 @@ class _Linter(ast.NodeVisitor):
             resolved = self._resolve(dotted)
             self._check_rng(node, resolved)
             self._check_wall_clock(node, resolved)
+            if resolved in _ENV_CALLS:
+                self._emit(
+                    "REP006", node,
+                    f"environment read via {resolved}",
+                )
         if isinstance(node.func, ast.Name) and node.func.id == "hash":
             self._emit(
                 "REP003", node,
@@ -256,6 +291,25 @@ class _Linter(ast.NodeVisitor):
                 "REP002", node,
                 f"wall-clock read via {resolved}",
             )
+
+    # -- REP006 ------------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Fires exactly once per access chain: for `os.environ.get(k)` the
+        # outer chain resolves to "os.environ.get" (no match) and only the
+        # inner `os.environ` node matches.
+        dotted = _dotted_name(node)
+        if dotted is not None and self._resolve(dotted) == "os.environ":
+            self._emit("REP006", node, "environment read via os.environ")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (
+            isinstance(node.ctx, ast.Load)
+            and self.members.get(node.id) == "os.environ"
+        ):
+            self._emit("REP006", node, "environment read via os.environ")
+        self.generic_visit(node)
 
     # -- REP004 ------------------------------------------------------------
 
@@ -362,10 +416,57 @@ def lint_source(
     linter = _Linter(filename, selected)
     linter.visit(tree)
     lines = source.splitlines()
+    findings = linter.findings
+    findings.extend(_unknown_noqa(source, filename, selected))
+    findings.sort(key=lambda d: (d.line or 0, d.col or 0, d.rule))
     return [
-        d for d in linter.findings
+        d for d in findings
         if d.line is None or not _suppressed(lines, d.line, d.rule)
     ]
+
+
+def _known_rule_ids() -> Set[str]:
+    from repro.analysis.twins import TWIN_RULES
+
+    return set(LINT_RULES) | set(TWIN_RULES)
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """(line, text) of every real comment — string literals that merely
+    *contain* noqa-looking text (e.g. linter test fixtures) don't count."""
+    out: List[Tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return out
+
+
+def _unknown_noqa(
+    source: str, filename: str, select: Optional[Set[str]]
+) -> List[Diagnostic]:
+    """WARNING for each noqa comment naming an undefined rule id."""
+    if select is not None and "REP007" not in select:
+        return []
+    known = _known_rule_ids()
+    rule = LINT_RULES["REP007"]
+    out: List[Diagnostic] = []
+    for lineno, text in _comment_tokens(source):
+        match = _NOQA_RE.search(text)
+        if not match or match.group("rules") is None:
+            continue
+        for raw in match.group("rules").split(","):
+            rule_id = raw.strip().upper()
+            if rule_id not in known:
+                out.append(Diagnostic(
+                    "REP007", WARNING,
+                    f"noqa names unknown rule {rule_id!r} [{rule.name}]",
+                    hint=rule.hint,
+                    file=filename, line=lineno,
+                ))
+    return out
 
 
 def _python_files(paths: Iterable[object]) -> List[Path]:

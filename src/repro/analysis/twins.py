@@ -1,0 +1,434 @@
+"""Static twin-drift analysis: scalar vs vectorized cost models.
+
+The stack carries two pairs of *twin implementations* whose results are
+pinned bit-identical at runtime: the scalar uarch models
+(:mod:`repro.uarch.synth` / ``branch`` / ``backend`` / ``memory`` /
+``caches`` / ``pipeline``) mirrored by
+:func:`repro.uarch.vectorized.profile_cells_cpu`, and the scalar GPU
+kernel/device models (:mod:`repro.gpusim.kernels` /
+:mod:`repro.gpusim.device`) mirrored by
+:func:`repro.gpusim.vectorized.profile_cells_gpu`. Editing an
+arithmetic term on one side without the other silently breaks the
+bit-identity contract; the differential fuzzer
+(:mod:`repro.analysis.contracts`) catches that *dynamically*, but only
+at fuzz time. This pass catches it *statically*, at lint time.
+
+Each side of a pair is reduced to an **arithmetic fingerprint** — the
+set of terms its formulas consume:
+
+* hardware-spec attribute reads (``spec.fma_ports``),
+* tuning-constant attribute reads (``c.gather_mlp_base``),
+* upper-case module constants (``_THREADS_PER_SM``, ``DEFAULT_CONSTANTS``),
+* meaningful float literals (``0.35``; the benign ``0.0``/``1.0``
+  scaffolding is excluded).
+
+A scalar term with no vectorized counterpart is drift (``GV201``); a
+vectorized term with no scalar counterpart is drift (``GV202``); a
+function that cannot be resolved — or a shared helper the vectorized
+side is documented to call but no longer does — is ``GV203``. Shared
+scalar helpers the vectorized path invokes directly (the frontend
+greedy budget, PCIe transfers, per-kind class efficiencies) are
+declared per pair and verified to still be *called*, not fingerprinted.
+
+The analyzer accepts per-module source overrides so tests can perturb
+one term in memory and pin that the drift is flagged without touching
+the working tree.
+
+Known blind spot: integer literals are not fingerprinted (too many
+benign indices/dims), so an int-only divergence needs the dynamic
+contracts to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from importlib import util as _importlib_util
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import ERROR, Diagnostic, DiagnosticReport
+
+__all__ = [
+    "TWIN_RULES",
+    "TWIN_PAIRS",
+    "TwinFunction",
+    "TwinPair",
+    "analyze_twins",
+]
+
+#: Rule vocabulary of this pass (documented in docs/static_analysis.md).
+TWIN_RULES: Dict[str, str] = {
+    "GV201": "scalar arithmetic term missing from the vectorized twin",
+    "GV202": "vectorized arithmetic term missing from every scalar twin",
+    "GV203": "twin function unresolvable or shared helper no longer called",
+}
+
+#: A fingerprint term: ("spec" | "const" | "global" | "float", name).
+Term = Tuple[str, str]
+
+_SPEC_BASES = frozenset({"spec"})
+_CONST_BASES = frozenset({"c", "constants"})
+_GLOBAL_NAME_RE = re.compile(r"^_?[A-Z][A-Z0-9_]{2,}$")
+#: Float literals that appear as scaffolding on both sides (identity /
+#: neutral elements, comparison bounds) rather than as model terms.
+_BENIGN_FLOATS = frozenset({0.0, 1.0})
+
+
+@dataclass(frozen=True)
+class TwinFunction:
+    """One function (or method) participating in a twin pair."""
+
+    module: str    # dotted module, e.g. "repro.uarch.synth"
+    qualname: str  # "synthesize" or "BackendModel.profile"
+
+    @property
+    def label(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def call_name(self) -> str:
+        """The name a caller uses: class name for ``__init__``, else the
+        last qualname segment."""
+        parts = self.qualname.split(".")
+        if parts[-1] == "__init__" and len(parts) > 1:
+            return parts[-2]
+        return parts[-1]
+
+
+@dataclass(frozen=True)
+class TwinPair:
+    """One vectorized evaluator and the scalar functions it mirrors."""
+
+    name: str
+    vectorized: TwinFunction
+    #: Scalar functions whose arithmetic the vectorized body re-states.
+    scalars: Tuple[TwinFunction, ...]
+    #: Scalar helpers intentionally *called* by the vectorized side
+    #: (shared code, not mirrored); their fingerprints are skipped but
+    #: the call must still exist.
+    shared: Tuple[TwinFunction, ...] = ()
+    #: Terms excused from the symmetric-difference check, with a reason
+    #: documented at the registry.
+    ignore: frozenset = field(default_factory=frozenset)
+
+
+#: The registry. ``ignore`` entries: the stream ``RANDOM``-pattern
+#: dispatch is precomputed into the stacked tables' boolean masks
+#: (``slot.is_random`` / ``gpu_traffic``), so the scalar sides'
+#: ``pattern == RANDOM`` comparisons legitimately have no vectorized
+#: counterpart.
+TWIN_PAIRS: Tuple[TwinPair, ...] = (
+    TwinPair(
+        name="cpu",
+        vectorized=TwinFunction("repro.uarch.vectorized", "profile_cells_cpu"),
+        scalars=(
+            TwinFunction("repro.uarch.synth", "synthesize"),
+            TwinFunction("repro.uarch.branch", "BranchModel.mispredict_rate"),
+            TwinFunction("repro.uarch.branch", "BranchModel.profile"),
+            TwinFunction("repro.uarch.backend", "BackendModel.profile"),
+            TwinFunction("repro.uarch.backend", "BackendModel.port_histogram"),
+            TwinFunction("repro.uarch.memory", "MemoryModel.gather_mlp"),
+            TwinFunction("repro.uarch.memory", "MemoryModel.profile"),
+            TwinFunction("repro.uarch.memory", "MemoryModel.congested_cycles"),
+            TwinFunction(
+                "repro.uarch.caches", "AnalyticalHierarchy._residence_fractions"
+            ),
+            TwinFunction(
+                "repro.uarch.caches", "AnalyticalHierarchy._classify_random"
+            ),
+            TwinFunction(
+                "repro.uarch.caches", "AnalyticalHierarchy._classify_sequential"
+            ),
+            TwinFunction("repro.uarch.pipeline", "CpuModel.__init__"),
+            TwinFunction("repro.uarch.pipeline", "CpuModel.profile_workloads"),
+        ),
+        shared=(
+            TwinFunction("repro.uarch.frontend", "FrontendModel.analyze"),
+            TwinFunction("repro.uarch.caches", "AnalyticalHierarchy.__init__"),
+        ),
+        ignore=frozenset({("global", "RANDOM")}),
+    ),
+    TwinPair(
+        name="gpu",
+        vectorized=TwinFunction("repro.gpusim.vectorized", "profile_cells_gpu"),
+        scalars=(
+            TwinFunction("repro.gpusim.kernels", "KernelCostModel.occupancy"),
+            TwinFunction(
+                "repro.gpusim.kernels", "KernelCostModel.parallel_items"
+            ),
+            TwinFunction(
+                "repro.gpusim.kernels", "KernelCostModel.memory_bytes"
+            ),
+            TwinFunction("repro.gpusim.kernels", "KernelCostModel.profile"),
+            TwinFunction("repro.gpusim.device", "GpuModel.profile_graph"),
+        ),
+        shared=(
+            TwinFunction(
+                "repro.gpusim.kernels", "KernelCostModel.class_efficiency"
+            ),
+            TwinFunction("repro.gpusim.pcie", "PcieModel.batch_transfer"),
+        ),
+        ignore=frozenset({("global", "RANDOM")}),
+    ),
+)
+
+
+# -- source / AST plumbing -------------------------------------------------
+
+
+def _module_source(
+    module: str, sources: Optional[Mapping[str, str]]
+) -> Tuple[Optional[str], str]:
+    """(source text, display filename) for a module, honoring overrides."""
+    if sources is not None and module in sources:
+        return sources[module], f"<override:{module}>"
+    try:
+        spec = _importlib_util.find_spec(module)
+    except (ImportError, ValueError):
+        return None, module
+    if spec is None or spec.origin is None:
+        return None, module
+    path = Path(spec.origin)
+    try:
+        return path.read_text(encoding="utf-8"), str(path)
+    except OSError:
+        return None, str(path)
+
+
+def _find_function(tree: ast.Module, qualname: str) -> Optional[ast.AST]:
+    """Resolve ``Class.method`` / ``function`` to its def node."""
+    parts = qualname.split(".")
+    scope: ast.AST = tree
+    for i, part in enumerate(parts):
+        found = None
+        for node in ast.iter_child_nodes(scope):
+            if i < len(parts) - 1:
+                if isinstance(node, ast.ClassDef) and node.name == part:
+                    found = node
+                    break
+            else:
+                if (
+                    isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    and node.name == part
+                ):
+                    found = node
+                    break
+        if found is None:
+            return None
+        scope = found
+    return scope
+
+
+def _attr_parts(node: ast.Attribute) -> Optional[List[str]]:
+    parts: List[str] = []
+    cur: ast.AST = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return list(reversed(parts))
+    return None
+
+
+def _fingerprint(func: ast.AST) -> Dict[Term, List[int]]:
+    """Arithmetic-term fingerprint of one function body."""
+    terms: Dict[Term, List[int]] = {}
+
+    def note(term: Term, node: ast.AST) -> None:
+        terms.setdefault(term, []).append(getattr(node, "lineno", 0))
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            parts = _attr_parts(node)
+            if parts is None:
+                continue
+            if parts[0] == "self":
+                parts = parts[1:]
+            if len(parts) == 2 and parts[0] in _SPEC_BASES:
+                note(("spec", parts[1]), node)
+            elif len(parts) == 2 and parts[0] in _CONST_BASES:
+                note(("const", parts[1]), node)
+            elif len(parts) >= 2 and _GLOBAL_NAME_RE.match(parts[-1]):
+                note(("global", parts[-1]), node)
+        elif isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load) and _GLOBAL_NAME_RE.match(
+                node.id
+            ):
+                note(("global", node.id), node)
+        elif isinstance(node, ast.Constant):
+            value = node.value
+            if (
+                isinstance(value, float)
+                and not isinstance(value, bool)
+                and value not in _BENIGN_FLOATS
+            ):
+                note(("float", repr(value)), node)
+    return terms
+
+
+def _called_names(func: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                out.add(node.func.id)
+            elif isinstance(node.func, ast.Attribute):
+                out.add(node.func.attr)
+    return out
+
+
+def _describe(term: Term) -> str:
+    kind, name = term
+    if kind == "spec":
+        return f"hardware-spec read `spec.{name}`"
+    if kind == "const":
+        return f"tuning-constant read `.{name}`"
+    if kind == "global":
+        return f"module constant `{name}`"
+    return f"float literal {name}"
+
+
+class _Resolver:
+    """Parses each module once per analysis, with source overrides."""
+
+    def __init__(self, sources: Optional[Mapping[str, str]]) -> None:
+        self._sources = sources
+        self._cache: Dict[str, Tuple[Optional[ast.Module], str]] = {}
+
+    def tree(self, module: str) -> Tuple[Optional[ast.Module], str]:
+        if module not in self._cache:
+            source, filename = _module_source(module, self._sources)
+            if source is None:
+                self._cache[module] = (None, filename)
+            else:
+                try:
+                    self._cache[module] = (
+                        ast.parse(source, filename=filename), filename
+                    )
+                except SyntaxError:
+                    self._cache[module] = (None, filename)
+        return self._cache[module]
+
+    def function(
+        self, fn: TwinFunction
+    ) -> Tuple[Optional[ast.AST], str]:
+        tree, filename = self.tree(fn.module)
+        if tree is None:
+            return None, filename
+        return _find_function(tree, fn.qualname), filename
+
+
+def _analyze_pair(
+    pair: TwinPair, resolver: _Resolver, report: DiagnosticReport
+) -> None:
+    vec_node, vec_file = resolver.function(pair.vectorized)
+    if vec_node is None:
+        report.add(Diagnostic(
+            "GV203", ERROR,
+            f"twin pair {pair.name!r}: cannot resolve vectorized evaluator "
+            f"{pair.vectorized.label} [twin-drift]",
+            hint="update the TWIN_PAIRS registry in repro.analysis.twins",
+            file=vec_file,
+        ))
+        return
+    vec_terms = _fingerprint(vec_node)
+    vec_calls = _called_names(vec_node)
+
+    for helper in pair.shared:
+        helper_node, helper_file = resolver.function(helper)
+        if helper_node is None:
+            report.add(Diagnostic(
+                "GV203", ERROR,
+                f"twin pair {pair.name!r}: shared helper {helper.label} "
+                f"cannot be resolved [twin-drift]",
+                hint="update the TWIN_PAIRS registry in repro.analysis.twins",
+                file=helper_file,
+            ))
+        elif helper.call_name not in vec_calls:
+            report.add(Diagnostic(
+                "GV203", ERROR,
+                f"twin pair {pair.name!r}: {pair.vectorized.label} no longer "
+                f"calls shared helper {helper.label}; its terms are not "
+                f"mirrored, so the call is the contract [twin-drift]",
+                hint="restore the call or mirror the helper's arithmetic "
+                "and move it to `scalars`",
+                file=vec_file,
+                line=getattr(vec_node, "lineno", None),
+            ))
+
+    scalar_terms: Dict[Term, Tuple[str, str, int]] = {}
+    for fn in pair.scalars:
+        node, filename = resolver.function(fn)
+        if node is None:
+            report.add(Diagnostic(
+                "GV203", ERROR,
+                f"twin pair {pair.name!r}: cannot resolve scalar twin "
+                f"{fn.label} [twin-drift]",
+                hint="update the TWIN_PAIRS registry in repro.analysis.twins",
+                file=filename,
+            ))
+            continue
+        for term, lines in _fingerprint(node).items():
+            scalar_terms.setdefault(term, (fn.label, filename, min(lines)))
+
+    for term in sorted(scalar_terms):
+        if term in vec_terms or term in pair.ignore:
+            continue
+        label, filename, line = scalar_terms[term]
+        report.add(Diagnostic(
+            "GV201", ERROR,
+            f"twin pair {pair.name!r}: {_describe(term)} in {label} has no "
+            f"counterpart in {pair.vectorized.label} [twin-drift]",
+            hint="mirror the term in the vectorized evaluator (or, if the "
+            "asymmetry is structural, document it in the pair's `ignore` "
+            "set)",
+            file=filename,
+            line=line,
+        ))
+    for term in sorted(vec_terms):
+        if term in scalar_terms or term in pair.ignore:
+            continue
+        report.add(Diagnostic(
+            "GV202", ERROR,
+            f"twin pair {pair.name!r}: {_describe(term)} in "
+            f"{pair.vectorized.label} appears in no scalar twin "
+            f"[twin-drift]",
+            hint="mirror the term in the scalar model (or document it in "
+            "the pair's `ignore` set)",
+            file=vec_file,
+            line=min(vec_terms[term]),
+        ))
+
+
+def analyze_twins(
+    sources: Optional[Mapping[str, str]] = None,
+    pairs: Optional[Sequence[TwinPair]] = None,
+) -> DiagnosticReport:
+    """Run the twin-drift pass over every registered pair.
+
+    ``sources`` maps module names to replacement source text — the hook
+    the perturbation regression tests use to check that a one-term edit
+    is flagged without writing to disk.
+    """
+    report = DiagnosticReport()
+    resolver = _Resolver(sources)
+    for pair in pairs if pairs is not None else TWIN_PAIRS:
+        _analyze_pair(pair, resolver, report)
+    _record_telemetry(report)
+    return report
+
+
+def _record_telemetry(report: DiagnosticReport) -> None:
+    from repro import telemetry
+
+    if not telemetry.enabled():
+        return
+    registry = telemetry.get_registry()
+    registry.counter("analysis.twin_runs").inc()
+    for diagnostic in report:
+        registry.counter("analysis.diagnostics", rule=diagnostic.rule).inc()

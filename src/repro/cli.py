@@ -424,6 +424,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--select", default=None,
         help="comma-separated rule ids to enable (default: all)",
     )
+    p.add_argument(
+        "--no-twins", action="store_true",
+        help="skip the GV2xx scalar-vs-vectorized twin-drift pass",
+    )
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of cross-implementation contracts",
+    )
+    p.add_argument(
+        "--budget", type=float, default=60.0,
+        help="time budget in seconds, split across contracts to derive "
+        "deterministic example counts (default: 60)",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument(
+        "--contract", action="append", default=None,
+        help="contract name to fuzz (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    p.add_argument(
+        "--corpus-dir", default=".fuzz",
+        help="directory for shrunk failure repro files (default: .fuzz)",
+    )
+    p.add_argument(
+        "--list", action="store_true",
+        help="list registered contracts and exit",
+    )
 
     p = sub.add_parser(
         "verify",
@@ -1369,7 +1400,7 @@ def _cmd_check(args) -> Tuple[str, int]:
 
 
 def _cmd_lint(args) -> Tuple[str, int]:
-    from repro.analysis import lint_paths
+    from repro.analysis import analyze_twins, lint_paths
 
     select = None
     if args.select:
@@ -1378,8 +1409,49 @@ def _cmd_lint(args) -> Tuple[str, int]:
     if missing:
         raise SystemExit(f"error: no such path: {', '.join(missing)}")
     report = lint_paths(args.paths, select=select)
+    if not args.no_twins:
+        selected = {r.upper() for r in select} if select else None
+        report.extend(
+            d for d in analyze_twins()
+            if selected is None or d.rule in selected
+        )
     text = report.to_json() if args.format == "json" else report.render_text()
     return text, report.exit_code(strict=args.strict)
+
+
+def _cmd_fuzz(args) -> Tuple[str, int]:
+    import json as _json
+
+    from repro.analysis.contracts import CONTRACTS, contract_by_name
+    from repro.analysis.fuzz import run_fuzz
+
+    if args.list:
+        rows = [c.describe() for c in CONTRACTS]
+        if args.json:
+            return _json.dumps(rows, indent=2, sort_keys=True), 0
+        table = render_table(
+            ["contract", "cost_s", "invariant"],
+            [[r["name"], r["cost_s"], r["invariant"]] for r in rows],
+            title=f"{len(rows)} registered contracts",
+        )
+        return table, 0
+    contracts = None
+    if args.contract:
+        try:
+            contracts = [contract_by_name(n) for n in args.contract]
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+    report = run_fuzz(
+        budget_s=args.budget,
+        seed=args.seed,
+        contracts=contracts,
+        corpus_dir=args.corpus_dir,
+    )
+    text = (
+        _json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json else report.render_text()
+    )
+    return text, 0 if report.ok else 1
 
 
 def _cmd_verify(args) -> Tuple[str, int]:
@@ -1465,6 +1537,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diff": lambda: _cmd_diff(args),
         "check": lambda: _cmd_check(args),
         "lint": lambda: _cmd_lint(args),
+        "fuzz": lambda: _cmd_fuzz(args),
         "verify": lambda: _cmd_verify(args),
     }
     try:

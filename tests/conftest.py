@@ -1,0 +1,28 @@
+"""Shared test configuration: hypothesis settings profiles.
+
+Every property-test module used to carry its own ``@settings(...)``
+boilerplate. The profiles here centralize that:
+
+* ``dev`` (default) — fast feedback; the example counts the suite was
+  tuned at.
+* ``ci`` — thorough; more examples per property for scheduled or
+  pre-release runs.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest ...``. Individual tests may
+still override ``max_examples`` locally where a property is expensive
+by construction; ``deadline=None`` comes from the profile (cost-model
+evaluations have long cold-start outliers that trip per-example
+deadlines).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", max_examples=30, deadline=None)
+settings.register_profile("ci", max_examples=150, deadline=None)
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "dev")  # repro: noqa(REP006)
+)

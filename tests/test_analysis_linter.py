@@ -18,9 +18,10 @@ def rules_of(diagnostics):
 
 
 class TestRuleCatalog:
-    def test_all_five_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert sorted(LINT_RULES) == [
-            "REP001", "REP002", "REP003", "REP004", "REP005"
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP006", "REP007",
         ]
         for rule in LINT_RULES.values():
             assert rule.summary and rule.hint
@@ -210,6 +211,103 @@ class TestREP005UnorderedIteration:
         """) == []
 
 
+class TestREP006EnvRead:
+    def test_os_environ_get_flagged_once(self):
+        found = lint("""
+            import os
+            def f():
+                return os.environ.get("HOME")
+        """)
+        assert rules_of(found) == ["REP006"]
+
+    def test_os_environ_subscript_flagged(self):
+        found = lint("""
+            import os
+            def f():
+                return os.environ["HOME"]
+        """)
+        assert rules_of(found) == ["REP006"]
+
+    def test_os_getenv_flagged(self):
+        found = lint("""
+            import os
+            def f():
+                return os.getenv("HOME", "/")
+        """)
+        assert rules_of(found) == ["REP006"]
+
+    def test_from_import_environ_flagged(self):
+        found = lint("""
+            from os import environ
+            def f():
+                return environ.get("HOME")
+        """)
+        assert rules_of(found) == ["REP006"]
+
+    def test_from_import_getenv_flagged(self):
+        found = lint("""
+            from os import getenv
+            def f():
+                return getenv("HOME")
+        """)
+        assert rules_of(found) == ["REP006"]
+
+    def test_unrelated_environ_attribute_allowed(self):
+        assert lint("""
+            class Config:
+                environ = {}
+            def f(cfg):
+                return cfg.environ.get("HOME")
+        """) == []
+
+    def test_annotated_read_suppressed(self):
+        assert lint("""
+            import os
+            def f():
+                return os.environ.get("HOME")  # repro: noqa(REP006)
+        """) == []
+
+
+class TestREP007UnknownNoqa:
+    def test_unknown_rule_id_warns(self):
+        found = lint("""
+            x = 1  # repro: noqa(REP999)
+        """)
+        assert rules_of(found) == ["REP007"]
+        assert found[0].severity == "warning"
+        assert "REP999" in found[0].message
+
+    def test_unknown_id_does_not_suppress_real_finding(self):
+        found = lint("""
+            h = hash("a")  # repro: noqa(REP042)
+        """)
+        assert sorted(rules_of(found)) == ["REP003", "REP007"]
+
+    def test_known_rep_and_gv_ids_accepted(self):
+        assert lint("""
+            h = hash("a")  # repro: noqa(REP003)
+            y = 2  # repro: noqa(GV201)
+        """) == []
+
+    def test_mixed_known_and_unknown_ids(self):
+        found = lint("""
+            h = hash("a")  # repro: noqa(REP003, REP888)
+        """)
+        # REP003 is suppressed; the dead REP888 id still warns.
+        assert rules_of(found) == ["REP007"]
+
+    def test_bare_noqa_never_warns(self):
+        assert lint("""
+            h = hash("a")  # repro: noqa
+        """) == []
+
+    def test_select_without_rep007_skips_the_warning(self):
+        found = lint_source(
+            'x = 1  # repro: noqa(REP999)\n', select=["REP003"]
+        )
+        assert found == []
+
+
 class TestSuppression:
     def test_targeted_noqa_suppresses(self):
         assert lint("""
@@ -232,6 +330,43 @@ class TestSuppression:
             import numpy as np
             x = np.random.rand(int(hash("s")))  # repro: noqa(REP001, REP003)
         """) == []
+
+    def test_noqa_inside_decorated_function(self):
+        # The decorator does not shift the finding's anchor line; the
+        # noqa on the offending statement still matches.
+        assert lint("""
+            import functools
+            @functools.lru_cache(maxsize=None)
+            def digest(key):
+                return hash(key)  # repro: noqa(REP003)
+        """) == []
+
+    def test_noqa_on_multiline_statement_first_line(self):
+        # Findings anchor at the expression's first physical line, so
+        # that is where the suppression comment belongs.
+        assert lint("""
+            h = hash(  # repro: noqa(REP003)
+                "a" * 100
+            )
+        """) == []
+
+    def test_noqa_on_multiline_statement_last_line_does_not_suppress(self):
+        # Documented limitation: suppression is strictly line-anchored.
+        found = lint("""
+            h = hash(
+                "a" * 100
+            )  # repro: noqa(REP003)
+        """)
+        assert rules_of(found) == ["REP003"]
+
+    def test_noqa_on_decorator_line_does_not_reach_body(self):
+        found = lint("""
+            import functools
+            @functools.lru_cache(maxsize=None)  # repro: noqa(REP003)
+            def digest(key):
+                return hash(key)
+        """)
+        assert rules_of(found) == ["REP003"]
 
 
 class TestSelectAndSyntax:

@@ -1,0 +1,166 @@
+"""Twin-drift analyzer: registry sanity, baseline cleanliness, and the
+one-term perturbation regressions (GV201/GV202/GV203)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import TWIN_PAIRS, TWIN_RULES, analyze_twins
+from repro.analysis.twins import TwinFunction, TwinPair
+
+VEC_CPU = Path("src/repro/uarch/vectorized.py")
+VEC_GPU = Path("src/repro/gpusim/vectorized.py")
+
+
+def _rules(report):
+    return sorted(d.rule for d in report)
+
+
+class TestRegistry:
+    def test_both_vectorized_evaluators_are_paired(self):
+        vec = {p.vectorized.label for p in TWIN_PAIRS}
+        assert "repro.uarch.vectorized.profile_cells_cpu" in vec
+        assert "repro.gpusim.vectorized.profile_cells_gpu" in vec
+
+    def test_rules_documented(self):
+        assert set(TWIN_RULES) == {"GV201", "GV202", "GV203"}
+
+    def test_every_registered_function_resolves(self):
+        # Baseline cleanliness (below) implies this, but the explicit
+        # check gives a readable failure when a refactor moves a twin.
+        report = analyze_twins()
+        assert not [d for d in report if d.rule == "GV203"], (
+            report.render_text()
+        )
+
+
+class TestBaseline:
+    def test_working_tree_has_zero_drift(self):
+        report = analyze_twins()
+        assert report.clean, report.render_text()
+
+
+class TestCpuPerturbations:
+    def test_changed_float_term_in_vectorized_flags_both_sides(self):
+        src = VEC_CPU.read_text(encoding="utf-8")
+        assert "hot * 0.35)" in src
+        perturbed = src.replace("hot * 0.35)", "hot * 0.350001)")
+        report = analyze_twins(
+            sources={"repro.uarch.vectorized": perturbed}
+        )
+        # The scalar 0.35 lost its mirror (GV201) and the new 0.350001
+        # appears nowhere scalar (GV202).
+        assert _rules(report) == ["GV201", "GV202"]
+        messages = " ".join(d.message for d in report)
+        assert "0.35" in messages and "0.350001" in messages
+
+    def test_dropped_spec_term_in_vectorized_flags_gv201(self):
+        src = VEC_CPU.read_text(encoding="utf-8")
+        assert "spec.predictor_quality" in src
+        perturbed = src.replace("spec.predictor_quality", "0.99", 1)
+        report = analyze_twins(
+            sources={"repro.uarch.vectorized": perturbed}
+        )
+        assert any(
+            d.rule == "GV201" and "predictor_quality" in d.message
+            for d in report
+        ), report.render_text()
+
+    def test_new_constant_in_scalar_model_flags_gv201(self):
+        branch = Path("src/repro/uarch/branch.py").read_text(
+            encoding="utf-8"
+        )
+        perturbed = branch.replace(
+            "self.constants.badspec_slot_fraction",
+            "self.constants.badspec_slot_fraction"
+            " * self.constants.frontend_greedy_bonus",
+            1,
+        )
+        assert perturbed != branch
+        report = analyze_twins(sources={"repro.uarch.branch": perturbed})
+        assert any(
+            d.rule == "GV201" and "frontend_greedy_bonus" in d.message
+            for d in report
+        ), report.render_text()
+
+    def test_removed_shared_helper_call_flags_gv203(self):
+        src = VEC_CPU.read_text(encoding="utf-8")
+        # Sever the delegation to the shared frontend model.
+        perturbed = src.replace(".analyze(", ".analyze_renamed(")
+        assert perturbed != src
+        report = analyze_twins(
+            sources={"repro.uarch.vectorized": perturbed}
+        )
+        assert any(
+            d.rule == "GV203" and "FrontendModel.analyze" in d.message
+            for d in report
+        ), report.render_text()
+
+
+class TestGpuPerturbations:
+    def test_changed_gpu_constant_flags_both_sides(self):
+        src = VEC_GPU.read_text(encoding="utf-8")
+        assert "_THREADS_PER_SM" in src
+        perturbed = src.replace("_THREADS_PER_SM", "_THREADS_PER_CORE")
+        report = analyze_twins(
+            sources={"repro.gpusim.vectorized": perturbed}
+        )
+        rules = _rules(report)
+        assert "GV201" in rules and "GV202" in rules, report.render_text()
+
+
+class TestUnresolvable:
+    def test_missing_module_is_gv203(self):
+        pair = TwinPair(
+            name="ghost",
+            vectorized=TwinFunction("repro.uarch.no_such_module", "f"),
+            scalars=(),
+        )
+        report = analyze_twins(pairs=[pair])
+        assert _rules(report) == ["GV203"]
+
+    def test_missing_qualname_is_gv203(self):
+        pair = TwinPair(
+            name="ghost",
+            vectorized=TwinFunction(
+                "repro.uarch.vectorized", "no_such_function"
+            ),
+            scalars=(),
+        )
+        report = analyze_twins(pairs=[pair])
+        assert _rules(report) == ["GV203"]
+
+    def test_missing_scalar_twin_is_gv203(self):
+        pair = TwinPair(
+            name="halfghost",
+            vectorized=TwinFunction(
+                "repro.uarch.vectorized", "profile_cells_cpu"
+            ),
+            scalars=(
+                TwinFunction("repro.uarch.branch", "BranchModel.vanished"),
+            ),
+        )
+        report = analyze_twins(pairs=[pair])
+        assert any(d.rule == "GV203" for d in report)
+
+
+class TestCliIntegration:
+    def test_lint_includes_twin_pass(self, capsys):
+        from repro.cli import main
+
+        code = main(["lint", "--strict", "src/repro/analysis"])
+        assert code == 0
+
+    @pytest.mark.parametrize("flag", [[], ["--no-twins"]])
+    def test_lint_select_gv_rules(self, flag, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["lint", "--select", "GV201,GV202,GV203",
+             "src/repro/analysis/diagnostics.py", *flag]
+        )
+        out = capsys.readouterr().out
+        # Working tree is drift-free, so both variants are clean; the
+        # difference is only whether the pass ran at all.
+        assert code == 0
+        assert "no diagnostics" in out

@@ -6,7 +6,7 @@ using the closed-form residency model in the fast path.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.hw import BROADWELL, CASCADE_LAKE
@@ -185,7 +185,6 @@ class TestAnalyticalHierarchy:
         footprint_kb=st.sampled_from([8, 64, 512, 4096, 262144]),
         locality=st.floats(min_value=0.0, max_value=1.0),
     )
-    @settings(max_examples=30, deadline=None)
     def test_levels_never_negative(self, footprint_kb, locality):
         a = AnalyticalHierarchy(CASCADE_LAKE)
         levels = a.classify(

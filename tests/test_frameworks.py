@@ -1,7 +1,7 @@
 """Tests for framework lowering (Caffe2 / TensorFlow vocabularies)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import breakdown_for, framework_comparison
@@ -67,7 +67,6 @@ class TestLoweringMechanics:
         ),
         st.sampled_from(["cpu", "gpu"]),
     )
-    @settings(max_examples=40, deadline=None)
     def test_caffe2_conservation_property(self, times, platform_kind):
         lowered = CAFFE2.lower(times, platform_kind)
         assert sum(lowered.values()) == pytest.approx(sum(times.values()))

@@ -131,7 +131,7 @@ class TestGpuModel:
         assert profile.kernel_launches > 2000
 
     @given(st.sampled_from([1, 16, 256, 4096]))
-    @settings(max_examples=8, deadline=None)
+    @settings(max_examples=8)
     def test_gpu_time_monotonic_in_batch(self, batch):
         gpu = GpuModel(T4)
         model = build_model("ncf")

@@ -108,7 +108,7 @@ class TestEmbedding:
         st.integers(min_value=1, max_value=8),
         st.integers(min_value=1, max_value=16),
     )
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     def test_sls_equals_gather_plus_sum(self, batch, lookups):
         """Caffe2 SLS == TF ResourceGather + Sum (the Fig 7 identity)."""
         table = EmbeddingTable(64, 8, "prop")
@@ -208,7 +208,7 @@ class TestElementwise:
         np.testing.assert_allclose(Add().compute([a, b]), a + b, rtol=1e-6)
 
     @given(st.integers(min_value=1, max_value=6))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_sum_linearity(self, k):
         """Sum of k copies == k * x (embedding-bag linearity)."""
         x = f32(2, 3)

@@ -8,7 +8,7 @@ monotonicity in work, conservation of accounting identities.
 import math
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import assume, given
 from hypothesis import strategies as st
 
 from repro.hw import BROADWELL, CASCADE_LAKE, GTX_1080_TI, T4
@@ -49,7 +49,6 @@ def workload_strategy():
 
 class TestCpuModelProperties:
     @given(workload_strategy())
-    @settings(max_examples=40, deadline=None)
     def test_cycles_finite_positive_and_accounted(self, workload):
         cpu = CpuModel(BROADWELL)
         profile = cpu.profile_workloads("g", ["n0"], [workload.op_kind], [workload])
@@ -71,7 +70,6 @@ class TestCpuModelProperties:
             assert value >= 0
 
     @given(workload_strategy())
-    @settings(max_examples=40, deadline=None)
     def test_topdown_always_valid(self, workload):
         cpu = CpuModel(CASCADE_LAKE)
         profile = cpu.profile_workloads("g", ["n0"], [workload.op_kind], [workload])
@@ -82,7 +80,6 @@ class TestCpuModelProperties:
         workload_strategy(),
         st.integers(min_value=2, max_value=16),
     )
-    @settings(max_examples=25, deadline=None)
     def test_more_flops_never_faster(self, workload, factor):
         assume(workload.flops > 1000)
         cpu = CpuModel(BROADWELL)
@@ -105,7 +102,6 @@ class TestCpuModelProperties:
         assert more.op_profiles[0].cycles >= base.op_profiles[0].cycles
 
     @given(workload_strategy())
-    @settings(max_examples=25, deadline=None)
     def test_events_nonnegative(self, workload):
         cpu = CpuModel(BROADWELL)
         profile = cpu.profile_workloads("g", ["n"], [workload.op_kind], [workload])
@@ -115,7 +111,6 @@ class TestCpuModelProperties:
 
 class TestComponentProperties:
     @given(workload_strategy())
-    @settings(max_examples=40, deadline=None)
     def test_instruction_mix_nonnegative(self, workload):
         for spec in (BROADWELL, CASCADE_LAKE):
             mix = synthesize(workload, spec, DEFAULT_CONSTANTS)
@@ -123,7 +118,6 @@ class TestComponentProperties:
             assert mix.avx_instructions <= mix.total + 1e-6
 
     @given(workload_strategy())
-    @settings(max_examples=40, deadline=None)
     def test_memory_profile_conserves_accesses(self, workload):
         mm = MemoryModel(BROADWELL, DEFAULT_CONSTANTS)
         profile = mm.profile(workload)
@@ -138,7 +132,6 @@ class TestComponentProperties:
         assert 0.0 <= profile.dram_occupancy <= 1.0
 
     @given(workload_strategy())
-    @settings(max_examples=40, deadline=None)
     def test_backend_histogram_simplex(self, workload):
         bm = BackendModel(BROADWELL, DEFAULT_CONSTANTS)
         mix = synthesize(workload, BROADWELL, DEFAULT_CONSTANTS)
@@ -154,7 +147,6 @@ class TestComponentProperties:
 
 class TestGpuModelProperties:
     @given(workload_strategy())
-    @settings(max_examples=40, deadline=None)
     def test_kernel_time_at_least_launch_floor(self, workload):
         for spec in (GTX_1080_TI, T4):
             km = KernelCostModel(spec)
@@ -165,7 +157,6 @@ class TestGpuModelProperties:
             )
 
     @given(workload_strategy(), st.integers(min_value=2, max_value=8))
-    @settings(max_examples=25, deadline=None)
     def test_gpu_compute_monotonic_in_flops(self, workload, factor):
         assume(workload.flops > 1000)
         km = KernelCostModel(T4)

@@ -123,7 +123,7 @@ class TestQueryGenerator:
             QueryGenerator(build_model("ncf")).generate(0)
 
     @given(st.integers(min_value=1, max_value=64))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_any_batch_size_executes(self, batch):
         from repro.graph import execute
 

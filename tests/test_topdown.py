@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.hw import BROADWELL, CASCADE_LAKE
@@ -73,7 +73,6 @@ class TestTopDownAccounting:
         fe=st.floats(min_value=0.0, max_value=1e8),
         be=st.floats(min_value=0.0, max_value=1e8),
     )
-    @settings(max_examples=50, deadline=None)
     def test_simplex_property(self, cycles, uops, bs, fe, be):
         events = PmuEvents(
             cycles=cycles,

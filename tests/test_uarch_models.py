@@ -246,7 +246,7 @@ class TestFrontendModel:
         )
 
     @given(st.integers(min_value=1, max_value=50))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_stall_cycles_never_negative(self, n_regions):
         fm = FrontendModel(CASCADE_LAKE, DEFAULT_CONSTANTS)
         rng = np.random.default_rng(n_regions)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.graph import TensorSpec
@@ -176,7 +176,6 @@ class TestOperatorDescriptors:
     batch=st.integers(min_value=1, max_value=512),
     lookups=st.integers(min_value=1, max_value=256),
 )
-@settings(max_examples=25, deadline=None)
 def test_sls_workload_scales_linearly(batch, lookups):
     table = EmbeddingTable(10_000, 16, "prop")
     w = SparseLengthsSum(table).workload([TensorSpec((batch, lookups), "int64")])
