@@ -1,0 +1,176 @@
+"""Query-trace capture overhead benchmark.
+
+Pins the wall-clock cost of running the resilient scheduler with
+per-query causal tracing (``QueryTraceCapture``) attached versus bare,
+over the canonical monitor scenarios:
+
+* ``slowdown`` — the GPU-throttle replica scenario (retries, shedding,
+  degradation active);
+* ``mixed`` with a fallback replica — hedging + breaker failover, the
+  busiest capture path (hedge legs, retry chains);
+* ``shard_slowdown`` — the sharded-gather scenario (per-shard gather
+  pieces captured).
+
+Results (plus the derived overhead ratios) land in
+``BENCH_explain.json`` at the repo root. The capture is contractually
+bit-neutral to the schedule (the ``latency_decomposition_conservation``
+fuzz contract pins that); this benchmark pins that it is also *cheap*
+— the decomposition walk is O(attempts) per query and must stay within
+a small multiple of the bare scheduler.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_explain.py [--smoke] [--check]
+
+or as a pytest bench target (smoke mode)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_explain.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_explain.json"
+
+#: (name, model, platform, scenario, fallback)
+ARMS = (
+    ("slowdown", "rm1", "t4", "slowdown", None),
+    ("mixed_fallback", "rm1", "t4", "mixed", "gtx1080ti"),
+    ("shard_slowdown", "rm2", "broadwell", "shard_slowdown", None),
+)
+
+FULL_QUERIES = 4000
+SMOKE_QUERIES = 600
+REPEATS = 3
+
+#: ``--check`` gate: capture-on must stay within this multiple of the
+#: bare scheduler on every arm. The bare simulator costs only a few
+#: microseconds per query, so even the O(attempts) decomposition walk
+#: shows up as a 2-3x *ratio* while remaining microseconds in absolute
+#: terms; the gate bounds that ratio (with slack for loaded CI hosts)
+#: so a superlinear regression in the capture path cannot land quietly.
+MAX_OVERHEAD = 3.5
+
+
+def _time_scenario(
+    model: str, platform: str, scenario: str, fallback: Optional[str],
+    queries: int, mode: str,
+) -> float:
+    from repro.monitor import run_monitored_scenario
+    from repro.telemetry.querytrace import QueryTraceCapture
+
+    best = float("inf")
+    for _ in range(REPEATS):
+        if mode == "off":
+            capture = None
+        elif mode == "keep_all":
+            capture = QueryTraceCapture()
+        else:  # tail threshold + 2% uniform sample (bounded-memory mode)
+            capture = QueryTraceCapture(
+                tail_threshold_s=0.005, sample_rate=0.02,
+                max_queries=1000,
+            )
+        t0 = time.perf_counter()
+        run_monitored_scenario(
+            model, platform, scenario,
+            queries=queries, seed=2020, fallback=fallback,
+            querytrace=capture,
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_bench(
+    smoke: bool = False,
+    output: Optional[pathlib.Path] = DEFAULT_OUTPUT,
+) -> Dict:
+    queries = SMOKE_QUERIES if smoke else FULL_QUERIES
+    arms: Dict[str, Dict[str, float]] = {}
+    for name, model, platform, scenario, fallback in ARMS:
+        bare = _time_scenario(
+            model, platform, scenario, fallback, queries, "off"
+        )
+        traced = _time_scenario(
+            model, platform, scenario, fallback, queries, "keep_all"
+        )
+        sampled = _time_scenario(
+            model, platform, scenario, fallback, queries, "sampled"
+        )
+        arms[name] = {
+            "capture_off_s": round(bare, 4),
+            "capture_on_s": round(traced, 4),
+            "capture_sampled_s": round(sampled, 4),
+            "overhead_ratio": round(traced / bare, 3),
+            "sampled_overhead_ratio": round(sampled / bare, 3),
+            "capture_us_per_query": round(
+                (traced - bare) / queries * 1e6, 2
+            ),
+        }
+    return_doc = {
+        "benchmark": "querytrace_capture_overhead",
+        "smoke": smoke,
+        "queries": queries,
+        "repeats": REPEATS,
+        "arms": arms,
+        "max_overhead_gate": MAX_OVERHEAD,
+    }
+    if output is not None:
+        output.write_text(json.dumps(return_doc, indent=2) + "\n")
+    return return_doc
+
+
+def check_result(result: Dict) -> List[str]:
+    """Return a list of human-readable gate failures (empty = pass)."""
+    failures: List[str] = []
+    for name in sorted(result["arms"]):
+        ratio = result["arms"][name]["overhead_ratio"]
+        if ratio > MAX_OVERHEAD:
+            failures.append(
+                f"{name}: capture-on {ratio}x slower than capture-off "
+                f"(gate: <= {MAX_OVERHEAD}x)"
+            )
+    return failures
+
+
+def test_explain_overhead_smoke(write_output):
+    """Smoke bench: capture overhead stays within the gate."""
+    result = run_bench(smoke=True, output=None)
+    assert not check_result(result), check_result(result)
+    write_output(
+        "explain_overhead_smoke",
+        json.dumps(result, indent=2),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny config for CI")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every arm's overhead is within the gate",
+    )
+    parser.add_argument(
+        "-o", "--output", default=str(DEFAULT_OUTPUT),
+        help="result JSON path (default BENCH_explain.json at repo root)",
+    )
+    args = parser.parse_args()
+    result = run_bench(smoke=args.smoke, output=pathlib.Path(args.output))
+    print(json.dumps(result, indent=2))
+    if args.check:
+        failures = check_result(result)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}")
+        if failures:
+            return 1
+        print("CHECK PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -449,6 +449,96 @@ def _check_scheduler(example: Mapping[str, Any]) -> None:
     )
 
 
+# -- 6b. query-trace decomposition: exact sum, zero perturbation ------------
+
+
+def _querytrace_examples() -> st.SearchStrategy:
+    # The scheduler strategy (faults x policies x fleet shapes) plus a
+    # shard axis: 0 runs the plain replica path, 2/4 put a sharded
+    # gather model (with its own synthesized shard fault plan) behind
+    # the fleet so gather/partial-wait intervals get exercised too.
+    return _scheduler_examples().flatmap(
+        lambda base: st.fixed_dictionaries({
+            **{k: st.just(v) for k, v in base.items()},
+            "shards": st.sampled_from((0, 2, 4)),
+        })
+    )
+
+
+def _check_querytrace(example: Mapping[str, Any]) -> None:
+    import math
+
+    from repro.resilience.engine import ResilientScheduler
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.server import Replica
+    from repro.runtime.scheduler import BatchingPolicy
+    from repro.telemetry.querytrace import COMPONENTS, QueryTraceCapture
+
+    stm = _synthetic_stm(example["base_ms"])
+    cheap = _synthetic_stm(example["base_ms"], scale=0.25)
+    names = [f"r{i}" for i in range(example["num_replicas"])]
+    horizon = 2.0 * example["num_queries"] / example["qps"] + 1.0
+    plan = FaultPlan.synthesize(
+        example["seed"], names, horizon, **example["faults"]
+    )
+    gather = None
+    if example["shards"]:
+        from repro.distserve.gather import GatherPolicy, ShardGatherModel
+        from repro.distserve.placement import build_layout
+        from repro.distserve.scenario import synthesize_shard_plan
+        from repro.models import build_model
+
+        layout = build_layout(build_model("ncf"), example["shards"])
+        shard_plan = synthesize_shard_plan(
+            example["seed"], layout.names, horizon, target=layout.names[0]
+        )
+        gather = ShardGatherModel(
+            layout, policy=GatherPolicy.none(),
+            fault_plan=shard_plan, seed=example["seed"],
+        )
+
+    def run(capture):
+        return ResilientScheduler(
+            [Replica(n, stm, degraded_model=cheap) for n in names],
+            BatchingPolicy(max_batch=example["max_batch"]),
+            resilience=_build_policy(example["policy"]),
+            fault_plan=plan,
+            seed=example["seed"],
+            gather=gather,
+            querytrace=capture,
+        ).run(example["qps"], num_queries=example["num_queries"])
+
+    base = run(None)
+    qt = QueryTraceCapture()  # default: keep every completed query
+    traced = run(qt)
+    _require(
+        np.array_equal(base.latencies_s, traced.latencies_s),
+        "query-trace capture perturbed latencies (observational "
+        "contract broken)",
+    )
+    _require(
+        base.batch_sizes == traced.batch_sizes,
+        "query-trace capture perturbed batch assembly",
+    )
+    _require(
+        len(qt.records) == traced.completed,
+        f"keep-all capture retained {len(qt.records)} records for "
+        f"{traced.completed} completed queries",
+    )
+    for qid in sorted(qt.records):
+        rec = qt.records[qid]
+        _require(
+            all(rec.components[k] >= 0.0 for k in COMPONENTS),
+            f"query {qid}: negative component in {rec.components!r}",
+        )
+        _require(
+            rec.conservation_ok(),
+            f"query {qid}: components sum to "
+            f"{math.fsum(rec.components[k] for k in COMPONENTS)!r} "
+            f"but measured latency is {rec.latency!r}",
+        )
+
+
 # -- 7. single-shard colocation bit-identical ------------------------------
 
 
@@ -611,6 +701,14 @@ CONTRACTS: Tuple[Contract, ...] = (
         "completed + shed + dropped == issued under random fault plans "
         "and policy mixes",
         _scheduler_examples, _check_scheduler, cost=0.02,
+    ),
+    Contract(
+        "latency_decomposition_conservation",
+        "query-trace capture is bit-neutral to the schedule and every "
+        "retained decomposition sums exactly (==) to its measured "
+        "latency under random fault plans x policy mixes x shard "
+        "layouts",
+        _querytrace_examples, _check_querytrace, cost=0.05,
     ),
     Contract(
         "single_shard_colocation",

@@ -254,6 +254,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "explain",
+        help="critical-path latency attribution for one fault scenario",
+    )
+    p.add_argument("--model", default="rm1", help="model name (aliases ok)")
+    p.add_argument("--platform", default="t4", help="primary platform")
+    p.add_argument(
+        "--fallback", default=None,
+        help="standby platform for failover/hedging (default: none)",
+    )
+    p.add_argument("--batch-size", type=int, default=64, dest="batch_size")
+    p.add_argument("--queries", type=int, default=1200)
+    p.add_argument(
+        "--qps", type=float, default=None,
+        help="arrival rate (default: 40%% of the primary's peak capacity)",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument(
+        "--scenario", default="slowdown", choices=sorted(_SCENARIO_NAMES),
+    )
+    p.add_argument(
+        "--slowdown-multiplier", type=float, default=None,
+        dest="slowdown_multiplier",
+        help="override the scenario's GPU-throttle multiplier",
+    )
+    p.add_argument(
+        "--window-ms", type=float, default=None, dest="window_ms",
+        help="telemetry window (default: horizon / 24 windows); also "
+        "the fault-overlap slack",
+    )
+    p.add_argument(
+        "--what-if", default=None, dest="what_if",
+        help="bound the p99 win of zeroing one component "
+        "(or 'fault_windows', or 'all' for the full table)",
+    )
+    p.add_argument(
+        "--top-queries", type=int, default=5, dest="top_queries",
+        help="slowest retained queries to list (0 disables)",
+    )
+    p.add_argument(
+        "--tail-threshold-ms", type=float, default=None,
+        dest="tail_threshold_ms",
+        help="keep every query at or above this latency "
+        "(default: keep all)",
+    )
+    p.add_argument(
+        "--sample-rate", type=float, default=0.02, dest="sample_rate",
+        help="seeded uniform keep probability below the tail threshold",
+    )
+    p.add_argument(
+        "--max-queries", type=int, default=10_000, dest="max_queries",
+        help="hard cap on retained query records (reservoir bound)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--trace", default=None,
+        help="write a Perfetto trace with per-query flow events "
+        "threading each query across its attempts",
+    )
+    p.add_argument(
+        "--record-dir", default=None, dest="record_dir",
+        help="append a run record carrying the attribution section "
+        "to this ledger",
+    )
+    p.add_argument(
+        "--report", default=None, dest="report",
+        help="also write an explain report to this path (.html -> "
+        "HTML, else markdown)",
+    )
+    p.add_argument(
+        "--expect-fault-attribution", action="store_true",
+        dest="expect_fault_attribution",
+        help="exit nonzero unless a majority of the p99 excursion "
+        "overlaps injected fault windows and the top component is "
+        "fault-correlated (CI smoke gate)",
+    )
+
+    p = sub.add_parser(
         "shard",
         help="sharded-gather placement x gather-policy matrix under "
         "injected shard faults",
@@ -1200,6 +1277,141 @@ def _cmd_monitor(args) -> Tuple[str, int]:
     return text, code
 
 
+def _cmd_explain(args) -> Tuple[str, int]:
+    from repro.explain import explain_scenario, render_html, render_markdown
+    from repro.explain import render_text as render_explain_text
+    from repro.telemetry.querytrace import COMPONENTS, QueryTraceCapture
+
+    what_if_knobs = COMPONENTS + ("fault_windows", "all")
+    if args.what_if is not None and args.what_if not in what_if_knobs:
+        raise SystemExit(
+            f"error: unknown what-if knob {args.what_if!r}; choose from "
+            f"{', '.join(what_if_knobs)}"
+        )
+
+    capture = QueryTraceCapture(
+        tail_threshold_s=(
+            args.tail_threshold_ms * 1e-3
+            if args.tail_threshold_ms is not None else None
+        ),
+        sample_rate=args.sample_rate,
+        seed=args.seed,
+        max_queries=args.max_queries,
+    )
+    overrides = {}
+    if args.slowdown_multiplier is not None:
+        overrides["slowdown_multiplier"] = args.slowdown_multiplier
+    kwargs = dict(
+        capture=capture,
+        batch_size=args.batch_size, queries=args.queries, qps=args.qps,
+        seed=args.seed,
+        window_s=args.window_ms * 1e-3 if args.window_ms else None,
+        fallback=args.fallback, scenario_overrides=overrides or None,
+    )
+    try:
+        if args.trace:
+            # Span capture for the Perfetto export; both the span
+            # tracer and the query-trace capture are read-only w.r.t.
+            # the simulation, so results are identical either way.
+            with telemetry.capture() as (tracer, registry):
+                exp, ms = explain_scenario(
+                    args.model, args.platform, args.scenario, **kwargs
+                )
+        else:
+            tracer = registry = None
+            exp, ms = explain_scenario(
+                args.model, args.platform, args.scenario, **kwargs
+            )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+    extra = []
+    if args.trace:
+        try:
+            telemetry.write_chrome_trace(
+                args.trace, tracer.sorted_spans(),
+                process_name=f"repro explain: {ms.model} on {ms.platform}",
+                metrics=registry.snapshot(),
+                timeseries=ms.timeseries,
+                querytrace=capture,
+            )
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write trace output: {exc}")
+        extra.append(
+            f"trace: {args.trace}  (open in chrome://tracing or "
+            "ui.perfetto.dev; flow arrows thread each query)"
+        )
+    if args.record_dir:
+        from repro.ledger import RunLedger, fingerprint_for, record_schedule
+
+        record = record_schedule(
+            ms.result,
+            fingerprint_for(
+                args.model, args.platform, args.batch_size, args.seed
+            ),
+            max_batch=args.batch_size,
+            kind="explain",
+            timeseries=ms.timeseries,
+            attribution=exp.attribution_section(),
+        )
+        record.scalars["arrival_qps"] = ms.qps
+        path = RunLedger(args.record_dir).append(record)
+        extra.append(f"recorded explained run -> {path}")
+    if args.report:
+        doc = (
+            render_html(exp, top_queries=args.top_queries)
+            if args.report.endswith(".html")
+            else render_markdown(exp, top_queries=args.top_queries)
+        )
+        try:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(doc)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write report output: {exc}")
+        extra.append(f"report: {args.report}")
+    if args.what_if and args.what_if != "all":
+        wi = exp.what_if(args.what_if, 99.0)
+        extra.append(
+            f"what-if zero {wi['component']}: p99 "
+            f"{wi['observed_s'] * 1e3:.3f} ms -> bound "
+            f"{wi['bound_s'] * 1e3:.3f} ms "
+            f"(win {wi['improvement_s'] * 1e3:.3f} ms; direct effect "
+            "only, queueing relief not re-simulated)"
+        )
+
+    code = 0
+    if args.expect_fault_attribution:
+        fa = exp.fault_attribution(99.0)
+        if fa["ok"]:
+            extra.append(
+                f"fault attribution gate: PASS "
+                f"({fa['excursion_share']:.0%} of the p99 excursion in "
+                f"fault windows; top component '{fa['top_component']}' "
+                "fault-correlated)"
+            )
+        else:
+            extra.append(
+                f"FAIL: fault attribution gate "
+                f"({fa['excursion_share']:.0%} of the p99 excursion in "
+                f"fault windows, need >= {fa['majority']:.0%}; top "
+                f"component '{fa['top_component']}' "
+                + ("is" if fa["top_is_fault_correlated"] else "is NOT")
+                + " fault-correlated)"
+            )
+            code = 1
+    if args.format == "json":
+        import json as _json
+
+        doc = exp.to_dict()
+        if args.expect_fault_attribution:
+            doc["gate"] = {"ok": code == 0}
+        return _json.dumps(doc, indent=2, sort_keys=True), code
+    text = render_explain_text(exp, top_queries=args.top_queries)
+    if extra:
+        text += "\n" + "\n".join(extra)
+    return text, code
+
+
 def _cmd_report(args) -> str:
     from repro.ledger import load_records
     from repro.monitor import MonitorReport
@@ -1531,6 +1743,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": lambda: _cmd_metrics(args),
         "resilience": lambda: _cmd_resilience(args),
         "monitor": lambda: _cmd_monitor(args),
+        "explain": lambda: _cmd_explain(args),
         "shard": lambda: _cmd_shard(args),
         "report": lambda: _cmd_report(args),
         "record": lambda: _cmd_record(args),

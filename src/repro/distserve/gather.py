@@ -158,6 +158,12 @@ class GatherOutcome:
     partial: bool = False
     #: The gather blocked waiting for a crashed shard to recover.
     blocked: bool = False
+    #: Optional per-piece detail ``(shard, seconds, lost)`` populated
+    #: only when the caller asked for it (query-trace capture). The
+    #: seconds are copies of the same per-piece costs that entered the
+    #: critical-path ``max`` above — recording them never changes
+    #: :attr:`seconds`.
+    pieces: Tuple[Tuple[str, float, bool], ...] = ()
 
 
 class ShardGatherModel:
@@ -376,8 +382,16 @@ class GatherRun:
 
     # -- one batched gather ---------------------------------------------------
 
-    def gather(self, batch_size: int, start: float) -> GatherOutcome:
-        """Distribution overhead of one batched gather issued at ``start``."""
+    def gather(
+        self, batch_size: int, start: float, detail: bool = False
+    ) -> GatherOutcome:
+        """Distribution overhead of one batched gather issued at ``start``.
+
+        ``detail=True`` additionally returns the per-piece
+        ``(shard, seconds, lost)`` breakdown on the outcome; it records
+        copies of values this method computes either way, so the
+        returned ``seconds`` is bit-identical with the flag on or off.
+        """
         model = self.model
         parts = model.partition(batch_size)
         remote = [p for p in parts if not p.shard.local]
@@ -398,6 +412,7 @@ class GatherRun:
         cached = 0
         lost_any = False
         blocked = False
+        piece_detail: List[Tuple[str, float, bool]] = []
         for part in remote:
             shard = part.shard
             ws = shard.work_scale
@@ -442,6 +457,8 @@ class GatherRun:
             for p_hot, p_cold, req, resp, work, r in pieces:
                 if r is not None:
                     worst = max(worst, r)
+                    if detail:
+                        piece_detail.append((shard.name, r, False))
                     continue
                 lost_any = True
                 if partial is None:
@@ -454,8 +471,13 @@ class GatherRun:
                     if r_rec is None:
                         imputed += p_hot + p_cold
                         worst = max(worst, wait)
+                        if detail:
+                            piece_detail.append((shard.name, wait, True))
                     else:
-                        worst = max(worst, wait + r_rec)
+                        recovered = wait + r_rec
+                        worst = max(worst, recovered)
+                        if detail:
+                            piece_detail.append((shard.name, recovered, True))
                 else:
                     if partial.mode == "cached":
                         # Stale cache exists only for the hot set.
@@ -464,6 +486,10 @@ class GatherRun:
                     else:
                         imputed += p_hot + p_cold
                     worst = max(worst, partial.wait_budget_s)
+                    if detail:
+                        piece_detail.append(
+                            (shard.name, partial.wait_budget_s, True)
+                        )
         fanout = len(remote)
         net = model.network
         total = (
@@ -491,6 +517,7 @@ class GatherRun:
             cached=cached,
             partial=lost_any,
             blocked=blocked,
+            pieces=tuple(piece_detail),
         )
 
     def _blocked_recover(

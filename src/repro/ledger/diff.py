@@ -9,7 +9,10 @@ end-to-end movement down the stack:
 * **topdown** — pipeline-slot stack (which slot absorbed it, Fig 8);
 * **latency** — p50/p95/p99 recomputed from stored histogram state;
 * **queue** — the batch-occupancy distribution (did the delta come with
-  a queue-depth regime shift, or at unchanged load?).
+  a queue-depth regime shift, or at unchanged load?);
+* **attribution** — critical-path component seconds from ``repro
+  explain`` (did the p99 move because queueing grew, or because
+  straggler wait did?), when both records carry the section.
 
 Noise gating is relative: an entry is *significant* only when it moved
 by more than ``tolerance`` of the baseline value **and** cleared a
@@ -43,6 +46,7 @@ _ABS_FLOORS = {
     "topdown": 0.01,
     "latency": 1e-9,
     "queue": 0.5,
+    "attribution": 1e-9,
 }
 
 #: Scalars where a higher value is an improvement, not a regression.
@@ -62,6 +66,9 @@ _NEUTRAL = frozenset({
 def _direction(level: str, metric: str) -> int:
     """+1 higher-is-worse, -1 higher-is-better, 0 neutral."""
     if metric in _NEUTRAL or metric.startswith("faults."):
+        return 0
+    if level == "attribution" and metric.endswith("_share"):
+        # Overlap shares describe *where* the time went, not how much.
         return 0
     if metric in _HIGHER_IS_BETTER:
         return -1
@@ -198,6 +205,11 @@ class RunDiff:
         queue = self._top_mover("queue")
         if queue is not None:
             lines.append(f"  queueing: {queue.describe().split('/', 1)[1]}")
+        component = self._top_mover("attribution")
+        if component is not None:
+            lines.append(
+                f"  critical path: {component.describe().split('/', 1)[1]}"
+            )
         return lines
 
     # -- rendering -----------------------------------------------------------
@@ -340,6 +352,17 @@ def diff_records(
             tolerance,
         )
     )
+    if a.attribution is not None and b.attribution is not None:
+        diff.entries.extend(
+            _compare_level(
+                "attribution", a.attribution, b.attribution, tolerance
+            )
+        )
+    elif (a.attribution is None) != (b.attribution is None):
+        diff.caveats.append(
+            "only one record carries a critical-path attribution section; "
+            "attribution level skipped"
+        )
     return diff
 
 

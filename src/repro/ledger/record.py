@@ -48,7 +48,9 @@ __all__ = [
 #: Bump when the record layout changes incompatibly; readers refuse
 #: records from a different version with a clear error.
 #: v2: optional compact windowed time-series section (``timeseries``).
-SCHEMA_VERSION = 2
+#: v3: optional critical-path ``attribution`` section (flat float map
+#: of per-component latency attribution from ``repro explain``).
+SCHEMA_VERSION = 3
 
 #: Histogram names a record may carry.
 LATENCY_HISTOGRAM = "query_latency_s"
@@ -131,6 +133,11 @@ class RunRecord:
     #: counters/gauges in full, histograms as [count, sum, p50, p95,
     #: p99]. Rehydrate with :meth:`timeseries_summary`.
     timeseries: Optional[Dict[str, Any]] = None
+    #: Optional critical-path attribution
+    #: (:meth:`repro.explain.Explanation.attribution_section`): a flat
+    #: float map of mean/p99 per-component latency seconds, so ``repro
+    #: diff`` reports attribution shifts alongside latency shifts.
+    attribution: Optional[Dict[str, float]] = None
 
     # -- distribution access -------------------------------------------------
 
@@ -188,6 +195,11 @@ class RunRecord:
             },
             "metrics": self.metrics,
             "timeseries": self.timeseries,
+            "attribution": (
+                {k: self.attribution[k] for k in sorted(self.attribution)}
+                if self.attribution is not None
+                else None
+            ),
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -227,6 +239,11 @@ class RunRecord:
             histograms=dict(data.get("histograms", {})),
             metrics=list(data.get("metrics", [])),
             timeseries=data.get("timeseries"),
+            attribution=(
+                {k: float(v) for k, v in data["attribution"].items()}
+                if data.get("attribution") is not None
+                else None
+            ),
         )
 
     @classmethod
@@ -340,6 +357,7 @@ def record_schedule(
     timestamp: Optional[float] = None,
     base: Optional[RunRecord] = None,
     timeseries=None,
+    attribution: Optional[Dict[str, float]] = None,
 ) -> RunRecord:
     """Freeze a scheduler / resilience run into a record.
 
@@ -349,7 +367,10 @@ def record_schedule(
     fingerprint), its operator breakdown, TopDown stack, and scalars are
     carried over so one record spans the whole stack. ``timeseries``
     (a :class:`~repro.telemetry.TimeSeries` or an already-compact state
-    dict) embeds the run's windowed telemetry.
+    dict) embeds the run's windowed telemetry; ``attribution`` (a flat
+    float map from
+    :meth:`repro.explain.Explanation.attribution_section`) embeds the
+    run's critical-path decomposition.
     """
     scalars: Dict[str, float] = dict(base.scalars) if base is not None else {}
     op_seconds = dict(base.op_seconds) if base is not None else {}
@@ -390,6 +411,7 @@ def record_schedule(
         },
         metrics=metrics,
         timeseries=ts_state,
+        attribution=attribution,
     )
 
 

@@ -139,6 +139,7 @@ def run_monitored_scenario(
     fallback: Optional[str] = None,
     scenario_overrides: Optional[Dict[str, Any]] = None,
     target_windows: int = 24,
+    querytrace: Any = None,
 ) -> MonitoredScenario:
     """Run one fault scenario with windowed telemetry attached.
 
@@ -257,6 +258,7 @@ def run_monitored_scenario(
         seed=seed,
         timeseries=timeseries,
         gather=gather,
+        querytrace=querytrace,
     )
     result = scheduler.run(qps, num_queries=queries)
 

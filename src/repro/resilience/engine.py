@@ -40,10 +40,12 @@ from repro.telemetry.chrome_trace import (
     REPLICA_LANE_SERVE,
     REPLICA_PID_BASE,
 )
+from repro.telemetry.querytrace import AttemptEvent, HedgeLeg, ServiceParts
 
 if TYPE_CHECKING:
     from repro.distserve.gather import ShardGatherModel
     from repro.telemetry import TimeSeries
+    from repro.telemetry.querytrace import QueryTraceCapture
 
 __all__ = ["ResilientScheduler", "ResilientScheduleResult"]
 
@@ -150,6 +152,7 @@ class ResilientScheduler:
         seed: int = 2020,
         timeseries: Optional["TimeSeries"] = None,
         gather: Optional["ShardGatherModel"] = None,
+        querytrace: Optional["QueryTraceCapture"] = None,
     ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
@@ -169,6 +172,10 @@ class ResilientScheduler:
         # to its service time. A colocated single-shard layout adds
         # exactly 0.0, preserving the bit-identical contract.
         self.gather = gather
+        # Optional per-query causal trace (repro explain substrate);
+        # capture only copies floats the loop already computed, so the
+        # bit-identical contract extends to it — pinned in tests.
+        self.querytrace = querytrace
 
     # -- simulation ----------------------------------------------------------
 
@@ -206,6 +213,9 @@ class ResilientScheduler:
             self._emit_fault_windows(ts, servers)
             if grun is not None:
                 self.gather.emit_fault_windows(ts)
+        qt = self.querytrace
+        if qt is not None:
+            qt.begin_run(arrivals)
 
         latencies = np.full(num_queries, np.nan)
         outcome = np.full(num_queries, -1, dtype=np.int8)
@@ -256,6 +266,15 @@ class ResilientScheduler:
             start = max(dispatch_at, server.free_at)
             if len(members) == policy.max_batch:
                 start = max(members[-1][0], server.free_at)
+            if qt is not None:
+                # The instant the batch stopped admitting members: the
+                # last member's arrival when it filled, else the head
+                # timeout. Captured before shedding mutates `members`.
+                batch_close = (
+                    members[-1][0]
+                    if len(members) == policy.max_batch
+                    else dispatch_at
+                )
 
             if server.index != 0:
                 counters["failovers"] += len(members)
@@ -270,6 +289,8 @@ class ResilientScheduler:
                         counters["shed"] += 1
                         if ts is not None:
                             ts.count("shed", start)
+                        if qt is not None:
+                            qt.shed(m[1], start)
                     else:
                         kept.append(m)
                 members = kept
@@ -290,7 +311,7 @@ class ResilientScheduler:
             service, faults = server.service_seconds(batch, start, degraded)
             gout = None
             if grun is not None:
-                gout = grun.gather(batch, start)
+                gout = grun.gather(batch, start, detail=qt is not None)
                 service = service + gout.seconds
             server.note_dispatch()
             finish = start + service
@@ -328,6 +349,9 @@ class ResilientScheduler:
             # -- hedging ----------------------------------------------------
             hedge_finish = math.inf
             hedge_server = None
+            h_start = 0.0
+            h_faults = None
+            h_gout = None
             if (
                 res.hedge is not None
                 and len(servers) > 1
@@ -345,10 +369,13 @@ class ResilientScheduler:
                     # before it arrived.
                     h_start = max(hedge_at, members[-1][0],
                                   hedge_server.free_at)
-                    h_service, _ = hedge_server.service_seconds(batch, h_start)
+                    h_service, h_faults = hedge_server.service_seconds(
+                        batch, h_start
+                    )
                     if grun is not None:
-                        h_service = h_service + grun.gather(batch,
-                                                            h_start).seconds
+                        h_gout = grun.gather(batch, h_start,
+                                             detail=qt is not None)
+                        h_service = h_service + h_gout.seconds
                     hedge_server.note_dispatch()
                     h_finish = h_start + h_service
                     h_crash = hedge_server.injector.crash_during(
@@ -449,11 +476,67 @@ class ResilientScheduler:
             winner = hedge_server if hedge_won else server
             completion = hedge_finish if hedge_won else finish
 
+            if qt is not None:
+                # Shared per-batch capture state: copies of floats the
+                # loop already computed, assembled once per batch.
+                qt_lane = (
+                    REPLICA_LANE_RETRY if head_attempt > 0
+                    else REPLICA_LANE_SERVE
+                )
+                qt_parts = ServiceParts(
+                    base_s=faults.base_s,
+                    pcie_extra_s=faults.pcie_extra_s,
+                    slowdown_extra_s=faults.slowdown_extra_s,
+                    straggler_extra_s=faults.straggler_extra_s,
+                    gather_s=gout.seconds if gout is not None else 0.0,
+                    gather_pieces=gout.pieces if gout is not None else (),
+                )
+                qt_hedge = None
+                if hedge_ok and hedge_server is not None:
+                    qt_hedge = HedgeLeg(
+                        start=h_start,
+                        server=hedge_server.name,
+                        server_index=hedge_server.index,
+                        parts=ServiceParts(
+                            base_s=h_faults.base_s,
+                            pcie_extra_s=h_faults.pcie_extra_s,
+                            slowdown_extra_s=h_faults.slowdown_extra_s,
+                            straggler_extra_s=h_faults.straggler_extra_s,
+                            gather_s=(
+                                h_gout.seconds if h_gout is not None else 0.0
+                            ),
+                            gather_pieces=(
+                                h_gout.pieces if h_gout is not None else ()
+                            ),
+                        ),
+                    )
+
+                def qt_attempt(
+                    qid: int, attempt: int, ready: float,
+                    kind: str, end: float,
+                ) -> None:
+                    qt.attempt(qid, AttemptEvent(
+                        attempt=attempt,
+                        ready=ready,
+                        batch_close=batch_close,
+                        start=start,
+                        end=end,
+                        outcome=kind,
+                        server=server.name,
+                        server_index=server.index,
+                        lane=qt_lane,
+                        parts=qt_parts,
+                        hedge=qt_hedge,
+                        hedge_won=hedge_won,
+                    ))
+
             for ready, qid, attempt in members:
                 if not primary_ok and not hedge_ok:
+                    if qt is not None:
+                        qt_attempt(qid, attempt, ready, "crash", crash_at)
                     self._fail(
                         heap, outcome, counters, qid, attempt, crash_at, res,
-                        ts,
+                        ts, qt,
                     )
                     continue
                 if winner.injector.should_drop(qid, attempt):
@@ -471,9 +554,14 @@ class ResilientScheduler:
                         if res.retry is not None
                         else completion
                     )
+                    if qt is not None:
+                        qt_attempt(
+                            qid, attempt, ready, "drop_response",
+                            max(detect, completion),
+                        )
                     self._fail(
                         heap, outcome, counters, qid, attempt,
-                        max(detect, completion), res, ts,
+                        max(detect, completion), res, ts, qt,
                     )
                     continue
                 if (
@@ -481,9 +569,14 @@ class ResilientScheduler:
                     and completion > ready + res.retry.deadline_s
                 ):
                     counters["timeouts"] += 1
+                    if qt is not None:
+                        qt_attempt(
+                            qid, attempt, ready, "timeout",
+                            ready + res.retry.deadline_s,
+                        )
                     self._fail(
                         heap, outcome, counters, qid, attempt,
-                        ready + res.retry.deadline_s, res, ts,
+                        ready + res.retry.deadline_s, res, ts, qt,
                     )
                     continue
                 latencies[qid] = completion - arrivals[qid]
@@ -493,6 +586,9 @@ class ResilientScheduler:
                 if ts is not None:
                     ts.count("completions", completion)
                     ts.observe("latency_s", completion, latencies[qid])
+                if qt is not None:
+                    qt_attempt(qid, attempt, ready, "completed", completion)
+                    qt.settle(qid, float(latencies[qid]), completion)
 
         end = max(s.free_at for s in servers)
         duration = max(float(end - arrivals[0] + inter_arrivals[0]), 0.0)
@@ -554,6 +650,7 @@ class ResilientScheduler:
         at: float,
         res: ResiliencePolicy,
         ts: Optional["TimeSeries"] = None,
+        qt: Optional["QueryTraceCapture"] = None,
     ) -> None:
         """One attempt failed at ``at``: schedule a retry or drop the query."""
         if res.retry is not None and attempt < res.retry.max_retries:
@@ -568,6 +665,8 @@ class ResilientScheduler:
             counters["dropped"] += 1
             if ts is not None:
                 ts.count("dropped", at)
+            if qt is not None:
+                qt.drop(qid, at)
 
     def _trace_fault_windows(self, tracer, servers: List[ServerState]) -> None:
         for s in servers:

@@ -39,11 +39,24 @@ class Replica:
 
 @dataclass
 class BatchFaults:
-    """Which faults touched one dispatched batch (for accounting)."""
+    """Which faults touched one dispatched batch (for accounting).
+
+    The ``*_s`` fields additively decompose the service time the batch
+    actually got: ``base_s`` is the fault-free model time and each
+    extra is the inflation one fault stage added on top of the stages
+    before it. They are computed from copies of the same intermediate
+    floats :meth:`ServerState.service_seconds` already produces, so
+    recording them never perturbs the simulated service time — the
+    query-trace capture path stays bit-identical.
+    """
 
     slowdown: bool = False
     straggler: bool = False
     pcie: bool = False
+    base_s: float = 0.0
+    pcie_extra_s: float = 0.0
+    slowdown_extra_s: float = 0.0
+    straggler_extra_s: float = 0.0
 
     @property
     def any(self) -> bool:
@@ -102,20 +115,27 @@ class ServerState:
             model = self.spec.degraded_model
         seconds = model.seconds(batch_size)
         faults = BatchFaults()
+        faults.base_s = seconds
         scale = self.injector.pcie_scale(start_s)
         if scale < 1.0:
             comm = model.comm_seconds(batch_size)
             if comm > 0.0:
-                seconds += comm * (1.0 / scale - 1.0)
+                extra = comm * (1.0 / scale - 1.0)
+                seconds += extra
                 faults.pcie = True
+                faults.pcie_extra_s = extra
         mult = self.injector.slowdown_multiplier(start_s)
         if mult > 1.0:
+            before = seconds
             seconds *= mult
             faults.slowdown = True
+            faults.slowdown_extra_s = seconds - before
         smult = self.injector.straggler_multiplier(self.batches)
         if smult > 1.0:
+            before = seconds
             seconds *= smult
             faults.straggler = True
+            faults.straggler_extra_s = seconds - before
         return seconds, faults
 
     def note_dispatch(self) -> None:

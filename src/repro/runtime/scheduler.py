@@ -26,12 +26,14 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry.querytrace import AttemptEvent, ServiceParts
 
 if TYPE_CHECKING:  # avoid runtime circularity with repro.core / resilience
     from repro.core.speedup import SweepResult
     from repro.resilience import FaultPlan, ResiliencePolicy, ResilientScheduler
     from repro.runtime.session import InferenceProfile
     from repro.telemetry import TimeSeries
+    from repro.telemetry.querytrace import QueryTraceCapture
 
 __all__ = ["ServiceTimeModel", "BatchingPolicy", "ScheduleResult", "QueryScheduler"]
 
@@ -254,6 +256,7 @@ class QueryScheduler:
         standbys: Optional[Sequence[ServiceTimeModel]] = None,
         degraded_model: Optional[ServiceTimeModel] = None,
         timeseries: Optional["TimeSeries"] = None,
+        querytrace: Optional["QueryTraceCapture"] = None,
     ) -> None:
         self.service_model = service_model
         self.policy = policy
@@ -268,6 +271,8 @@ class QueryScheduler:
         # the sim's floats), so results with a sink attached are
         # bit-identical to runs without one — pinned in tests.
         self.timeseries = timeseries
+        # Optional per-query causal trace; same observational contract.
+        self.querytrace = querytrace
         self._resilient = (
             fault_plan is not None
             or resilience is not None
@@ -305,6 +310,7 @@ class QueryScheduler:
             fault_plan=self.fault_plan,
             seed=self.seed,
             timeseries=self.timeseries,
+            querytrace=self.querytrace,
         )
 
     def _validate_run(self, arrival_qps: float, num_queries: int) -> None:
@@ -365,6 +371,9 @@ class QueryScheduler:
         ts = self.timeseries
         if ts is not None:
             ts.count_many("arrivals", arrivals)
+        qt = self.querytrace
+        if qt is not None:
+            qt.begin_run(arrivals)
 
         policy = self.policy
         latencies = np.empty(num_queries)
@@ -412,6 +421,32 @@ class QueryScheduler:
                     "latency_s", np.full(batch, finish), latencies[i:j]
                 )
                 ts.count("completions", finish, batch)
+            if qt is not None:
+                # Copies of already-computed floats only: capture does
+                # no arithmetic that feeds back into the simulation.
+                close = (
+                    float(arrivals[j - 1])
+                    if batch == policy.max_batch
+                    else dispatch_at
+                )
+                platform = self.service_model.platform
+                # One immutable parts record per batch: every member
+                # shares the same service interval.
+                parts = ServiceParts(base_s=service)
+                for q in range(i, j):
+                    qt.attempt(q, AttemptEvent(
+                        attempt=0,
+                        ready=float(arrivals[q]),
+                        batch_close=close,
+                        start=start,
+                        end=finish,
+                        outcome="completed",
+                        server=platform,
+                        server_index=0,
+                        lane=0,
+                        parts=parts,
+                    ))
+                    qt.settle(q, float(latencies[q]), finish)
             server_free_at = finish
             i = j
 

@@ -28,12 +28,21 @@ from typing import Iterator, Tuple, Union
 from repro.telemetry.chrome_trace import (
     chrome_trace_document,
     load_chrome_trace,
+    querytrace_flow_events,
     spans_to_trace_events,
     timeseries_to_counter_events,
     write_chrome_trace,
 )
 from repro.telemetry.histogram import HistogramSnapshot, StreamingHistogram
 from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry
+from repro.telemetry.querytrace import (
+    COMPONENTS,
+    AttemptEvent,
+    QueryTraceCapture,
+    QueryTraceRecord,
+    ServiceParts,
+    decompose_attempts,
+)
 from repro.telemetry.timeseries import TimeSeries, TimeSeriesSummary
 from repro.telemetry.report import (
     metrics_csv,
@@ -66,9 +75,17 @@ __all__ = [
     "HistogramSnapshot",
     "TimeSeries",
     "TimeSeriesSummary",
+    # per-query causal tracing (repro explain substrate)
+    "COMPONENTS",
+    "AttemptEvent",
+    "QueryTraceCapture",
+    "QueryTraceRecord",
+    "ServiceParts",
+    "decompose_attempts",
     # exporters
     "spans_to_trace_events",
     "timeseries_to_counter_events",
+    "querytrace_flow_events",
     "chrome_trace_document",
     "write_chrome_trace",
     "load_chrome_trace",

@@ -31,6 +31,7 @@ from repro.telemetry.tracer import MODELED_TID, Span
 __all__ = [
     "spans_to_trace_events",
     "timeseries_to_counter_events",
+    "querytrace_flow_events",
     "chrome_trace_document",
     "write_chrome_trace",
     "load_chrome_trace",
@@ -42,6 +43,10 @@ TRACE_PID = 1
 #: Counter tracks (ph:"C" events) get their own process so they group
 #: together at the top of the Perfetto timeline.
 COUNTER_PID = 2
+
+#: Per-query rows (one tid per retained query) emitted by
+#: :func:`querytrace_flow_events` get their own process.
+QUERY_PID = 3
 
 #: Replica k's spans carry pid = _REPLICA_PID_BASE + k (see
 #: repro.resilience.engine); anything at or above this is a replica.
@@ -146,6 +151,178 @@ def timeseries_to_counter_events(
     return events
 
 
+def querytrace_flow_events(
+    capture: Any,
+    pid: int = QUERY_PID,
+) -> List[Dict[str, Any]]:
+    """Retained query traces -> flow events threading each query.
+
+    ``capture`` is a
+    :class:`~repro.telemetry.querytrace.QueryTraceCapture` after a
+    run. Each retained record becomes:
+
+    * a parent ``ph:"X"`` query slice on its own row of the query
+      process (``tid`` = qid), spanning arrival to completion;
+    * a flow start (``ph:"s"``, ``id`` = qid) on that slice;
+    * one ``ph:"X"`` attempt slice per attempt on the owning replica
+      process/lane (same pid/tid convention the resilient engine uses
+      for its span lanes), each carrying a flow step (``ph:"t"``);
+    * hedge legs and per-shard gather pieces as slices + steps on the
+      hedge lane / shard processes (a gather piece of ``r`` seconds is
+      drawn ending at the attempt end — RPCs complete when the
+      attempt's execution block does);
+    * a flow finish (``ph:"f"``) bound to the winning attempt at the
+      query's completion time.
+
+    Steps and finishes bind to the enclosing slice (``bp:"e"``) so
+    Perfetto draws one arrow chain per query across the replica and
+    shard tracks.
+    """
+    events: List[Dict[str, Any]] = []
+    records = sorted(capture.records.values(), key=lambda r: r.qid)
+    # Shard processes are keyed by name order (deterministic; matches
+    # layout order for the default "shard<k>" naming).
+    shard_names = sorted(
+        {
+            piece[0]
+            for rec in records
+            for a in rec.attempts
+            for piece in a.parts.gather_pieces
+        }
+    )
+    shard_pid = {
+        name: SHARD_PID_BASE + i for i, name in enumerate(shard_names)
+    }
+    process_names: Dict[int, str] = {pid: "queries"}
+
+    def flow(ph: str, qid: int, ts_s: float, epid: int, tid: int) -> None:
+        event = {
+            "name": "query-flow",
+            "cat": "query",
+            "ph": ph,
+            "id": qid,
+            "ts": ts_s * 1e6,
+            "pid": epid,
+            "tid": tid,
+        }
+        if ph in ("t", "f"):
+            event["bp"] = "e"
+        events.append(event)
+
+    for rec in records:
+        qid = rec.qid
+        events.append(
+            {
+                "name": f"query {qid}",
+                "cat": "query",
+                "ph": "X",
+                "ts": rec.arrival * 1e6,
+                "dur": rec.latency * 1e6,
+                "pid": pid,
+                "tid": qid,
+                "args": {
+                    "seconds": rec.latency,
+                    "attempts": len(rec.attempts),
+                    "dominant": rec.dominant_component(),
+                    "reason": rec.reason,
+                },
+            }
+        )
+        flow("s", qid, rec.arrival, pid, qid)
+        for a in rec.attempts:
+            apid = REPLICA_PID_BASE + a.server_index
+            process_names.setdefault(apid, f"replica: {a.server}")
+            events.append(
+                {
+                    "name": f"q{qid}/a{a.attempt} {a.outcome}",
+                    "cat": "query",
+                    "ph": "X",
+                    "ts": a.start * 1e6,
+                    "dur": max(a.end - a.start, 0.0) * 1e6,
+                    "pid": apid,
+                    "tid": a.lane,
+                    "args": {
+                        "seconds": max(a.end - a.start, 0.0),
+                        "qid": qid,
+                        "outcome": a.outcome,
+                        "process": a.server,
+                    },
+                }
+            )
+            flow("t", qid, a.start, apid, a.lane)
+            if a.hedge is not None:
+                hpid = REPLICA_PID_BASE + a.hedge.server_index
+                process_names.setdefault(
+                    hpid, f"replica: {a.hedge.server}"
+                )
+                events.append(
+                    {
+                        "name": f"q{qid}/a{a.attempt} hedge"
+                        + (" won" if a.hedge_won else ""),
+                        "cat": "query",
+                        "ph": "X",
+                        "ts": a.hedge.start * 1e6,
+                        "dur": max(a.end - a.hedge.start, 0.0) * 1e6,
+                        "pid": hpid,
+                        "tid": REPLICA_LANE_HEDGE,
+                        "args": {
+                            "seconds": max(a.end - a.hedge.start, 0.0),
+                            "qid": qid,
+                            "process": a.hedge.server,
+                        },
+                    }
+                )
+                flow("t", qid, a.hedge.start, hpid, REPLICA_LANE_HEDGE)
+            parts = (
+                a.hedge.parts if (a.hedge_won and a.hedge is not None)
+                else a.parts
+            )
+            for shard, seconds, lost in parts.gather_pieces:
+                spid = shard_pid[shard]
+                process_names.setdefault(spid, f"shard: {shard}")
+                events.append(
+                    {
+                        "name": f"q{qid} gather {shard}"
+                        + (" (lost)" if lost else ""),
+                        "cat": "query",
+                        "ph": "X",
+                        "ts": (a.end - seconds) * 1e6,
+                        "dur": seconds * 1e6,
+                        "pid": spid,
+                        "tid": 0,
+                        "args": {
+                            "seconds": seconds,
+                            "qid": qid,
+                            "lost": lost,
+                            "process": shard,
+                        },
+                    }
+                )
+                flow("t", qid, max(a.end - seconds, a.start), spid, 0)
+        winner = rec.attempts[-1] if rec.attempts else None
+        if winner is not None:
+            wpid = (
+                REPLICA_PID_BASE + winner.hedge.server_index
+                if (winner.hedge_won and winner.hedge is not None)
+                else REPLICA_PID_BASE + winner.server_index
+            )
+            wtid = (
+                REPLICA_LANE_HEDGE if winner.hedge_won else winner.lane
+            )
+            flow("f", qid, rec.completion, wpid, wtid)
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": p,
+            "tid": 0,
+            "args": {"name": process_names[p]},
+        }
+        for p in sorted(process_names)
+    ]
+    return meta + events
+
+
 def _metadata_events(
     spans: Sequence[Span],
     process_name: str,
@@ -201,13 +378,16 @@ def chrome_trace_document(
     metrics: Optional[List[Mapping[str, Any]]] = None,
     timeseries: Optional[Any] = None,
     counter_tracks: Optional[Sequence[str]] = None,
+    querytrace: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Build the full JSON-object trace document.
 
     ``metrics`` (a registry snapshot) rides along under ``otherData``
     so one file carries both the timeline and the counters.
     ``timeseries`` (a TimeSeries or TimeSeriesSummary) adds ph:"C"
-    counter events under their own process.
+    counter events under their own process. ``querytrace`` (a
+    QueryTraceCapture) adds per-query flow events (``ph:"s"/"t"/"f"``)
+    threading each retained query across the replica and shard tracks.
     """
     events = _metadata_events(spans, process_name)
     if timeseries is not None:
@@ -223,6 +403,8 @@ def chrome_trace_document(
         events.extend(
             timeseries_to_counter_events(timeseries, tracks=counter_tracks)
         )
+    if querytrace is not None:
+        events.extend(querytrace_flow_events(querytrace))
     events.extend(spans_to_trace_events(spans))
     doc: Dict[str, Any] = {
         "traceEvents": events,
@@ -241,6 +423,7 @@ def write_chrome_trace(
     metrics: Optional[List[Mapping[str, Any]]] = None,
     timeseries: Optional[Any] = None,
     counter_tracks: Optional[Sequence[str]] = None,
+    querytrace: Optional[Any] = None,
 ) -> str:
     """Write the trace document to ``path``; returns the path."""
     doc = chrome_trace_document(
@@ -249,6 +432,7 @@ def write_chrome_trace(
         metrics=metrics,
         timeseries=timeseries,
         counter_tracks=counter_tracks,
+        querytrace=querytrace,
     )
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=1)
@@ -260,8 +444,11 @@ def load_chrome_trace(path: str) -> Dict[str, Any]:
 
     Checks the invariants consumers rely on: a ``traceEvents`` list
     whose complete events all carry ``ph``/``ts``/``dur``/``pid``/
-    ``tid``/``name`` and whose counter events carry ``ph``/``ts``/
-    ``pid``/``name``/``args``.
+    ``tid``/``name``, whose counter events carry ``ph``/``ts``/
+    ``pid``/``name``/``args``, and whose flow events
+    (``ph:"s"/"t"/"f"``) carry ``ph``/``ts``/``pid``/``tid``/``name``/
+    ``id`` (the flow id is what stitches one query's arrow chain
+    together, so a flow event without one is structurally broken).
     """
     with open(path) as fh:
         doc = json.load(fh)
@@ -270,12 +457,15 @@ def load_chrome_trace(path: str) -> Dict[str, Any]:
         raise ValueError(f"{path}: missing traceEvents list")
     required_x = ("ph", "ts", "dur", "pid", "tid", "name")
     required_c = ("ph", "ts", "pid", "name", "args")
+    required_flow = ("ph", "ts", "pid", "tid", "name", "id")
     for event in events:
         ph = event.get("ph")
         if ph == "X":
             required = required_x
         elif ph == "C":
             required = required_c
+        elif ph in ("s", "t", "f"):
+            required = required_flow
         else:
             continue
         missing = [k for k in required if k not in event]

@@ -131,7 +131,7 @@ class TestRunRecord:
             rec.histogram(LATENCY_HISTOGRAM)
 
 
-SCHEMA_VERSION_EXPECTED = 2  # v2: optional compact time-series section
+SCHEMA_VERSION_EXPECTED = 3  # v3: optional critical-path attribution section
 
 
 class TestStore:

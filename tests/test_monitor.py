@@ -519,3 +519,38 @@ class TestMonitorCli:
         html = out_path.read_text(encoding="utf-8")
         assert html.startswith("<!DOCTYPE html>")
         assert "Windowed timeline" in html
+
+    def test_report_html_output_shard_scenario(self, tmp_path, capsys):
+        # The replica golden above only covers replica fault plans;
+        # shard scenarios record shard-server fault activity tracks
+        # (shard.<name>.*) and must render through the same HTML path.
+        from repro.ledger import RunLedger, fingerprint_for, record_schedule
+
+        ms = run_monitored_scenario(
+            "rm2", "broadwell", "shard_slowdown", queries=400, seed=SEED,
+        )
+        assert ms.fault_windows(), "shard scenario must inject faults"
+        assert all(
+            kind.startswith("shard") for _, _, kind in ms.fault_windows()
+        )
+        record = record_schedule(
+            ms.result, fingerprint_for("rm2", "broadwell", 64, SEED),
+            max_batch=64, kind="monitor", timeseries=ms.timeseries,
+        )
+        RunLedger(tmp_path / "runs").append(record)
+        out_path = tmp_path / "shard-dash.html"
+        assert main([
+            "report", str(tmp_path / "runs"), "-o", str(out_path),
+        ]) == 0
+        assert "dashboard:" in capsys.readouterr().out
+        html = out_path.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Windowed timeline" in html and "<svg" in html
+        # The fault-activity and shard-health tracks survive the
+        # compact round-trip (the former drives the reconstructed
+        # fault windows, the latter the health column).
+        summary = record.timeseries_summary()
+        assert "faults.window_active_s" in summary.fault_tracks()
+        assert any(
+            t.startswith("shard.") for t in summary.track_names()
+        ), f"expected a shard state track, got {summary.track_names()}"
